@@ -1,0 +1,223 @@
+package bpar
+
+// One benchmark per table and figure of the paper's evaluation (Section
+// IV), plus the design-choice ablations and a native-runtime benchmark.
+// Each iteration regenerates the full experiment at paper parameters;
+// reported ns/op is the cost of reproducing that artifact.
+//
+//	go test -bench=. -benchmem
+//
+// For readable experiment output use cmd/bpar-bench instead.
+
+import (
+	"runtime"
+	"testing"
+
+	"bpar/internal/core"
+	"bpar/internal/data"
+	"bpar/internal/experiments"
+	"bpar/internal/taskrt"
+)
+
+// paperOpts runs experiments at the paper's full parameters.
+func paperOpts() experiments.Opts { return experiments.Opts{} }
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable(core.LSTM, paperOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable(core.GRU, paperOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGranularity(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMemory(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationBarrier(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationGranularity(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeTrainStep measures a real B-Par training step — actual
+// numerics on this machine's cores through the goroutine runtime — for a
+// host-sized BLSTM, with the locality-aware scheduler.
+func BenchmarkNativeTrainStep(b *testing.B) {
+	cfg := core.Config{
+		Cell: core.LSTM, Arch: core.ManyToOne, Merge: core.MergeSum,
+		InputSize: 32, HiddenSize: 64, Layers: 4, SeqLen: 24,
+		Batch: 16, Classes: data.NumDigits, MiniBatches: 2, Seed: 1,
+	}
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Options{Workers: runtime.GOMAXPROCS(0), Policy: taskrt.LocalityAware})
+	defer rt.Shutdown()
+	eng := core.NewEngine(m, rt)
+	corpus := data.NewSpeechCorpus(cfg.InputSize, 3)
+	batch := corpus.Batch(cfg.Batch, cfg.SeqLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.TrainStep(batch, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeInfer measures a real forward-only pass.
+func BenchmarkNativeInfer(b *testing.B) {
+	cfg := core.Config{
+		Cell: core.GRU, Arch: core.ManyToMany, Merge: core.MergeSum,
+		InputSize: 32, HiddenSize: 64, Layers: 4, SeqLen: 24,
+		Batch: 16, Classes: 32, MiniBatches: 2, Seed: 1,
+	}
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Options{Workers: runtime.GOMAXPROCS(0), Policy: taskrt.LocalityAware})
+	defer rt.Shutdown()
+	eng := core.NewEngine(m, rt)
+	corpus := data.NewTextCorpus(32, 50_000, 5)
+	batch := corpus.Batch(cfg.Batch, cfg.SeqLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Infer(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaskRuntime measures raw task throughput of the dependency
+// runtime on a dependency-free workload.
+func BenchmarkTaskRuntime(b *testing.B) {
+	rt := taskrt.New(taskrt.Options{Workers: runtime.GOMAXPROCS(0)})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit(&taskrt.Task{Fn: func() {}})
+	}
+	if err := rt.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPolicy(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEfficiency(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCrossover(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlatforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPlatforms(paperOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command bpar-bench regenerates the paper's evaluation: every table and
+// figure of Section IV, at full paper parameters by default.
+//
+// Usage:
+//
+//	bpar-bench -exp all
+//	bpar-bench -exp table3            # BLSTM training times (Table III)
+//	bpar-bench -exp table4            # BGRU training times (Table IV)
+//	bpar-bench -exp fig3 ... fig8     # the figures
+//	bpar-bench -exp granularity       # the task-granularity study
+//	bpar-bench -exp memory            # the memory-consumption study
+//	bpar-bench -exp ablation          # barrier-removal ablation
+//	bpar-bench -exp all -seq 40       # reduced sequence length (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency")
+	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
+	flag.Parse()
+
+	o := experiments.Opts{SeqLen: *seq}
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "policy", "efficiency", "platforms", "crossover"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := run(strings.TrimSpace(name), o); err != nil {
+			fmt.Fprintf(os.Stderr, "bpar-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, o experiments.Opts) error {
+	w := os.Stdout
+	switch name {
+	case "table3":
+		rows, err := experiments.RunTable(core.LSTM, o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable(w, "Table III — BLSTM training times and B-Par speed-ups", rows)
+	case "table4":
+		rows, err := experiments.RunTable(core.GRU, o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable(w, "Table IV — BGRU training times and B-Par speed-ups", rows)
+	case "fig3":
+		r, err := experiments.RunFig3(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig3(w, r)
+	case "fig4":
+		r, err := experiments.RunFig4(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig4(w, r)
+	case "fig5":
+		r, err := experiments.RunFig5(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(w, r)
+	case "fig6":
+		r, err := experiments.RunFig6(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(w, r)
+	case "fig7":
+		r, err := experiments.RunFig7(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(w, r)
+	case "fig8":
+		r, err := experiments.RunFig8(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig8(w, r)
+	case "granularity":
+		r, err := experiments.RunGranularity(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintGranularity(w, r)
+	case "memory":
+		r, err := experiments.RunMemory(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintMemory(w, r)
+	case "policy":
+		r, err := experiments.RunAblationPolicy(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationPolicy(w, r)
+	case "efficiency":
+		r, err := experiments.RunEfficiency(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintEfficiency(w, r)
+	case "crossover":
+		r, err := experiments.RunCrossover(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCrossover(w, r)
+	case "platforms":
+		r, err := experiments.RunPlatforms(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPlatforms(w, r)
+	case "granularity-ablation":
+		r, err := experiments.RunAblationGranularity(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationGranularity(w, r)
+	case "ablation":
+		r, err := experiments.RunAblationBarrier(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Barrier-removal ablation (8-layer BLSTM, mbs:8, 48 cores)\n")
+		fmt.Fprintf(w, "  barrier-free:   %.3fs (avg parallelism %.1f)\n", r.BarrierFreeSec, r.AvgParallelismFree)
+		fmt.Fprintf(w, "  per-layer sync: %.3fs (avg parallelism %.1f)\n", r.BarrierSec, r.AvgParallelismBarrier)
+		fmt.Fprintf(w, "  speed-up from removing barriers: %.2fx\n", r.Speedup)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

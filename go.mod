@@ -1,0 +1,3 @@
+module bpar
+
+go 1.22

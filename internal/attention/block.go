@@ -1,0 +1,312 @@
+package attention
+
+import (
+	"fmt"
+
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// a learned affine transform.
+type LayerNorm struct {
+	Dim         int
+	Gamma, Beta []float64
+}
+
+// NewLayerNorm returns an identity-initialized layer norm.
+func NewLayerNorm(dim int) *LayerNorm {
+	ln := &LayerNorm{Dim: dim, Gamma: make([]float64, dim), Beta: make([]float64, dim)}
+	for i := range ln.Gamma {
+		ln.Gamma[i] = 1
+	}
+	return ln
+}
+
+// LNState caches normalization intermediates for backward.
+type LNState struct {
+	XHat   *tensor.Matrix // normalized rows
+	InvStd []float64      // per-row 1/sqrt(var+eps)
+	Out    *tensor.Matrix
+}
+
+// NewLNState allocates buffers for T rows.
+func (ln *LayerNorm) NewLNState(T int) *LNState {
+	return &LNState{
+		XHat:   tensor.New(T, ln.Dim),
+		InvStd: make([]float64, T),
+		Out:    tensor.New(T, ln.Dim),
+	}
+}
+
+const lnEps = 1e-6
+
+// Forward computes out = gamma ⊙ (x - mean)/std + beta per row.
+func (ln *LayerNorm) Forward(x *tensor.Matrix, st *LNState) {
+	D := float64(ln.Dim)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= D
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= D
+		inv := 1 / sqrt(variance+lnEps)
+		st.InvStd[i] = inv
+		xh := st.XHat.Row(i)
+		out := st.Out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			out[j] = ln.Gamma[j]*xh[j] + ln.Beta[j]
+		}
+	}
+}
+
+// LNGrads accumulates layer-norm parameter gradients.
+type LNGrads struct {
+	DGamma, DBeta []float64
+}
+
+// NewLNGrads allocates zeroed gradients.
+func (ln *LayerNorm) NewLNGrads() *LNGrads {
+	return &LNGrads{DGamma: make([]float64, ln.Dim), DBeta: make([]float64, ln.Dim)}
+}
+
+// Backward propagates dOut through the normalization; dX receives the input
+// gradient, parameter gradients accumulate.
+func (ln *LayerNorm) Backward(st *LNState, dOut, dX *tensor.Matrix, g *LNGrads) {
+	D := float64(ln.Dim)
+	for i := 0; i < dOut.Rows; i++ {
+		do := dOut.Row(i)
+		xh := st.XHat.Row(i)
+		dx := dX.Row(i)
+		// dxhat = dout * gamma; reductions for the mean/var paths.
+		var sumDxh, sumDxhXh float64
+		for j, v := range do {
+			g.DGamma[j] += v * xh[j]
+			g.DBeta[j] += v
+			dxh := v * ln.Gamma[j]
+			sumDxh += dxh
+			sumDxhXh += dxh * xh[j]
+		}
+		inv := st.InvStd[i]
+		for j, v := range do {
+			dxh := v * ln.Gamma[j]
+			dx[j] = inv * (dxh - sumDxh/D - xh[j]*sumDxhXh/D)
+		}
+	}
+}
+
+// FFN is the transformer's position-wise feed-forward network:
+// out = ReLU(x W1^T + b1) W2^T + b2.
+type FFN struct {
+	D, DHidden int
+	W1         *tensor.Matrix // [DHidden x D]
+	B1         []float64
+	W2         *tensor.Matrix // [D x DHidden]
+	B2         []float64
+}
+
+// NewFFN allocates a zeroed feed-forward network.
+func NewFFN(d, dHidden int) *FFN {
+	return &FFN{
+		D: d, DHidden: dHidden,
+		W1: tensor.New(dHidden, d), B1: make([]float64, dHidden),
+		W2: tensor.New(d, dHidden), B2: make([]float64, d),
+	}
+}
+
+// Init fills the dense layers with Xavier-scaled uniform values.
+func (f *FFN) Init(r *rng.RNG) {
+	r.FillUniform(f.W1.Data, -1/sqrt(float64(f.D)), 1/sqrt(float64(f.D)))
+	r.FillUniform(f.W2.Data, -1/sqrt(float64(f.DHidden)), 1/sqrt(float64(f.DHidden)))
+}
+
+// FFNState caches the hidden activations.
+type FFNState struct {
+	H   *tensor.Matrix // post-ReLU [T x DHidden]
+	Out *tensor.Matrix // [T x D]
+}
+
+// NewFFNState allocates buffers for T rows.
+func (f *FFN) NewFFNState(T int) *FFNState {
+	return &FFNState{H: tensor.New(T, f.DHidden), Out: tensor.New(T, f.D)}
+}
+
+// Forward computes the two dense layers with ReLU.
+func (f *FFN) Forward(x *tensor.Matrix, st *FFNState) {
+	tensor.MatMulT(st.H, x, f.W1)
+	tensor.AddBiasRows(st.H, f.B1)
+	for i, v := range st.H.Data {
+		if v < 0 {
+			st.H.Data[i] = 0
+		}
+	}
+	tensor.MatMulT(st.Out, st.H, f.W2)
+	tensor.AddBiasRows(st.Out, f.B2)
+}
+
+// FFNGrads accumulates feed-forward gradients.
+type FFNGrads struct {
+	DW1 *tensor.Matrix
+	DB1 []float64
+	DW2 *tensor.Matrix
+	DB2 []float64
+}
+
+// NewFFNGrads allocates zeroed gradients.
+func (f *FFN) NewFFNGrads() *FFNGrads {
+	return &FFNGrads{
+		DW1: tensor.New(f.DHidden, f.D), DB1: make([]float64, f.DHidden),
+		DW2: tensor.New(f.D, f.DHidden), DB2: make([]float64, f.D),
+	}
+}
+
+// Backward propagates dOut; x is the forward input.
+func (f *FFN) Backward(x *tensor.Matrix, st *FFNState, dOut, dX *tensor.Matrix, g *FFNGrads) {
+	T := dOut.Rows
+	// Second layer.
+	tensor.GemmATAcc(g.DW2, dOut, st.H)
+	for i := 0; i < T; i++ {
+		for j, v := range dOut.Row(i) {
+			g.DB2[j] += v
+		}
+	}
+	dH := tensor.New(T, f.DHidden)
+	tensor.MatMul(dH, dOut, f.W2)
+	// ReLU mask.
+	for i, v := range st.H.Data {
+		if v == 0 {
+			dH.Data[i] = 0
+		}
+	}
+	// First layer.
+	tensor.GemmATAcc(g.DW1, dH, x)
+	for i := 0; i < T; i++ {
+		for j, v := range dH.Row(i) {
+			g.DB1[j] += v
+		}
+	}
+	tensor.MatMul(dX, dH, f.W1)
+}
+
+// Block is a complete pre-residual transformer encoder block:
+//
+//	h = LN1(x + Attention(x))
+//	y = LN2(h + FFN(h))
+//
+// It is the structure the paper's conclusion points to; every stage maps
+// onto the same task-graph machinery as the BRNN cells.
+type Block struct {
+	D    int
+	Attn *Weights
+	LN1  *LayerNorm
+	FFN  *FFN
+	LN2  *LayerNorm
+}
+
+// NewBlock builds an initialized encoder block of width d with the given
+// FFN expansion.
+func NewBlock(d, dHidden int, r *rng.RNG) *Block {
+	b := &Block{
+		D:    d,
+		Attn: NewWeights(d, d, d),
+		LN1:  NewLayerNorm(d),
+		FFN:  NewFFN(d, dHidden),
+		LN2:  NewLayerNorm(d),
+	}
+	b.Attn.Init(r)
+	b.FFN.Init(r)
+	return b
+}
+
+// ParamCount returns the block's trainable parameter count.
+func (b *Block) ParamCount() int {
+	return b.Attn.ParamCount() + 2*2*b.D +
+		len(b.FFN.W1.Data) + len(b.FFN.B1) + len(b.FFN.W2.Data) + len(b.FFN.B2)
+}
+
+// BlockState caches one sequence's forward pass.
+type BlockState struct {
+	Attn *State
+	Sum1 *tensor.Matrix // x + attention
+	LN1  *LNState
+	FFN  *FFNState
+	Sum2 *tensor.Matrix // h + ffn
+	LN2  *LNState
+	Out  *tensor.Matrix // aliases LN2.Out
+}
+
+// NewBlockState allocates buffers for a sequence of length T.
+func (b *Block) NewBlockState(T int) *BlockState {
+	st := &BlockState{
+		Attn: NewState(b.Attn, T),
+		Sum1: tensor.New(T, b.D),
+		LN1:  b.LN1.NewLNState(T),
+		FFN:  b.FFN.NewFFNState(T),
+		Sum2: tensor.New(T, b.D),
+		LN2:  b.LN2.NewLNState(T),
+	}
+	st.Out = st.LN2.Out
+	return st
+}
+
+// Forward runs the block on one sequence x ([T x D]).
+func (b *Block) Forward(x *tensor.Matrix, st *BlockState) {
+	Forward(b.Attn, x, st.Attn)
+	tensor.Add(st.Sum1, x, st.Attn.Out)
+	b.LN1.Forward(st.Sum1, st.LN1)
+	b.FFN.Forward(st.LN1.Out, st.FFN)
+	tensor.Add(st.Sum2, st.LN1.Out, st.FFN.Out)
+	b.LN2.Forward(st.Sum2, st.LN2)
+}
+
+// BlockGrads accumulates all block parameter gradients.
+type BlockGrads struct {
+	Attn *Grads
+	LN1  *LNGrads
+	FFN  *FFNGrads
+	LN2  *LNGrads
+}
+
+// NewBlockGrads allocates zeroed gradients.
+func (b *Block) NewBlockGrads() *BlockGrads {
+	return &BlockGrads{
+		Attn: NewGrads(b.Attn),
+		LN1:  b.LN1.NewLNGrads(),
+		FFN:  b.FFN.NewFFNGrads(),
+		LN2:  b.LN2.NewLNGrads(),
+	}
+}
+
+// Backward propagates dOut through the block; dX receives the input
+// gradient.
+func (b *Block) Backward(x *tensor.Matrix, st *BlockState, dOut, dX *tensor.Matrix, g *BlockGrads) {
+	T := dOut.Rows
+	if x.Cols != b.D {
+		panic(fmt.Sprintf("attention: block input width %d, want %d", x.Cols, b.D))
+	}
+	dSum2 := tensor.New(T, b.D)
+	b.LN2.Backward(st.LN2, dOut, dSum2, g.LN2)
+
+	// Sum2 = LN1.Out + FFN.Out: gradient flows to both.
+	dFFNOut := dSum2
+	dH := tensor.New(T, b.D) // grad into LN1.Out via FFN
+	b.FFN.Backward(st.LN1.Out, st.FFN, dFFNOut, dH, g.FFN)
+	tensor.AddAcc(dH, dSum2) // plus the residual path
+
+	dSum1 := tensor.New(T, b.D)
+	b.LN1.Backward(st.LN1, dH, dSum1, g.LN1)
+
+	// Sum1 = x + Attn.Out.
+	dAttnOut := dSum1
+	dXAttn := tensor.New(T, b.D)
+	Backward(b.Attn, st.Attn, dAttnOut, dXAttn, g.Attn)
+	tensor.Add(dX, dSum1, dXAttn)
+}

@@ -1,0 +1,213 @@
+package attention
+
+import (
+	"math"
+	"testing"
+
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+func TestLayerNormForwardStats(t *testing.T) {
+	ln := NewLayerNorm(8)
+	r := rng.New(1)
+	x := tensor.New(4, 8)
+	r.FillUniform(x.Data, -3, 3)
+	st := ln.NewLNState(4)
+	ln.Forward(x, st)
+	for i := 0; i < 4; i++ {
+		mean, variance := 0.0, 0.0
+		for _, v := range st.Out.Row(i) {
+			mean += v
+		}
+		mean /= 8
+		for _, v := range st.Out.Row(i) {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= 8
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("row %d mean %g", i, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("row %d variance %g", i, variance)
+		}
+	}
+}
+
+func TestLayerNormGradientCheck(t *testing.T) {
+	const T, D, h, tol = 3, 5, 1e-6, 1e-5
+	ln := NewLayerNorm(D)
+	r := rng.New(3)
+	r.FillUniform(ln.Gamma, 0.5, 1.5)
+	r.FillUniform(ln.Beta, -0.5, 0.5)
+	x := tensor.New(T, D)
+	r.FillUniform(x.Data, -2, 2)
+	mask := tensor.New(T, D)
+	r.FillUniform(mask.Data, -1, 1)
+
+	lossOf := func() float64 {
+		st := ln.NewLNState(T)
+		ln.Forward(x, st)
+		s := 0.0
+		for i, v := range st.Out.Data {
+			s += mask.Data[i] * v
+		}
+		return s
+	}
+
+	st := ln.NewLNState(T)
+	ln.Forward(x, st)
+	g := ln.NewLNGrads()
+	dX := tensor.New(T, D)
+	ln.Backward(st, mask, dX, g)
+
+	for _, idx := range []int{0, D - 1} {
+		orig := ln.Gamma[idx]
+		ln.Gamma[idx] = orig + h
+		lp := lossOf()
+		ln.Gamma[idx] = orig - h
+		lm := lossOf()
+		ln.Gamma[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-g.DGamma[idx]) > tol {
+			t.Fatalf("dGamma[%d]: %g vs %g", idx, g.DGamma[idx], num)
+		}
+		origB := ln.Beta[idx]
+		ln.Beta[idx] = origB + h
+		lp = lossOf()
+		ln.Beta[idx] = origB - h
+		lm = lossOf()
+		ln.Beta[idx] = origB
+		num = (lp - lm) / (2 * h)
+		if math.Abs(num-g.DBeta[idx]) > tol {
+			t.Fatalf("dBeta[%d]: %g vs %g", idx, g.DBeta[idx], num)
+		}
+	}
+	for _, idx := range []int{0, T*D - 1} {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + h
+		lp := lossOf()
+		x.Data[idx] = orig - h
+		lm := lossOf()
+		x.Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dX.Data[idx]) > tol {
+			t.Fatalf("dX[%d]: %g vs %g", idx, dX.Data[idx], num)
+		}
+	}
+}
+
+func TestFFNGradientCheck(t *testing.T) {
+	const T, D, DH, h, tol = 3, 4, 6, 1e-6, 1e-5
+	f := NewFFN(D, DH)
+	r := rng.New(5)
+	f.Init(r)
+	r.FillUniform(f.B1, -0.1, 0.1)
+	r.FillUniform(f.B2, -0.1, 0.1)
+	x := tensor.New(T, D)
+	r.FillUniform(x.Data, -1, 1)
+	mask := tensor.New(T, D)
+	r.FillUniform(mask.Data, -1, 1)
+
+	lossOf := func() float64 {
+		st := f.NewFFNState(T)
+		f.Forward(x, st)
+		s := 0.0
+		for i, v := range st.Out.Data {
+			s += mask.Data[i] * v
+		}
+		return s
+	}
+
+	st := f.NewFFNState(T)
+	f.Forward(x, st)
+	g := f.NewFFNGrads()
+	dX := tensor.New(T, D)
+	f.Backward(x, st, mask, dX, g)
+
+	checkSlice := func(name string, params, analytic []float64, indices []int) {
+		for _, idx := range indices {
+			orig := params[idx]
+			params[idx] = orig + h
+			lp := lossOf()
+			params[idx] = orig - h
+			lm := lossOf()
+			params[idx] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-analytic[idx]) > tol {
+				t.Fatalf("%s[%d]: %g vs %g", name, idx, analytic[idx], num)
+			}
+		}
+	}
+	checkSlice("W1", f.W1.Data, g.DW1.Data, []int{0, len(f.W1.Data) - 1})
+	checkSlice("B1", f.B1, g.DB1, []int{0, DH - 1})
+	checkSlice("W2", f.W2.Data, g.DW2.Data, []int{0, len(f.W2.Data) - 1})
+	checkSlice("B2", f.B2, g.DB2, []int{0, D - 1})
+	checkSlice("X", x.Data, dX.Data, []int{0, T*D - 1})
+}
+
+func TestBlockGradientCheck(t *testing.T) {
+	const T, D, DH, h, tol = 3, 4, 6, 1e-6, 2e-5
+	b := NewBlock(D, DH, rng.New(7))
+	r := rng.New(8)
+	x := tensor.New(T, D)
+	r.FillUniform(x.Data, -1, 1)
+	mask := tensor.New(T, D)
+	r.FillUniform(mask.Data, -1, 1)
+
+	lossOf := func() float64 {
+		st := b.NewBlockState(T)
+		b.Forward(x, st)
+		s := 0.0
+		for i, v := range st.Out.Data {
+			s += mask.Data[i] * v
+		}
+		return s
+	}
+
+	st := b.NewBlockState(T)
+	b.Forward(x, st)
+	g := b.NewBlockGrads()
+	dX := tensor.New(T, D)
+	b.Backward(x, st, mask, dX, g)
+
+	check := func(name string, params, analytic []float64, indices []int) {
+		t.Helper()
+		for _, idx := range indices {
+			orig := params[idx]
+			params[idx] = orig + h
+			lp := lossOf()
+			params[idx] = orig - h
+			lm := lossOf()
+			params[idx] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-analytic[idx]) > tol {
+				t.Fatalf("%s[%d]: analytic %g numeric %g", name, idx, analytic[idx], num)
+			}
+		}
+	}
+	check("attn.Wq", b.Attn.Wq.Data, g.Attn.DWq.Data, []int{0, len(b.Attn.Wq.Data) - 1})
+	check("attn.Wo", b.Attn.Wo.Data, g.Attn.DWo.Data, []int{0, len(b.Attn.Wo.Data) - 1})
+	check("ln1.Gamma", b.LN1.Gamma, g.LN1.DGamma, []int{0, D - 1})
+	check("ln2.Beta", b.LN2.Beta, g.LN2.DBeta, []int{0, D - 1})
+	check("ffn.W1", b.FFN.W1.Data, g.FFN.DW1.Data, []int{0, len(b.FFN.W1.Data) - 1})
+	check("ffn.W2", b.FFN.W2.Data, g.FFN.DW2.Data, []int{0, len(b.FFN.W2.Data) - 1})
+	check("x", x.Data, dX.Data, []int{0, T * D / 2, T*D - 1})
+}
+
+func TestBlockParamCountAndDeterminism(t *testing.T) {
+	b := NewBlock(8, 16, rng.New(1))
+	want := 4*8*8 + 2*2*8 + (16*8 + 16 + 8*16 + 8)
+	if b.ParamCount() != want {
+		t.Fatalf("params %d want %d", b.ParamCount(), want)
+	}
+	x := tensor.New(5, 8)
+	rng.New(2).FillUniform(x.Data, -1, 1)
+	s1 := b.NewBlockState(5)
+	s2 := b.NewBlockState(5)
+	b.Forward(x, s1)
+	b.Forward(x, s2)
+	if !s1.Out.Equal(s2.Out) {
+		t.Fatal("block forward must be deterministic")
+	}
+}

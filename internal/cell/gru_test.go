@@ -1,0 +1,220 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// gruChainLoss runs a two-timestep GRU chain and returns the masked sum of
+// hidden outputs, for numeric gradient checking.
+func gruChainLoss(w *GRUWeights, xs []*tensor.Matrix, masks []*tensor.Matrix, batch int) float64 {
+	H := w.HiddenSize
+	hPrev := tensor.New(batch, H)
+	loss := 0.0
+	for t := range xs {
+		st := NewGRUState(batch, w.InputSize, H)
+		GRUForward(w, xs[t], hPrev, st)
+		for i, v := range st.H.Data {
+			loss += masks[t].Data[i] * v
+		}
+		hPrev = st.H
+	}
+	return loss
+}
+
+func TestGRUForwardShapesAndRange(t *testing.T) {
+	r := rng.New(1)
+	w := NewGRUWeights(3, 5)
+	w.Init(r)
+	batch := 4
+	x := tensor.New(batch, 3)
+	r.FillUniform(x.Data, -1, 1)
+	st := NewGRUState(batch, 3, 5)
+	GRUForward(w, x, tensor.New(batch, 5), st)
+	for _, v := range st.H.Data {
+		if math.Abs(v) >= 1 || math.IsNaN(v) {
+			t.Fatalf("H out of range: %g", v)
+		}
+	}
+	for _, v := range st.ZR.Data {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("gate out of (0,1): %g", v)
+		}
+	}
+}
+
+func TestGRUInterpolationProperty(t *testing.T) {
+	// Equation 10: h is an element-wise convex combination of hbar and
+	// hPrev, so it must lie between them.
+	r := rng.New(2)
+	w := NewGRUWeights(4, 6)
+	w.Init(r)
+	batch := 3
+	x := tensor.New(batch, 4)
+	r.FillUniform(x.Data, -1, 1)
+	hPrev := tensor.New(batch, 6)
+	r.FillUniform(hPrev.Data, -1, 1)
+	st := NewGRUState(batch, 4, 6)
+	GRUForward(w, x, hPrev, st)
+	for i, h := range st.H.Data {
+		lo := math.Min(st.HBar.Data[i], hPrev.Data[i])
+		hi := math.Max(st.HBar.Data[i], hPrev.Data[i])
+		if h < lo-1e-12 || h > hi+1e-12 {
+			t.Fatalf("h[%d]=%g outside [%g,%g]", i, h, lo, hi)
+		}
+	}
+}
+
+func TestGRUGradientCheck(t *testing.T) {
+	const (
+		batch = 2
+		in    = 3
+		hid   = 4
+		steps = 2
+		h     = 1e-6
+		tol   = 1e-5
+	)
+	r := rng.New(9)
+	w := NewGRUWeights(in, hid)
+	w.Init(r)
+	xs := make([]*tensor.Matrix, steps)
+	masks := make([]*tensor.Matrix, steps)
+	for t0 := 0; t0 < steps; t0++ {
+		xs[t0] = tensor.New(batch, in)
+		r.FillUniform(xs[t0].Data, -1, 1)
+		masks[t0] = tensor.New(batch, hid)
+		r.FillUniform(masks[t0].Data, -1, 1)
+	}
+
+	grads := NewGRUGrads(w)
+	hPrev := tensor.New(batch, hid)
+	states := make([]*GRUState, steps)
+	hPrevs := make([]*tensor.Matrix, steps)
+	for t0 := 0; t0 < steps; t0++ {
+		states[t0] = NewGRUState(batch, in, hid)
+		hPrevs[t0] = hPrev
+		GRUForward(w, xs[t0], hPrev, states[t0])
+		hPrev = states[t0].H
+	}
+	dXs := make([]*tensor.Matrix, steps)
+	dH := tensor.New(batch, hid)
+	dHPrev := tensor.New(batch, hid)
+	for t0 := steps - 1; t0 >= 0; t0-- {
+		for i := range dH.Data {
+			dH.Data[i] = masks[t0].Data[i]
+		}
+		if t0 < steps-1 {
+			tensor.AddAcc(dH, dHPrev)
+		}
+		dXs[t0] = tensor.New(batch, in)
+		newDHPrev := tensor.New(batch, hid)
+		GRUBackward(w, states[t0], hPrevs[t0], dH, dXs[t0], newDHPrev, grads)
+		dHPrev = newDHPrev
+	}
+
+	for _, idx := range []int{0, 5, hid*(in+hid) + 2, 2*hid*(in+hid) + 1, len(w.W.Data) - 1} {
+		orig := w.W.Data[idx]
+		w.W.Data[idx] = orig + h
+		lp := gruChainLoss(w, xs, masks, batch)
+		w.W.Data[idx] = orig - h
+		lm := gruChainLoss(w, xs, masks, batch)
+		w.W.Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grads.DW.Data[idx]) > tol {
+			t.Fatalf("dW[%d]: analytic %g numeric %g", idx, grads.DW.Data[idx], num)
+		}
+	}
+	for _, idx := range []int{0, hid, 2*hid + 1, len(w.B) - 1} {
+		orig := w.B[idx]
+		w.B[idx] = orig + h
+		lp := gruChainLoss(w, xs, masks, batch)
+		w.B[idx] = orig - h
+		lm := gruChainLoss(w, xs, masks, batch)
+		w.B[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grads.DB[idx]) > tol {
+			t.Fatalf("dB[%d]: analytic %g numeric %g", idx, grads.DB[idx], num)
+		}
+	}
+	for _, idx := range []int{0, batch*in - 1} {
+		orig := xs[0].Data[idx]
+		xs[0].Data[idx] = orig + h
+		lp := gruChainLoss(w, xs, masks, batch)
+		xs[0].Data[idx] = orig - h
+		lm := gruChainLoss(w, xs, masks, batch)
+		xs[0].Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dXs[0].Data[idx]) > tol {
+			t.Fatalf("dX0[%d]: analytic %g numeric %g", idx, dXs[0].Data[idx], num)
+		}
+	}
+}
+
+func TestGRUParamCountMatchesPaper(t *testing.T) {
+	// 6-layer BGRU, input 256, hidden 256, sum merge: paper reports 4.7M.
+	w := NewGRUWeights(256, 256)
+	per := 3*256*512 + 3*256
+	if w.ParamCount() != per {
+		t.Fatalf("ParamCount %d want %d", w.ParamCount(), per)
+	}
+	total := 6 * 2 * per
+	if total != 4727808 { // 4.7M
+		t.Fatalf("6-layer BGRU params %d, want 4727808", total)
+	}
+}
+
+func TestGRUDeterministic(t *testing.T) {
+	r := rng.New(4)
+	w := NewGRUWeights(3, 3)
+	w.Init(r)
+	x := tensor.New(2, 3)
+	r.FillUniform(x.Data, -1, 1)
+	h0 := tensor.New(2, 3)
+	s1, s2 := NewGRUState(2, 3, 3), NewGRUState(2, 3, 3)
+	GRUForward(w, x, h0, s1)
+	GRUForward(w, x, h0, s2)
+	if !s1.H.Equal(s2.H) {
+		t.Fatal("forward must be deterministic")
+	}
+}
+
+func TestGRUGradsZero(t *testing.T) {
+	w := NewGRUWeights(2, 2)
+	g := NewGRUGrads(w)
+	g.DW.Fill(1)
+	g.DB[1] = 2
+	g.Zero()
+	if g.DW.SumAbs() != 0 || g.DB[1] != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestGRUFlopsEstimates(t *testing.T) {
+	f := GRUForwardFlops(128, 256, 256)
+	b := GRUBackwardFlops(128, 256, 256)
+	l := LSTMForwardFlops(128, 256, 256)
+	if f <= 0 || b <= f {
+		t.Fatal("GRU flops inconsistent")
+	}
+	if f >= l {
+		t.Fatal("GRU must be cheaper than LSTM at same dims")
+	}
+	if GRUWorkingSetBytes(128, 256, 256) <= 0 {
+		t.Fatal("working set must be positive")
+	}
+	if NewGRUState(4, 3, 5).WorkingSetBytes() <= 0 {
+		t.Fatal("state working set must be positive")
+	}
+}
+
+func TestNewGRUWeightsPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGRUWeights(3, -1)
+}

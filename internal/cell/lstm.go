@@ -1,0 +1,243 @@
+// Package cell implements the LSTM and GRU cell mathematics of the paper's
+// Equations 1-6 and 7-10, in the fused-gate formulation used by production
+// frameworks: the four LSTM gates (respectively three GRU gates) share one
+// weight matrix so each cell update is dominated by a single GEMM.
+//
+// Every function here is sequential. A B-Par task wraps exactly one call
+// (one cell update for one mini-batch), so the package also provides flop
+// and working-set estimators that parameterize the task cost model.
+package cell
+
+import (
+	"fmt"
+
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// Gate row order inside the fused LSTM weight matrix: forget, input,
+// candidate (c-bar), output — matching the order of Equations 1-4.
+const (
+	lstmGateF = 0
+	lstmGateI = 1
+	lstmGateG = 2
+	lstmGateO = 3
+	lstmGates = 4
+)
+
+// LSTMWeights holds one direction of one layer's parameters.
+// W is [4H x (In+H)] with gate blocks in f, i, g, o order; the column space
+// is the concatenation [X_t, H_{t-1}] of Equations 1-4. B is the fused bias.
+type LSTMWeights struct {
+	InputSize, HiddenSize int
+	W                     *tensor.Matrix
+	B                     []float64
+}
+
+// NewLSTMWeights allocates zeroed weights.
+func NewLSTMWeights(inputSize, hiddenSize int) *LSTMWeights {
+	if inputSize <= 0 || hiddenSize <= 0 {
+		panic(fmt.Sprintf("cell: invalid LSTM dims in=%d hidden=%d", inputSize, hiddenSize))
+	}
+	return &LSTMWeights{
+		InputSize:  inputSize,
+		HiddenSize: hiddenSize,
+		W:          tensor.New(lstmGates*hiddenSize, inputSize+hiddenSize),
+		B:          make([]float64, lstmGates*hiddenSize),
+	}
+}
+
+// Init fills the weights with scaled uniform values (Xavier/Glorot) and sets
+// the forget-gate bias to one, the standard trick that keeps early training
+// stable.
+func (w *LSTMWeights) Init(r *rng.RNG) {
+	fanIn := float64(w.InputSize + w.HiddenSize)
+	scale := 1.0 / sqrt(fanIn)
+	r.FillUniform(w.W.Data, -scale, scale)
+	for i := range w.B {
+		w.B[i] = 0
+	}
+	for j := 0; j < w.HiddenSize; j++ {
+		w.B[lstmGateF*w.HiddenSize+j] = 1
+	}
+}
+
+// ParamCount returns the number of trainable parameters in this direction of
+// this layer.
+func (w *LSTMWeights) ParamCount() int { return len(w.W.Data) + len(w.B) }
+
+// LSTMState caches everything one forward cell update produces that its
+// backward counterpart needs: the concatenated input, post-activation gates,
+// the cell state, its tanh, and the hidden output.
+type LSTMState struct {
+	// Z is the concatenation [X_t, H_{t-1}], shape [batch x (In+H)].
+	Z *tensor.Matrix
+	// Gates holds post-activation f,i,g,o blocks, shape [batch x 4H].
+	Gates *tensor.Matrix
+	// C is the cell state C_t; TanhC caches tanh(C_t); H is the output H_t.
+	C, TanhC, H *tensor.Matrix
+}
+
+// NewLSTMState allocates the per-cell activation buffers for a batch.
+func NewLSTMState(batch, inputSize, hiddenSize int) *LSTMState {
+	return &LSTMState{
+		Z:     tensor.New(batch, inputSize+hiddenSize),
+		Gates: tensor.New(batch, lstmGates*hiddenSize),
+		C:     tensor.New(batch, hiddenSize),
+		TanhC: tensor.New(batch, hiddenSize),
+		H:     tensor.New(batch, hiddenSize),
+	}
+}
+
+// WorkingSetBytes estimates the bytes this state occupies.
+func (s *LSTMState) WorkingSetBytes() int64 {
+	return 8 * int64(len(s.Z.Data)+len(s.Gates.Data)+len(s.C.Data)+len(s.TanhC.Data)+len(s.H.Data))
+}
+
+// LSTMForward computes Equations 1-6 for one cell and one mini-batch:
+//
+//	f = sigm(Wf*[x,hPrev]+bf)   i = sigm(Wi*[x,hPrev]+bi)
+//	g = tanh(Wc*[x,hPrev]+bc)   o = sigm(Wo*[x,hPrev]+bo)
+//	c = f ⊙ cPrev + i ⊙ g       h = o ⊙ tanh(c)
+//
+// x is [batch x In]; hPrev and cPrev are [batch x H] (zeros at t=0).
+// Results and caches land in st.
+func LSTMForward(w *LSTMWeights, x, hPrev, cPrev *tensor.Matrix, st *LSTMState) {
+	H := w.HiddenSize
+	tensor.ConcatCols(st.Z, x, hPrev)
+	// Fused gate GEMM: Gates = Z * W^T + B.
+	tensor.MatMulT(st.Gates, st.Z, w.W)
+	tensor.AddBiasRows(st.Gates, w.B)
+
+	batch := x.Rows
+	for r := 0; r < batch; r++ {
+		row := st.Gates.Row(r)
+		tensor.SigmoidSlice(row[lstmGateF*H : (lstmGateF+1)*H])
+		tensor.SigmoidSlice(row[lstmGateI*H : (lstmGateI+1)*H])
+		tensor.TanhSlice(row[lstmGateG*H : (lstmGateG+1)*H])
+		tensor.SigmoidSlice(row[lstmGateO*H : (lstmGateO+1)*H])
+
+		c := st.C.Row(r)
+		tc := st.TanhC.Row(r)
+		h := st.H.Row(r)
+		cp := cPrev.Row(r)
+		f := row[lstmGateF*H : (lstmGateF+1)*H]
+		i := row[lstmGateI*H : (lstmGateI+1)*H]
+		g := row[lstmGateG*H : (lstmGateG+1)*H]
+		o := row[lstmGateO*H : (lstmGateO+1)*H]
+		for j := 0; j < H; j++ {
+			c[j] = f[j]*cp[j] + i[j]*g[j] // Equation 5
+			tc[j] = tanh(c[j])
+			h[j] = o[j] * tc[j] // Equation 6
+		}
+	}
+}
+
+// LSTMGrads accumulates weight gradients for one direction of one layer.
+// B-Par serializes accumulation with an inout dependency on the structure,
+// so no internal locking is needed and the summation order is deterministic.
+type LSTMGrads struct {
+	DW *tensor.Matrix
+	DB []float64
+}
+
+// NewLSTMGrads allocates zeroed gradients matching w.
+func NewLSTMGrads(w *LSTMWeights) *LSTMGrads {
+	return &LSTMGrads{
+		DW: tensor.New(w.W.Rows, w.W.Cols),
+		DB: make([]float64, len(w.B)),
+	}
+}
+
+// Zero clears the accumulated gradients.
+func (g *LSTMGrads) Zero() {
+	g.DW.Zero()
+	for i := range g.DB {
+		g.DB[i] = 0
+	}
+}
+
+// LSTMBackward computes one cell's contribution to backward propagation.
+// Inputs: the forward cache st, the previous cell state cPrev, and the
+// incoming gradients dH (w.r.t. H_t, already summed over all consumers) and
+// dC (w.r.t. C_t from the t+1 cell; may be nil at the last timestep).
+// Outputs: dX (gradient to the layer below / merge cell), dHPrev and dCPrev
+// (gradients to the t-1 cell), written into the provided matrices; weight
+// gradients accumulate into grads.
+func LSTMBackward(w *LSTMWeights, st *LSTMState, cPrev, dH, dC, dX, dHPrev, dCPrev *tensor.Matrix, grads *LSTMGrads) {
+	H := w.HiddenSize
+	batch := dH.Rows
+	dGates := tensor.New(batch, lstmGates*H)
+
+	for r := 0; r < batch; r++ {
+		row := st.Gates.Row(r)
+		f := row[lstmGateF*H : (lstmGateF+1)*H]
+		i := row[lstmGateI*H : (lstmGateI+1)*H]
+		g := row[lstmGateG*H : (lstmGateG+1)*H]
+		o := row[lstmGateO*H : (lstmGateO+1)*H]
+		tc := st.TanhC.Row(r)
+		cp := cPrev.Row(r)
+		dh := dH.Row(r)
+		dg := dGates.Row(r)
+		dcp := dCPrev.Row(r)
+		var dcNext []float64
+		if dC != nil {
+			dcNext = dC.Row(r)
+		}
+		for j := 0; j < H; j++ {
+			// dC_t = dH ⊙ o ⊙ (1 - tanh²(c)) + dC_{t+1 path}
+			dc := dh[j] * o[j] * tensor.DTanhFromY(tc[j])
+			if dcNext != nil {
+				dc += dcNext[j]
+			}
+			dg[lstmGateF*H+j] = dc * cp[j] * tensor.DSigmoidFromY(f[j])
+			dg[lstmGateI*H+j] = dc * g[j] * tensor.DSigmoidFromY(i[j])
+			dg[lstmGateG*H+j] = dc * i[j] * tensor.DTanhFromY(g[j])
+			dg[lstmGateO*H+j] = dh[j] * tc[j] * tensor.DSigmoidFromY(o[j])
+			dcp[j] = dc * f[j]
+		}
+	}
+
+	// dW += dGates^T * Z ; dB += column sums of dGates.
+	tensor.GemmATAcc(grads.DW, dGates, st.Z)
+	for r := 0; r < batch; r++ {
+		row := dGates.Row(r)
+		for j, v := range row {
+			grads.DB[j] += v
+		}
+	}
+
+	// dZ = dGates * W, then split into dX and dHPrev.
+	dZ := tensor.New(batch, w.InputSize+H)
+	tensor.MatMul(dZ, dGates, w.W)
+	tensor.SplitCols(dZ, dX, dHPrev)
+}
+
+// LSTMForwardFlops estimates the floating-point operations of one forward
+// cell update: the fused GEMM dominates.
+func LSTMForwardFlops(batch, inputSize, hiddenSize int) float64 {
+	gemm := 2.0 * float64(batch) * float64(inputSize+hiddenSize) * float64(lstmGates*hiddenSize)
+	elem := 12.0 * float64(batch) * float64(hiddenSize)
+	return gemm + elem
+}
+
+// LSTMBackwardFlops estimates one backward cell update (two GEMMs: dW and dZ).
+func LSTMBackwardFlops(batch, inputSize, hiddenSize int) float64 {
+	gemm := 4.0 * float64(batch) * float64(inputSize+hiddenSize) * float64(lstmGates*hiddenSize)
+	elem := 20.0 * float64(batch) * float64(hiddenSize)
+	return gemm + elem
+}
+
+// LSTMWorkingSetBytes estimates the bytes one cell task touches: weights,
+// activations and caches. The paper reports 4.71 MB for batch 128, input 64,
+// hidden 512.
+func LSTMWorkingSetBytes(batch, inputSize, hiddenSize int) int64 {
+	weights := int64(lstmGates*hiddenSize*(inputSize+hiddenSize)+lstmGates*hiddenSize) * 8
+	acts := int64(batch*(inputSize+hiddenSize)+batch*lstmGates*hiddenSize+3*batch*hiddenSize) * 8
+	return weights + acts
+}
+
+func sqrt(x float64) float64 {
+	// Tiny wrapper so the file reads without importing math twice elsewhere.
+	return mathSqrt(x)
+}

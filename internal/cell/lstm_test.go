@@ -1,0 +1,255 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// lstmChainLoss runs a two-timestep LSTM chain with the given weights and
+// inputs and returns loss = Σ_t Σ_ij mask_t[ij] * H_t[ij]. Used as the
+// scalar function for numeric gradient checking.
+func lstmChainLoss(w *LSTMWeights, xs []*tensor.Matrix, masks []*tensor.Matrix, batch int) float64 {
+	H := w.HiddenSize
+	hPrev := tensor.New(batch, H)
+	cPrev := tensor.New(batch, H)
+	loss := 0.0
+	for t := range xs {
+		st := NewLSTMState(batch, w.InputSize, H)
+		LSTMForward(w, xs[t], hPrev, cPrev, st)
+		for i, v := range st.H.Data {
+			loss += masks[t].Data[i] * v
+		}
+		hPrev, cPrev = st.H, st.C
+	}
+	return loss
+}
+
+func TestLSTMForwardShapesAndRange(t *testing.T) {
+	r := rng.New(1)
+	w := NewLSTMWeights(3, 5)
+	w.Init(r)
+	batch := 4
+	x := tensor.New(batch, 3)
+	r.FillUniform(x.Data, -1, 1)
+	hPrev := tensor.New(batch, 5)
+	cPrev := tensor.New(batch, 5)
+	st := NewLSTMState(batch, 3, 5)
+	LSTMForward(w, x, hPrev, cPrev, st)
+	for _, v := range st.H.Data {
+		if v <= -1 || v >= 1 || math.IsNaN(v) {
+			t.Fatalf("H out of (-1,1): %g", v)
+		}
+	}
+	// Gate cache must be post-activation: f,i,o in (0,1), g in (-1,1).
+	Hd := 5
+	for rI := 0; rI < batch; rI++ {
+		row := st.Gates.Row(rI)
+		for j := 0; j < Hd; j++ {
+			for _, g := range []float64{row[lstmGateF*Hd+j], row[lstmGateI*Hd+j], row[lstmGateO*Hd+j]} {
+				if g <= 0 || g >= 1 {
+					t.Fatalf("sigmoid gate out of range: %g", g)
+				}
+			}
+			if gg := row[lstmGateG*Hd+j]; gg <= -1 || gg >= 1 {
+				t.Fatalf("tanh gate out of range: %g", gg)
+			}
+		}
+	}
+}
+
+func TestLSTMZeroStateFirstStep(t *testing.T) {
+	// With hPrev = cPrev = 0 the cell must still be well-defined and
+	// c = i ⊙ g exactly (forget path contributes nothing).
+	r := rng.New(2)
+	w := NewLSTMWeights(2, 3)
+	w.Init(r)
+	x := tensor.New(1, 2)
+	r.FillUniform(x.Data, -1, 1)
+	st := NewLSTMState(1, 2, 3)
+	LSTMForward(w, x, tensor.New(1, 3), tensor.New(1, 3), st)
+	row := st.Gates.Row(0)
+	for j := 0; j < 3; j++ {
+		want := row[lstmGateI*3+j] * row[lstmGateG*3+j]
+		if math.Abs(st.C.At(0, j)-want) > 1e-14 {
+			t.Fatalf("c != i*g at t=0: %g vs %g", st.C.At(0, j), want)
+		}
+	}
+}
+
+func TestLSTMForwardDeterministic(t *testing.T) {
+	r := rng.New(3)
+	w := NewLSTMWeights(4, 4)
+	w.Init(r)
+	x := tensor.New(2, 4)
+	r.FillUniform(x.Data, -1, 1)
+	h0, c0 := tensor.New(2, 4), tensor.New(2, 4)
+	s1 := NewLSTMState(2, 4, 4)
+	s2 := NewLSTMState(2, 4, 4)
+	LSTMForward(w, x, h0, c0, s1)
+	LSTMForward(w, x, h0, c0, s2)
+	if !s1.H.Equal(s2.H) || !s1.C.Equal(s2.C) {
+		t.Fatal("forward must be bitwise deterministic")
+	}
+}
+
+func TestLSTMGradientCheck(t *testing.T) {
+	const (
+		batch = 2
+		in    = 3
+		hid   = 4
+		steps = 2
+		h     = 1e-6
+		tol   = 1e-5
+	)
+	r := rng.New(7)
+	w := NewLSTMWeights(in, hid)
+	w.Init(r)
+	xs := make([]*tensor.Matrix, steps)
+	masks := make([]*tensor.Matrix, steps)
+	for t0 := 0; t0 < steps; t0++ {
+		xs[t0] = tensor.New(batch, in)
+		r.FillUniform(xs[t0].Data, -1, 1)
+		masks[t0] = tensor.New(batch, hid)
+		r.FillUniform(masks[t0].Data, -1, 1)
+	}
+
+	// Analytic gradients: forward caching states, then BPTT.
+	grads := NewLSTMGrads(w)
+	hPrev := tensor.New(batch, hid)
+	cPrev := tensor.New(batch, hid)
+	states := make([]*LSTMState, steps)
+	cPrevs := make([]*tensor.Matrix, steps)
+	for t0 := 0; t0 < steps; t0++ {
+		states[t0] = NewLSTMState(batch, in, hid)
+		cPrevs[t0] = cPrev
+		LSTMForward(w, xs[t0], hPrev, cPrev, states[t0])
+		hPrev, cPrev = states[t0].H, states[t0].C
+	}
+	dXs := make([]*tensor.Matrix, steps)
+	dH := tensor.New(batch, hid)
+	var dC *tensor.Matrix
+	dHPrev := tensor.New(batch, hid)
+	dCPrev := tensor.New(batch, hid)
+	for t0 := steps - 1; t0 >= 0; t0-- {
+		// dH = mask_t + gradient flowing from t+1.
+		for i := range dH.Data {
+			dH.Data[i] = masks[t0].Data[i]
+		}
+		if t0 < steps-1 {
+			tensor.AddAcc(dH, dHPrev)
+		}
+		dXs[t0] = tensor.New(batch, in)
+		newDHPrev := tensor.New(batch, hid)
+		newDCPrev := tensor.New(batch, hid)
+		LSTMBackward(w, states[t0], cPrevs[t0], dH, dC, dXs[t0], newDHPrev, newDCPrev, grads)
+		dHPrev, dCPrev = newDHPrev, newDCPrev
+		dC = dCPrev
+	}
+
+	// Numeric check of dW.
+	for _, idx := range []int{0, 1, 7, hid*(in+hid) + 3, 2*hid*(in+hid) + 5, len(w.W.Data) - 1} {
+		orig := w.W.Data[idx]
+		w.W.Data[idx] = orig + h
+		lp := lstmChainLoss(w, xs, masks, batch)
+		w.W.Data[idx] = orig - h
+		lm := lstmChainLoss(w, xs, masks, batch)
+		w.W.Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grads.DW.Data[idx]) > tol {
+			t.Fatalf("dW[%d]: analytic %g numeric %g", idx, grads.DW.Data[idx], num)
+		}
+	}
+	// Numeric check of dB.
+	for _, idx := range []int{0, hid + 1, 2*hid + 2, len(w.B) - 1} {
+		orig := w.B[idx]
+		w.B[idx] = orig + h
+		lp := lstmChainLoss(w, xs, masks, batch)
+		w.B[idx] = orig - h
+		lm := lstmChainLoss(w, xs, masks, batch)
+		w.B[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grads.DB[idx]) > tol {
+			t.Fatalf("dB[%d]: analytic %g numeric %g", idx, grads.DB[idx], num)
+		}
+	}
+	// Numeric check of dX at t=0 (flows through both timesteps).
+	for _, idx := range []int{0, batch*in - 1} {
+		orig := xs[0].Data[idx]
+		xs[0].Data[idx] = orig + h
+		lp := lstmChainLoss(w, xs, masks, batch)
+		xs[0].Data[idx] = orig - h
+		lm := lstmChainLoss(w, xs, masks, batch)
+		xs[0].Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dXs[0].Data[idx]) > tol {
+			t.Fatalf("dX0[%d]: analytic %g numeric %g", idx, dXs[0].Data[idx], num)
+		}
+	}
+}
+
+func TestLSTMParamCountMatchesPaper(t *testing.T) {
+	// 6-layer BLSTM, input 256, hidden 256, sum merge: paper reports 6.3M.
+	// Per direction per layer with in=256: 4*256*(512)+4*256 = 525,312.
+	w := NewLSTMWeights(256, 256)
+	if w.ParamCount() != 4*256*512+4*256 {
+		t.Fatalf("ParamCount %d", w.ParamCount())
+	}
+	total := 6 * 2 * w.ParamCount()
+	if total != 6303744 { // 6.3M
+		t.Fatalf("6-layer BLSTM params %d, want 6303744", total)
+	}
+}
+
+func TestLSTMInitForgetBias(t *testing.T) {
+	w := NewLSTMWeights(4, 3)
+	w.Init(rng.New(5))
+	for j := 0; j < 3; j++ {
+		if w.B[lstmGateF*3+j] != 1 {
+			t.Fatal("forget bias must init to 1")
+		}
+	}
+	for j := 0; j < 3; j++ {
+		if w.B[lstmGateI*3+j] != 0 || w.B[lstmGateO*3+j] != 0 {
+			t.Fatal("other biases must init to 0")
+		}
+	}
+}
+
+func TestLSTMGradsZero(t *testing.T) {
+	w := NewLSTMWeights(2, 2)
+	g := NewLSTMGrads(w)
+	g.DW.Fill(3)
+	g.DB[0] = 4
+	g.Zero()
+	if g.DW.SumAbs() != 0 || g.DB[0] != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestLSTMFlopsAndWorkingSetPositive(t *testing.T) {
+	if LSTMForwardFlops(128, 64, 512) <= 0 || LSTMBackwardFlops(128, 64, 512) <= LSTMForwardFlops(128, 64, 512) {
+		t.Fatal("flops estimates inconsistent")
+	}
+	// Paper: batch 128, input 64, hidden 512 → ~4.71 MB per LSTM task.
+	ws := LSTMWorkingSetBytes(128, 64, 512)
+	mb := float64(ws) / (1 << 20)
+	if mb < 3 || mb > 15 {
+		t.Fatalf("working set estimate %f MB implausible vs paper's 4.71 MB scale", mb)
+	}
+	st := NewLSTMState(128, 64, 512)
+	if st.WorkingSetBytes() <= 0 {
+		t.Fatal("state working set must be positive")
+	}
+}
+
+func TestNewLSTMWeightsPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLSTMWeights(0, 4)
+}

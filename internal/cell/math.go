@@ -1,0 +1,6 @@
+package cell
+
+import "math"
+
+func tanh(x float64) float64     { return math.Tanh(x) }
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }

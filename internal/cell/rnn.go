@@ -1,0 +1,137 @@
+package cell
+
+import (
+	"fmt"
+
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// RNNWeights holds one direction of one layer's vanilla (Elman) RNN
+// parameters: the paper's "basic RNN unit", of which LSTM and GRU are the
+// gated variants. W is [H x (In+H)] over the concatenation [X_t, H_{t-1}];
+// B is the bias.
+type RNNWeights struct {
+	InputSize, HiddenSize int
+	W                     *tensor.Matrix
+	B                     []float64
+}
+
+// NewRNNWeights allocates zeroed weights.
+func NewRNNWeights(inputSize, hiddenSize int) *RNNWeights {
+	if inputSize <= 0 || hiddenSize <= 0 {
+		panic(fmt.Sprintf("cell: invalid RNN dims in=%d hidden=%d", inputSize, hiddenSize))
+	}
+	return &RNNWeights{
+		InputSize:  inputSize,
+		HiddenSize: hiddenSize,
+		W:          tensor.New(hiddenSize, inputSize+hiddenSize),
+		B:          make([]float64, hiddenSize),
+	}
+}
+
+// Init fills the weights with scaled uniform values (Xavier/Glorot).
+func (w *RNNWeights) Init(r *rng.RNG) {
+	scale := 1.0 / mathSqrt(float64(w.InputSize+w.HiddenSize))
+	r.FillUniform(w.W.Data, -scale, scale)
+	for i := range w.B {
+		w.B[i] = 0
+	}
+}
+
+// ParamCount returns the number of trainable parameters.
+func (w *RNNWeights) ParamCount() int { return len(w.W.Data) + len(w.B) }
+
+// RNNState caches one cell update: the concatenated input and the output.
+type RNNState struct {
+	// Z is [X_t, H_{t-1}], shape [batch x (In+H)].
+	Z *tensor.Matrix
+	// H is tanh(W*Z + B), shape [batch x H].
+	H *tensor.Matrix
+}
+
+// NewRNNState allocates the per-cell buffers for a batch.
+func NewRNNState(batch, inputSize, hiddenSize int) *RNNState {
+	return &RNNState{
+		Z: tensor.New(batch, inputSize+hiddenSize),
+		H: tensor.New(batch, hiddenSize),
+	}
+}
+
+// WorkingSetBytes estimates the bytes this state occupies.
+func (s *RNNState) WorkingSetBytes() int64 {
+	return 8 * int64(len(s.Z.Data)+len(s.H.Data))
+}
+
+// RNNForward computes h = tanh(W*[x, hPrev] + b) for one cell and batch.
+func RNNForward(w *RNNWeights, x, hPrev *tensor.Matrix, st *RNNState) {
+	tensor.ConcatCols(st.Z, x, hPrev)
+	tensor.MatMulT(st.H, st.Z, w.W)
+	tensor.AddBiasRows(st.H, w.B)
+	tensor.TanhInPlace(st.H)
+}
+
+// RNNGrads accumulates weight gradients for one direction of one layer.
+type RNNGrads struct {
+	DW *tensor.Matrix
+	DB []float64
+}
+
+// NewRNNGrads allocates zeroed gradients matching w.
+func NewRNNGrads(w *RNNWeights) *RNNGrads {
+	return &RNNGrads{DW: tensor.New(w.W.Rows, w.W.Cols), DB: make([]float64, len(w.B))}
+}
+
+// Zero clears the accumulated gradients.
+func (g *RNNGrads) Zero() {
+	g.DW.Zero()
+	for i := range g.DB {
+		g.DB[i] = 0
+	}
+}
+
+// RNNBackward computes one cell's BPTT step: dH is the incoming gradient
+// w.r.t. H_t; dX and dHPrev receive input gradients; weight gradients
+// accumulate into grads.
+func RNNBackward(w *RNNWeights, st *RNNState, dH, dX, dHPrev *tensor.Matrix, grads *RNNGrads) {
+	batch := dH.Rows
+	H := w.HiddenSize
+	dPre := tensor.New(batch, H)
+	for r := 0; r < batch; r++ {
+		h := st.H.Row(r)
+		dh := dH.Row(r)
+		dp := dPre.Row(r)
+		for j := 0; j < H; j++ {
+			dp[j] = dh[j] * tensor.DTanhFromY(h[j])
+		}
+	}
+	tensor.GemmATAcc(grads.DW, dPre, st.Z)
+	for r := 0; r < batch; r++ {
+		row := dPre.Row(r)
+		for j, v := range row {
+			grads.DB[j] += v
+		}
+	}
+	dZ := tensor.New(batch, w.InputSize+H)
+	tensor.MatMul(dZ, dPre, w.W)
+	tensor.SplitCols(dZ, dX, dHPrev)
+}
+
+// RNNForwardFlops estimates one forward cell update.
+func RNNForwardFlops(batch, inputSize, hiddenSize int) float64 {
+	gemm := 2.0 * float64(batch) * float64(inputSize+hiddenSize) * float64(hiddenSize)
+	return gemm + 2.0*float64(batch)*float64(hiddenSize)
+}
+
+// RNNBackwardFlops estimates one backward cell update.
+func RNNBackwardFlops(batch, inputSize, hiddenSize int) float64 {
+	gemm := 4.0 * float64(batch) * float64(inputSize+hiddenSize) * float64(hiddenSize)
+	return gemm + 4.0*float64(batch)*float64(hiddenSize)
+}
+
+// RNNWorkingSetBytes estimates the bytes one cell task touches.
+func RNNWorkingSetBytes(batch, inputSize, hiddenSize int) int64 {
+	weights := int64(hiddenSize*(inputSize+hiddenSize)+hiddenSize) * 8
+	acts := int64(batch*(inputSize+hiddenSize)+batch*hiddenSize) * 8
+	return weights + acts
+}

@@ -1,0 +1,224 @@
+// Package core implements B-Par, the paper's primary contribution: a
+// barrier-free parallel execution model for bidirectional LSTM and GRU
+// networks. A BRNN is unrolled into a DAG in which every node is one of
+//
+//   - a forward-order cell update (Equations 1-6 or 7-10),
+//   - a reverse-order cell update,
+//   - a merge cell combining the two directions (Equation 11), or
+//   - a classifier-head cell,
+//
+// and every node is emitted as a taskrt.Task whose In/Out annotations encode
+// exactly the arrows of the paper's Figure 2. The run-time system then
+// schedules cells the moment their data dependencies are satisfied — forward
+// cells, reverse cells, merge cells and cells of *different layers* all
+// overlap, with no per-layer barrier anywhere.
+//
+// The same emission can be pointed at the native goroutine runtime, an
+// inline sequential executor (the bitwise reference), or a graph recorder
+// feeding the discrete-event simulator.
+package core
+
+import (
+	"fmt"
+)
+
+// CellKind selects the recurrent cell type.
+type CellKind int
+
+const (
+	// LSTM uses Equations 1-6.
+	LSTM CellKind = iota
+	// GRU uses Equations 7-10.
+	GRU
+	// RNN is the basic (Elman) recurrent unit the paper's Section II
+	// names as the third cell family BRNNs are built from.
+	RNN
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case LSTM:
+		return "LSTM"
+	case GRU:
+		return "GRU"
+	case RNN:
+		return "RNN"
+	default:
+		return fmt.Sprintf("CellKind(%d)", int(k))
+	}
+}
+
+// Arch selects the BRNN output architecture.
+type Arch int
+
+const (
+	// ManyToOne produces a single output from the whole sequence (the
+	// TIDIGITS speech-recognition configuration).
+	ManyToOne Arch = iota
+	// ManyToMany produces one output per timestep (the Wikipedia
+	// next-character-prediction configuration).
+	ManyToMany
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ManyToOne:
+		return "many-to-one"
+	case ManyToMany:
+		return "many-to-many"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// MergeOp selects how Equation 11 combines forward and reverse outputs.
+type MergeOp int
+
+const (
+	// MergeSum adds the two directions (the default; it reproduces the
+	// paper's parameter counts exactly).
+	MergeSum MergeOp = iota
+	// MergeAvg averages the two directions.
+	MergeAvg
+	// MergeMul multiplies the two directions element-wise.
+	MergeMul
+	// MergeConcat concatenates the two directions, doubling the width fed
+	// to the next layer.
+	MergeConcat
+)
+
+func (m MergeOp) String() string {
+	switch m {
+	case MergeSum:
+		return "sum"
+	case MergeAvg:
+		return "avg"
+	case MergeMul:
+		return "mul"
+	case MergeConcat:
+		return "concat"
+	default:
+		return fmt.Sprintf("MergeOp(%d)", int(m))
+	}
+}
+
+// Config describes one BRNN model and workload.
+type Config struct {
+	Cell  CellKind
+	Arch  Arch
+	Merge MergeOp
+
+	// InputSize is the per-timestep feature width; HiddenSize the cell
+	// width; Layers the stacked depth; SeqLen the unrolled timestep count;
+	// Batch the number of sequences per training batch.
+	InputSize, HiddenSize, Layers, SeqLen, Batch int
+
+	// Classes is the classifier-head output width (digit labels for
+	// TIDIGITS, vocabulary size for next-character prediction).
+	Classes int
+
+	// MiniBatches is the data-parallel split: the batch is divided into
+	// this many mini-batches whose task graphs run concurrently (the
+	// paper's mbs:N). 1 disables data parallelism.
+	MiniBatches int
+
+	// Seed drives deterministic weight initialization.
+	Seed uint64
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.InputSize <= 0:
+		return fmt.Errorf("core: InputSize must be positive, got %d", c.InputSize)
+	case c.HiddenSize <= 0:
+		return fmt.Errorf("core: HiddenSize must be positive, got %d", c.HiddenSize)
+	case c.Layers <= 0:
+		return fmt.Errorf("core: Layers must be positive, got %d", c.Layers)
+	case c.SeqLen <= 0:
+		return fmt.Errorf("core: SeqLen must be positive, got %d", c.SeqLen)
+	case c.Batch <= 0:
+		return fmt.Errorf("core: Batch must be positive, got %d", c.Batch)
+	case c.Classes <= 0:
+		return fmt.Errorf("core: Classes must be positive, got %d", c.Classes)
+	case c.MiniBatches <= 0:
+		return fmt.Errorf("core: MiniBatches must be positive, got %d", c.MiniBatches)
+	case c.MiniBatches > c.Batch:
+		return fmt.Errorf("core: MiniBatches (%d) cannot exceed Batch (%d)", c.MiniBatches, c.Batch)
+	case c.Cell != LSTM && c.Cell != GRU && c.Cell != RNN:
+		return fmt.Errorf("core: unknown cell kind %d", int(c.Cell))
+	case c.Arch != ManyToOne && c.Arch != ManyToMany:
+		return fmt.Errorf("core: unknown arch %d", int(c.Arch))
+	case c.Merge < MergeSum || c.Merge > MergeConcat:
+		return fmt.Errorf("core: unknown merge op %d", int(c.Merge))
+	}
+	return nil
+}
+
+// MergeDim returns the width of a merge cell's output.
+func (c Config) MergeDim() int {
+	if c.Merge == MergeConcat {
+		return 2 * c.HiddenSize
+	}
+	return c.HiddenSize
+}
+
+// LayerInputSize returns the input width of cells in layer l.
+func (c Config) LayerInputSize(l int) int {
+	if l == 0 {
+		return c.InputSize
+	}
+	return c.MergeDim()
+}
+
+// gatesPerCell returns the fused gate count of the configured cell.
+func (c Config) gatesPerCell() int {
+	switch c.Cell {
+	case GRU:
+		return 3
+	case RNN:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// ParamCount returns the number of trainable recurrent parameters (both
+// directions, all layers, excluding the classifier head). With the default
+// sum merge it reproduces the paper's "Parameters" column: e.g. 6.3M for a
+// 6-layer 256/256 BLSTM and 94.4M for 256/1024.
+func (c Config) ParamCount() int {
+	g := c.gatesPerCell()
+	total := 0
+	for l := 0; l < c.Layers; l++ {
+		in := c.LayerInputSize(l)
+		perDir := g*c.HiddenSize*(in+c.HiddenSize) + g*c.HiddenSize
+		total += 2 * perDir
+	}
+	return total
+}
+
+// HeadParamCount returns the classifier-head parameter count.
+func (c Config) HeadParamCount() int {
+	return c.Classes*c.MergeDim() + c.Classes
+}
+
+// CellTaskCount returns the number of cell + merge + head tasks one forward
+// propagation emits, matching the structure of Figures 1 and 2.
+func (c Config) CellTaskCount() int {
+	cells := 2 * c.Layers * c.SeqLen // forward + reverse order cells
+	var merges, heads int
+	if c.Arch == ManyToOne {
+		merges = (c.Layers-1)*c.SeqLen + 1
+		heads = 1
+	} else {
+		merges = c.Layers * c.SeqLen
+		heads = c.SeqLen
+	}
+	return cells + merges + heads
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s in=%d hid=%d layers=%d seq=%d batch=%d mbs=%d merge=%s",
+		c.Cell, c.Arch, c.InputSize, c.HiddenSize, c.Layers, c.SeqLen, c.Batch, c.MiniBatches, c.Merge)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func validCfg() Config {
+	return Config{
+		Cell: LSTM, Arch: ManyToOne, Merge: MergeSum,
+		InputSize: 4, HiddenSize: 5, Layers: 2, SeqLen: 3,
+		Batch: 6, Classes: 3, MiniBatches: 1, Seed: 1,
+	}
+}
+
+func TestConfigValidateAccepts(t *testing.T) {
+	if err := validCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.InputSize = 0 }, "InputSize"},
+		{func(c *Config) { c.HiddenSize = -1 }, "HiddenSize"},
+		{func(c *Config) { c.Layers = 0 }, "Layers"},
+		{func(c *Config) { c.SeqLen = 0 }, "SeqLen"},
+		{func(c *Config) { c.Batch = 0 }, "Batch"},
+		{func(c *Config) { c.Classes = 0 }, "Classes"},
+		{func(c *Config) { c.MiniBatches = 0 }, "MiniBatches"},
+		{func(c *Config) { c.MiniBatches = 100 }, "MiniBatches"},
+		{func(c *Config) { c.Cell = CellKind(9) }, "cell"},
+		{func(c *Config) { c.Arch = Arch(9) }, "arch"},
+		{func(c *Config) { c.Merge = MergeOp(9) }, "merge"},
+	}
+	for i, tc := range cases {
+		c := validCfg()
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q lacks %q", i, err, tc.want)
+		}
+	}
+}
+
+// TestParamCountsMatchPaperTables pins the parameter counts of every
+// configuration row in Tables III and IV (sum merge, 6 layers).
+func TestParamCountsMatchPaperTables(t *testing.T) {
+	mk := func(cell CellKind, in, hid int) Config {
+		return Config{Cell: cell, Arch: ManyToOne, Merge: MergeSum,
+			InputSize: in, HiddenSize: hid, Layers: 6, SeqLen: 100,
+			Batch: 128, Classes: 10, MiniBatches: 1}
+	}
+	cases := []struct {
+		cell     CellKind
+		in, hid  int
+		paperMil float64 // the paper's "Parameters" column, in millions
+	}{
+		{LSTM, 64, 256, 5.9},
+		{LSTM, 256, 256, 6.3},
+		{LSTM, 1024, 256, 7.8},
+		{LSTM, 64, 1024, 92.8},
+		{LSTM, 256, 1024, 94.4},
+		{LSTM, 1024, 1024, 100.7},
+		{GRU, 64, 256, 4.4},
+		{GRU, 256, 256, 4.7},
+		{GRU, 1024, 256, 5.9},
+		{GRU, 64, 1024, 69.6},
+		{GRU, 256, 1024, 70.8},
+		{GRU, 1024, 1024, 75.5},
+	}
+	for _, tc := range cases {
+		got := float64(mk(tc.cell, tc.in, tc.hid).ParamCount()) / 1e6
+		// Within 1% of the paper's rounded millions.
+		if got < tc.paperMil*0.99 || got > tc.paperMil*1.01 {
+			t.Errorf("%v in=%d hid=%d: %0.2fM params, paper says %gM", tc.cell, tc.in, tc.hid, got, tc.paperMil)
+		}
+	}
+}
+
+func TestMergeDimAndLayerInput(t *testing.T) {
+	c := validCfg()
+	if c.MergeDim() != c.HiddenSize {
+		t.Fatal("sum merge dim must equal hidden")
+	}
+	c.Merge = MergeConcat
+	if c.MergeDim() != 2*c.HiddenSize {
+		t.Fatal("concat merge dim must be 2*hidden")
+	}
+	if c.LayerInputSize(0) != c.InputSize || c.LayerInputSize(1) != c.MergeDim() {
+		t.Fatal("layer input sizes wrong")
+	}
+}
+
+func TestCellTaskCount(t *testing.T) {
+	c := validCfg() // 2 layers, seq 3, many-to-one
+	// cells: 2*2*3=12; merges: (2-1)*3+1=4; heads: 1 → 17.
+	if got := c.CellTaskCount(); got != 17 {
+		t.Fatalf("CellTaskCount %d, want 17", got)
+	}
+	c.Arch = ManyToMany
+	// cells 12; merges 2*3=6; heads 3 → 21.
+	if got := c.CellTaskCount(); got != 21 {
+		t.Fatalf("CellTaskCount %d, want 21", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if LSTM.String() != "LSTM" || GRU.String() != "GRU" {
+		t.Fatal("cell names")
+	}
+	if ManyToOne.String() != "many-to-one" || ManyToMany.String() != "many-to-many" {
+		t.Fatal("arch names")
+	}
+	for _, m := range []MergeOp{MergeSum, MergeAvg, MergeMul, MergeConcat} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "MergeOp") {
+			t.Fatal("merge names")
+		}
+	}
+	if !strings.Contains(validCfg().String(), "LSTM") {
+		t.Fatal("config string")
+	}
+}
+
+func TestHeadParamCount(t *testing.T) {
+	c := validCfg()
+	if c.HeadParamCount() != c.Classes*c.HiddenSize+c.Classes {
+		t.Fatal("head params")
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// emitBackward emits the backward-propagation task graph of one mini-batch.
+// It mirrors the forward graph (the red arrows of Figure 2): starting from
+// the classifier head, gradients flow down through merge-backward tasks and
+// along each direction's cell chain in the order opposite to forward
+// processing. Gradient accumulation into the shared per-layer weight
+// gradients is serialized by an inout dependency, which both removes data
+// races and fixes the floating-point summation order, so parallel training
+// is bitwise identical to sequential training.
+func (e *Engine) emitBackward(ws *workspace, mb *Batch, mbIdx int) {
+	cfg := e.M.Cfg
+	L := cfg.Layers
+
+	for l := L - 1; l >= 0; l-- {
+		if l == L-1 {
+			e.emitHeadBackward(ws, mb, mbIdx)
+		}
+		if cfg.hasMergePerTimestep(l) {
+			e.emitMergeBackward(ws, l, mbIdx)
+		} else {
+			// Last layer of a many-to-one model: single final merge.
+			e.emitFinalMergeBackward(ws, mbIdx)
+		}
+		e.emitCellBackward(ws, l, mbIdx)
+	}
+}
+
+// kindBwdCell returns the task-kind string of a backward cell task.
+func (e *Engine) kindBwdCell() string {
+	switch e.M.Cfg.Cell {
+	case GRU:
+		return "gru-bwd"
+	case RNN:
+		return "rnn-bwd"
+	default:
+		return "lstm-bwd"
+	}
+}
+
+// emitHeadBackward emits the head gradient tasks: dLogits = probs - onehot
+// (sum convention), head weight gradients, and the gradient flowing into the
+// final merge (many-to-one) or each timestep's merge slot (many-to-many).
+func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
+	cfg := e.M.Cfg
+	D := cfg.MergeDim()
+	hFlops := 4 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
+	hWS := int64(8 * (2*ws.rows*D + ws.rows*cfg.Classes + 2*cfg.Classes*D))
+
+	if cfg.Arch == ManyToOne {
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("head-bwd mb%d", mbIdx),
+			Kind:  "head-bwd",
+			In:    []taskrt.Dep{ws.kProbs[0], ws.kFinalMerged},
+			InOut: []taskrt.Dep{ws.kHeadGrads},
+			Out:   []taskrt.Dep{ws.kDFinalMerged},
+			Flops: hFlops, WorkingSet: hWS,
+		}
+		if !ws.phantom {
+			task.Fn = func() {
+				e.headBackward(ws, 0, ws.finalMerged, mb.Targets, ws.dFinalMerged)
+			}
+		}
+		e.Exec.Submit(task)
+		return
+	}
+
+	L, T := cfg.Layers, ws.T
+	for t := T - 1; t >= 0; t-- {
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("head-bwd t%d mb%d", t, mbIdx),
+			Kind:  "head-bwd",
+			In:    []taskrt.Dep{ws.kProbs[t], ws.kMerged[L-1][t]},
+			InOut: []taskrt.Dep{ws.kHeadGrads},
+			Out:   []taskrt.Dep{ws.kDMerged[L-1][t]},
+			Flops: hFlops, WorkingSet: hWS,
+		}
+		if !ws.phantom {
+			t := t
+			task.Fn = func() {
+				e.headBackward(ws, t, ws.merged[L-1][t], mb.StepTargets[t], ws.dMerged[L-1][t])
+			}
+		}
+		e.Exec.Submit(task)
+	}
+}
+
+// headBackward computes, for head slot h: dLogits = probs - onehot(targets),
+// accumulates head weight gradients, and writes dInput = dLogits * HeadW.
+func (e *Engine) headBackward(ws *workspace, h int, input *tensor.Matrix, targets []int, dInput *tensor.Matrix) {
+	dLogits := ws.probs[h].Clone()
+	for i, tgt := range targets {
+		if tgt == tensor.IgnoreLabel {
+			// Padding rows of variable-length sequences carry no gradient.
+			for j := 0; j < dLogits.Cols; j++ {
+				dLogits.Set(i, j, 0)
+			}
+			continue
+		}
+		dLogits.Set(i, tgt, dLogits.At(i, tgt)-1)
+	}
+	tensor.GemmATAcc(ws.headGrads.DW, dLogits, input)
+	for i := 0; i < dLogits.Rows; i++ {
+		row := dLogits.Row(i)
+		for j, v := range row {
+			ws.headGrads.DB[j] += v
+		}
+	}
+	tensor.MatMul(dInput, dLogits, e.M.HeadW)
+}
+
+// emitFinalMergeBackward splits the final-merge gradient into the two
+// direction-specific gradients of the last layer's boundary cells.
+func (e *Engine) emitFinalMergeBackward(ws *workspace, mbIdx int) {
+	cfg := e.M.Cfg
+	L, T := cfg.Layers, ws.T
+	in := []taskrt.Dep{ws.kDFinalMerged}
+	if cfg.Merge == MergeMul {
+		in = append(in, ws.kFwdSt[L-1][T-1], ws.kRevSt[L-1][0])
+	}
+	task := &taskrt.Task{
+		Label:      fmt.Sprintf("merge-final-bwd mb%d", mbIdx),
+		Kind:       "merge-bwd",
+		In:         in,
+		Out:        []taskrt.Dep{ws.kDHMergeFwd[L-1][T-1], ws.kDHMergeRev[L-1][0]},
+		Flops:      mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize),
+		WorkingSet: mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize),
+	}
+	if !ws.phantom {
+		task.Fn = func() {
+			mergeBackward(cfg.Merge, ws.dFinalMerged,
+				ws.fwdSt[L-1][T-1].H(), ws.revSt[L-1][0].H(),
+				ws.dHMergeFwd[L-1][T-1], ws.dHMergeRev[L-1][0])
+		}
+	}
+	e.Exec.Submit(task)
+}
+
+// emitMergeBackward emits one merge-backward task per timestep of layer l,
+// converting the accumulated dMerged into per-direction cell gradients.
+func (e *Engine) emitMergeBackward(ws *workspace, l, mbIdx int) {
+	cfg := e.M.Cfg
+	mFlops := mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize)
+	mWS := mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize)
+	for t := 0; t < ws.T; t++ {
+		in := []taskrt.Dep{ws.kDMerged[l][t]}
+		if cfg.Merge == MergeMul {
+			in = append(in, ws.kFwdSt[l][t], ws.kRevSt[l][t])
+		}
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("merge-bwd L%d t%d mb%d", l, t, mbIdx),
+			Kind:  "merge-bwd",
+			In:    in,
+			Out:   []taskrt.Dep{ws.kDHMergeFwd[l][t], ws.kDHMergeRev[l][t]},
+			Flops: mFlops, WorkingSet: mWS,
+		}
+		if !ws.phantom {
+			l, t := l, t
+			task.Fn = func() {
+				mergeBackward(cfg.Merge, ws.dMerged[l][t],
+					ws.fwdSt[l][t].H(), ws.revSt[l][t].H(),
+					ws.dHMergeFwd[l][t], ws.dHMergeRev[l][t])
+			}
+		}
+		e.Exec.Submit(task)
+	}
+}
+
+// emitCellBackward emits the backward cell tasks of layer l: the forward
+// direction's chain runs t=T-1 → 0, the reverse direction's chain t=0 → T-1
+// (each chain is the forward chain reversed). Every task:
+//
+//   - sums its merge gradient and chain gradient into the total dH,
+//   - runs the cell's BPTT kernel,
+//   - accumulates its dX into the merge-gradient buffer of the layer below
+//     (inout — two directions may target the same buffer), and
+//   - accumulates weight gradients (inout on the layer's grads).
+func (e *Engine) emitCellBackward(ws *workspace, l, mbIdx int) {
+	e.emitFwdCellBackward(ws, l, mbIdx)
+	e.emitRevCellBackward(ws, l, mbIdx)
+}
+
+// emitFwdCellBackward emits the forward direction's backward chain of layer
+// l: t = T-1 down to 0.
+func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
+	cfg := e.M.Cfg
+	T := ws.T
+	lF := e.M.fwd[l]
+	bFlops := lF.bwdFlops(ws.rows)
+	cellWS := lF.taskWorkingSet(ws.rows)
+	kind := e.kindBwdCell()
+	isLSTM := cfg.Cell == LSTM
+
+	for t := T - 1; t >= 0; t-- {
+		in := []taskrt.Dep{ws.kFwdSt[l][t], ws.kDHMergeFwd[l][t], ws.kDHChainFwd[l][t]}
+		if isLSTM {
+			in = append(in, ws.kDCChainFwd[l][t])
+		}
+		if t > 0 {
+			in = append(in, ws.kFwdSt[l][t-1])
+		}
+		inout := []taskrt.Dep{ws.kGradsFwd[l]}
+		if l > 0 {
+			inout = append(inout, ws.kDMerged[l-1][t])
+		}
+		var out []taskrt.Dep
+		if t > 0 {
+			out = append(out, ws.kDHChainFwd[l][t-1])
+			if isLSTM {
+				out = append(out, ws.kDCChainFwd[l][t-1])
+			}
+		}
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("fwd-bwd L%d t%d mb%d", l, t, mbIdx),
+			Kind:  kind,
+			In:    in, InOut: inout, Out: out,
+			Flops: bFlops, WorkingSet: cellWS,
+		}
+		if !ws.phantom {
+			l, t := l, t
+			task.Fn = func() {
+				tensor.Add(ws.dHSumFwd[l], ws.dHMergeFwd[l][t], ws.dHChainFwd[l][t])
+				hPrev, cPrev := ws.zeroH, ws.zeroC
+				if t > 0 {
+					hPrev = ws.fwdSt[l][t-1].H()
+					cPrev = ws.fwdSt[l][t-1].C()
+				}
+				dHPrev, dCPrev := ws.dHSinkFwd[l], ws.dCSinkFwd[l]
+				if t > 0 {
+					dHPrev = ws.dHChainFwd[l][t-1]
+					dCPrev = ws.dCChainFwd[l][t-1]
+				}
+				lF.backward(ws.fwdSt[l][t], hPrev, cPrev,
+					ws.dHSumFwd[l], ws.dCChainFwd[l][t],
+					ws.dXScratchFwd[l], dHPrev, dCPrev, ws.gradsFwd[l])
+				if l > 0 {
+					tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchFwd[l])
+				}
+			}
+		}
+		e.Exec.Submit(task)
+	}
+}
+
+// emitRevCellBackward emits the reverse direction's backward chain of layer
+// l: t = 0 up to T-1. The reverse RNN processed t = T-1 first, so its BPTT
+// starts at t = 0; the cell's "previous" state in processing order lives at
+// t+1.
+func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
+	cfg := e.M.Cfg
+	T := ws.T
+	lR := e.M.rev[l]
+	bFlops := lR.bwdFlops(ws.rows)
+	cellWS := lR.taskWorkingSet(ws.rows)
+	kind := e.kindBwdCell()
+	isLSTM := cfg.Cell == LSTM
+
+	for t := 0; t < T; t++ {
+		in := []taskrt.Dep{ws.kRevSt[l][t], ws.kDHMergeRev[l][t], ws.kDHChainRev[l][t]}
+		if isLSTM {
+			in = append(in, ws.kDCChainRev[l][t])
+		}
+		if t < T-1 {
+			in = append(in, ws.kRevSt[l][t+1])
+		}
+		inout := []taskrt.Dep{ws.kGradsRev[l]}
+		if l > 0 {
+			inout = append(inout, ws.kDMerged[l-1][t])
+		}
+		var out []taskrt.Dep
+		if t < T-1 {
+			out = append(out, ws.kDHChainRev[l][t+1])
+			if isLSTM {
+				out = append(out, ws.kDCChainRev[l][t+1])
+			}
+		}
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("rev-bwd L%d t%d mb%d", l, t, mbIdx),
+			Kind:  kind,
+			In:    in, InOut: inout, Out: out,
+			Flops: bFlops, WorkingSet: cellWS,
+		}
+		if !ws.phantom {
+			l, t := l, t
+			task.Fn = func() {
+				tensor.Add(ws.dHSumRev[l], ws.dHMergeRev[l][t], ws.dHChainRev[l][t])
+				hPrev, cPrev := ws.zeroH, ws.zeroC
+				if t < T-1 {
+					hPrev = ws.revSt[l][t+1].H()
+					cPrev = ws.revSt[l][t+1].C()
+				}
+				dHPrev, dCPrev := ws.dHSinkRev[l], ws.dCSinkRev[l]
+				if t < T-1 {
+					dHPrev = ws.dHChainRev[l][t+1]
+					dCPrev = ws.dCChainRev[l][t+1]
+				}
+				lR.backward(ws.revSt[l][t], hPrev, cPrev,
+					ws.dHSumRev[l], ws.dCChainRev[l][t],
+					ws.dXScratchRev[l], dHPrev, dCPrev, ws.gradsRev[l])
+				if l > 0 {
+					tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchRev[l])
+				}
+			}
+		}
+		e.Exec.Submit(task)
+	}
+}
+
+// emitReduce emits the mini-batch gradient reduction tasks: one task per
+// layer and direction (plus one for the head) that folds every mini-batch's
+// gradients into workspace 0. These are the dependencies that, in the
+// paper's words, "enforce gradient synchronization among model replicas" —
+// expressed purely as dataflow, with no barrier.
+func (e *Engine) emitReduce(wss []*workspace) {
+	if len(wss) == 1 {
+		return
+	}
+	cfg := e.M.Cfg
+	w0 := wss[0]
+	for l := 0; l < cfg.Layers; l++ {
+		for dir := 0; dir < 2; dir++ {
+			l, dir := l, dir
+			var in []taskrt.Dep
+			for _, ws := range wss[1:] {
+				if dir == 0 {
+					in = append(in, ws.kGradsFwd[l])
+				} else {
+					in = append(in, ws.kGradsRev[l])
+				}
+			}
+			target := w0.kGradsFwd[l]
+			if dir == 1 {
+				target = w0.kGradsRev[l]
+			}
+			params := e.M.fwd[l]
+			task := &taskrt.Task{
+				Label:      fmt.Sprintf("reduce L%d dir%d", l, dir),
+				Kind:       "reduce",
+				In:         in,
+				InOut:      []taskrt.Dep{target},
+				Flops:      2 * float64(params.paramCount()) * float64(len(wss)-1),
+				WorkingSet: int64(params.paramCount()) * 8 * int64(len(wss)),
+			}
+			if !w0.phantom {
+				task.Fn = func() {
+					for _, ws := range wss[1:] {
+						if dir == 0 {
+							w0.gradsFwd[l].addScaled(1, ws.gradsFwd[l])
+						} else {
+							w0.gradsRev[l].addScaled(1, ws.gradsRev[l])
+						}
+					}
+				}
+			}
+			e.Exec.Submit(task)
+		}
+	}
+
+	var in []taskrt.Dep
+	for _, ws := range wss[1:] {
+		in = append(in, ws.kHeadGrads)
+	}
+	task := &taskrt.Task{
+		Label:      "reduce head",
+		Kind:       "reduce",
+		In:         in,
+		InOut:      []taskrt.Dep{w0.kHeadGrads},
+		Flops:      2 * float64(cfg.HeadParamCount()) * float64(len(wss)-1),
+		WorkingSet: int64(cfg.HeadParamCount()) * 8 * int64(len(wss)),
+	}
+	if !w0.phantom {
+		task.Fn = func() {
+			for _, ws := range wss[1:] {
+				tensor.AxpyMatrix(w0.headGrads.DW, 1, ws.headGrads.DW)
+				tensor.Axpy(1, ws.headGrads.DB, w0.headGrads.DB)
+			}
+		}
+	}
+	e.Exec.Submit(task)
+}

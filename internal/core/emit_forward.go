@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// kindFwdCell returns the task-kind string of a forward-propagation cell.
+func (e *Engine) kindFwdCell() string {
+	switch e.M.Cfg.Cell {
+	case GRU:
+		return "gru"
+	case RNN:
+		return "rnn"
+	default:
+		return "lstm"
+	}
+}
+
+// emitForward emits the forward-propagation task graph of one mini-batch,
+// following the structure of Algorithms 2 and 3: per layer, the reverse-order
+// cells (a dependency chain from t=T-1 down to 0), the forward-order cells
+// (a chain from t=0 up to T-1), and the merge cells (each depending on
+// exactly one forward and one reverse cell — Equation 11). Tasks are created
+// in topological order; the run-time system overlaps their execution across
+// layers and directions with no barrier.
+//
+// mb carries the real mini-batch data; it is nil for phantom emission.
+// withHead controls whether classifier-head tasks are emitted.
+func (e *Engine) emitForward(ws *workspace, mb *Batch, mbIdx int, withHead bool) {
+	for l := 0; l < e.M.Cfg.Layers; l++ {
+		e.emitForwardLayer(ws, mb, mbIdx, l)
+	}
+	e.emitFinalMerge(ws, mbIdx)
+	if withHead {
+		e.emitHeadForward(ws, mb, mbIdx)
+	}
+}
+
+// emitForwardLayer emits the forward-propagation tasks of one layer:
+// reverse-order cells, forward-order cells, and merge cells.
+func (e *Engine) emitForwardLayer(ws *workspace, mb *Batch, mbIdx, l int) {
+	e.emitRevCells(ws, mb, mbIdx, l)
+	e.emitFwdCells(ws, mb, mbIdx, l)
+	e.emitMergeCells(ws, mbIdx, l)
+}
+
+// emitRevCells emits layer l's reverse-order cells, processed T-1 → 0
+// (Algorithm 3).
+func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
+	T := ws.T
+	cellKind := e.kindFwdCell()
+	{
+		lR := e.M.rev[l]
+		fwdFlops := lR.fwdFlops(ws.rows)
+		cellWS := lR.taskWorkingSet(ws.rows)
+
+		for u := 0; u < T; u++ {
+			t := T - 1 - u
+			in := []taskrt.Dep{e.inputKey(ws, l, t)}
+			if t < T-1 {
+				in = append(in, ws.kRevSt[l][t+1])
+			}
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("rev L%d t%d mb%d", l, t, mbIdx),
+				Kind:  cellKind,
+				In:    in,
+				Out:   []taskrt.Dep{ws.kRevSt[l][t]},
+				Flops: fwdFlops, WorkingSet: cellWS,
+			}
+			if !ws.phantom {
+				l, t := l, t
+				x := e.inputMat(ws, mb, l, t)
+				task.Fn = func() {
+					hPrev, cPrev := ws.zeroH, ws.zeroC
+					if t < T-1 {
+						hPrev = ws.revSt[l][t+1].H()
+						cPrev = ws.revSt[l][t+1].C()
+					}
+					lR.forward(x, hPrev, cPrev, ws.revSt[l][t])
+				}
+			}
+			e.Exec.Submit(task)
+		}
+	}
+}
+
+// emitFwdCells emits layer l's forward-order cells, processed 0 → T-1
+// (Algorithm 2).
+func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
+	T := ws.T
+	cellKind := e.kindFwdCell()
+	{
+		lF := e.M.fwd[l]
+		fwdFlops := lF.fwdFlops(ws.rows)
+		cellWS := lF.taskWorkingSet(ws.rows)
+
+		for t := 0; t < T; t++ {
+			in := []taskrt.Dep{e.inputKey(ws, l, t)}
+			if t > 0 {
+				in = append(in, ws.kFwdSt[l][t-1])
+			}
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("fwd L%d t%d mb%d", l, t, mbIdx),
+				Kind:  cellKind,
+				In:    in,
+				Out:   []taskrt.Dep{ws.kFwdSt[l][t]},
+				Flops: fwdFlops, WorkingSet: cellWS,
+			}
+			if !ws.phantom {
+				l, t := l, t
+				x := e.inputMat(ws, mb, l, t)
+				task.Fn = func() {
+					hPrev, cPrev := ws.zeroH, ws.zeroC
+					if t > 0 {
+						hPrev = ws.fwdSt[l][t-1].H()
+						cPrev = ws.fwdSt[l][t-1].C()
+					}
+					lF.forward(x, hPrev, cPrev, ws.fwdSt[l][t])
+				}
+			}
+			e.Exec.Submit(task)
+		}
+	}
+}
+
+// emitMergeCells emits layer l's merge cells. Merges are kept as separate
+// tasks precisely so that forward and reverse cells of the same layer never
+// depend on each other.
+func (e *Engine) emitMergeCells(ws *workspace, mbIdx, l int) {
+	cfg := e.M.Cfg
+	T := ws.T
+	{
+		if cfg.hasMergePerTimestep(l) {
+			mFlops := mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize)
+			mWS := mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize)
+			for t := 0; t < T; t++ {
+				task := &taskrt.Task{
+					Label: fmt.Sprintf("merge L%d t%d mb%d", l, t, mbIdx),
+					Kind:  "merge",
+					In:    []taskrt.Dep{ws.kFwdSt[l][t], ws.kRevSt[l][t]},
+					Out:   []taskrt.Dep{ws.kMerged[l][t]},
+					Flops: mFlops, WorkingSet: mWS,
+				}
+				if !ws.phantom {
+					l, t := l, t
+					task.Fn = func() {
+						mergeForward(cfg.Merge, ws.merged[l][t], ws.fwdSt[l][t].H(), ws.revSt[l][t].H())
+					}
+				}
+				e.Exec.Submit(task)
+			}
+		}
+	}
+
+}
+
+// emitFinalMerge emits the single final merge of a many-to-one model:
+// cells 9f and 9r of Figure 1 — the last forward-order cell and the
+// last-processed reverse cell. No-op for many-to-many.
+func (e *Engine) emitFinalMerge(ws *workspace, mbIdx int) {
+	cfg := e.M.Cfg
+	L, T := cfg.Layers, ws.T
+	if cfg.Arch == ManyToOne {
+		task := &taskrt.Task{
+			Label:      fmt.Sprintf("merge-final mb%d", mbIdx),
+			Kind:       "merge",
+			In:         []taskrt.Dep{ws.kFwdSt[L-1][T-1], ws.kRevSt[L-1][0]},
+			Out:        []taskrt.Dep{ws.kFinalMerged},
+			Flops:      mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize),
+			WorkingSet: mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize),
+		}
+		if !ws.phantom {
+			task.Fn = func() {
+				mergeForward(cfg.Merge, ws.finalMerged, ws.fwdSt[L-1][T-1].H(), ws.revSt[L-1][0].H())
+			}
+		}
+		e.Exec.Submit(task)
+	}
+}
+
+// inputKey returns the dependency key of the input consumed by layer l at
+// timestep t: the raw batch input for layer 0, the merge output below
+// otherwise.
+func (e *Engine) inputKey(ws *workspace, l, t int) taskrt.Dep {
+	if l == 0 {
+		return ws.kX[t]
+	}
+	return ws.kMerged[l-1][t]
+}
+
+// inputMat returns the matrix behind inputKey (real mode only).
+func (e *Engine) inputMat(ws *workspace, mb *Batch, l, t int) *tensor.Matrix {
+	if l == 0 {
+		return mb.X[t]
+	}
+	return ws.merged[l-1][t]
+}
+
+// emitHeadForward emits classifier-head tasks: logits, softmax and summed
+// cross-entropy for the final merge (many-to-one) or every timestep's merge
+// (many-to-many).
+func (e *Engine) emitHeadForward(ws *workspace, mb *Batch, mbIdx int) {
+	cfg := e.M.Cfg
+	D := cfg.MergeDim()
+	hFlops := 2 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
+	hWS := int64(8 * (ws.rows*D + ws.rows*cfg.Classes + cfg.Classes*D))
+
+	if cfg.Arch == ManyToOne {
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("head mb%d", mbIdx),
+			Kind:  "head",
+			In:    []taskrt.Dep{ws.kFinalMerged},
+			Out:   []taskrt.Dep{ws.kProbs[0]},
+			Flops: hFlops, WorkingSet: hWS,
+		}
+		if !ws.phantom {
+			var targets []int
+			if mb != nil {
+				targets = mb.Targets
+			}
+			task.Fn = func() { e.headForward(ws, 0, ws.finalMerged, targets) }
+		}
+		e.Exec.Submit(task)
+		return
+	}
+
+	L, T := cfg.Layers, ws.T
+	for t := 0; t < T; t++ {
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("head t%d mb%d", t, mbIdx),
+			Kind:  "head",
+			In:    []taskrt.Dep{ws.kMerged[L-1][t]},
+			Out:   []taskrt.Dep{ws.kProbs[t]},
+			Flops: hFlops, WorkingSet: hWS,
+		}
+		if !ws.phantom {
+			t := t
+			var targets []int
+			if mb != nil && mb.StepTargets != nil {
+				targets = mb.StepTargets[t]
+			}
+			task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], targets) }
+		}
+		e.Exec.Submit(task)
+	}
+}
+
+// headForward computes logits, probabilities, and (when labels are present)
+// the summed cross-entropy for head slot h fed by input.
+func (e *Engine) headForward(ws *workspace, h int, input *tensor.Matrix, targets []int) {
+	tensor.MatMulT(ws.logits[h], input, e.M.HeadW)
+	tensor.AddBiasRows(ws.logits[h], e.M.HeadB)
+	ws.probs[h].CopyFrom(ws.logits[h])
+	tensor.SoftmaxRows(ws.probs[h])
+	if targets != nil {
+		ws.losses[h] = sumCrossEntropy(ws.probs[h], targets)
+	}
+}
+
+// sumCrossEntropy totals the negative log-likelihood over rows, skipping
+// IgnoreLabel rows (padding of variable-length sequences).
+func sumCrossEntropy(probs *tensor.Matrix, targets []int) float64 {
+	loss := 0.0
+	for i, tgt := range targets {
+		if tgt == tensor.IgnoreLabel {
+			continue
+		}
+		p := probs.At(i, tgt)
+		loss -= logF(p + 1e-12)
+	}
+	return loss
+}

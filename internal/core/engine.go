@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// Batch is one training or inference batch: per-timestep input matrices and
+// the labels appropriate to the architecture.
+type Batch struct {
+	// X has one [Batch x InputSize] matrix per timestep.
+	X []*tensor.Matrix
+	// Targets holds the per-sequence class labels (many-to-one).
+	Targets []int
+	// StepTargets holds per-timestep class labels (many-to-many),
+	// indexed [timestep][sequence].
+	StepTargets [][]int
+}
+
+// SeqLen returns the batch's sequence length.
+func (b *Batch) SeqLen() int { return len(b.X) }
+
+// Engine drives B-Par execution of one model on one executor: it emits the
+// forward and backward task graphs for each batch, waits for dataflow
+// completion, and applies the optimizer. It owns the per-mini-batch
+// workspaces (the mbs:N data parallelism of the paper).
+type Engine struct {
+	M    *Model
+	Exec taskrt.Executor
+
+	// GradClip, when positive, clamps each normalized gradient element to
+	// [-GradClip, GradClip] before the SGD update.
+	GradClip float64
+
+	// Momentum, when positive, enables classical momentum SGD:
+	// v = Momentum*v + g; w -= lr*v. The paper cites momentum methods
+	// (MomentumRNN) as directly composable with B-Par — the optimizer step
+	// is outside the task graph, so nothing else changes.
+	Momentum float64
+
+	// Adam, when non-nil, selects the Adam optimizer (overrides Momentum).
+	Adam *AdamOpts
+
+	// WeightDecay, when positive, applies decoupled L2 regularization
+	// before each update: w *= (1 - lr*WeightDecay).
+	WeightDecay float64
+
+	phantom bool
+	wsByT   map[int][]*workspace
+	vel     *velocity
+	adam    *adamState
+}
+
+// NewEngine creates an engine executing real numeric tasks.
+func NewEngine(m *Model, exec taskrt.Executor) *Engine {
+	return &Engine{M: m, Exec: exec, wsByT: make(map[int][]*workspace)}
+}
+
+// NewPhantomEngine creates an engine that emits dependency-and-metadata-only
+// task graphs (no numeric buffers, no task bodies); used with
+// taskrt.Recorder to capture graphs for the discrete-event simulator.
+func NewPhantomEngine(m *Model, exec taskrt.Executor) *Engine {
+	return &Engine{M: m, Exec: exec, phantom: true, wsByT: make(map[int][]*workspace)}
+}
+
+// workspaces returns (building if needed) the per-mini-batch workspaces for
+// sequence length T. B-Par adjusts the computation graph dynamically when
+// the sequence length changes between batches.
+func (e *Engine) workspaces(T int) []*workspace {
+	if ws, ok := e.wsByT[T]; ok {
+		return ws
+	}
+	cfg := e.M.Cfg
+	n := cfg.MiniBatches
+	ws := make([]*workspace, n)
+	base := cfg.Batch / n
+	rem := cfg.Batch % n
+	for i := 0; i < n; i++ {
+		rows := base
+		if i < rem {
+			rows++
+		}
+		ws[i] = newWorkspace(e.M, rows, T, e.phantom)
+	}
+	e.wsByT[T] = ws
+	return ws
+}
+
+// mbBounds returns the row range of mini-batch i.
+func (e *Engine) mbBounds(i int) (lo, hi int) {
+	cfg := e.M.Cfg
+	n := cfg.MiniBatches
+	base := cfg.Batch / n
+	rem := cfg.Batch % n
+	for j := 0; j < i; j++ {
+		lo += base
+		if j < rem {
+			lo++
+		}
+	}
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func (e *Engine) checkBatch(b *Batch, needTargets bool) error {
+	cfg := e.M.Cfg
+	if len(b.X) == 0 {
+		return fmt.Errorf("core: empty batch")
+	}
+	for t, x := range b.X {
+		if x.Rows != cfg.Batch || x.Cols != cfg.InputSize {
+			return fmt.Errorf("core: X[%d] is %dx%d, want %dx%d", t, x.Rows, x.Cols, cfg.Batch, cfg.InputSize)
+		}
+	}
+	if cfg.Arch == ManyToOne {
+		if b.Targets == nil && !needTargets {
+			return nil
+		}
+		if len(b.Targets) != cfg.Batch {
+			return fmt.Errorf("core: got %d targets, want %d", len(b.Targets), cfg.Batch)
+		}
+	} else {
+		if b.StepTargets == nil && !needTargets {
+			return nil
+		}
+		if len(b.StepTargets) != len(b.X) {
+			return fmt.Errorf("core: got %d step-target rows, want %d", len(b.StepTargets), len(b.X))
+		}
+		for t := range b.StepTargets {
+			if len(b.StepTargets[t]) != cfg.Batch {
+				return fmt.Errorf("core: StepTargets[%d] has %d labels, want %d", t, len(b.StepTargets[t]), cfg.Batch)
+			}
+		}
+	}
+	return nil
+}
+
+// lossScale is the normalizer turning summed per-row losses/gradients into
+// means: batch size, times sequence length for many-to-many.
+func (e *Engine) lossScale(T int) float64 {
+	s := float64(e.M.Cfg.Batch)
+	if e.M.Cfg.Arch == ManyToMany {
+		s *= float64(T)
+	}
+	return s
+}
+
+// TrainStep runs one full training step — forward propagation, backward
+// propagation, mini-batch gradient reduction, all as one barrier-free task
+// graph — then applies an SGD update. It returns the mean batch loss.
+func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
+	if e.phantom {
+		return 0, fmt.Errorf("core: TrainStep on a phantom engine; use EmitTrainGraph")
+	}
+	if err := e.checkBatch(b, true); err != nil {
+		return 0, err
+	}
+	T := b.SeqLen()
+	wss := e.workspaces(T)
+	for _, ws := range wss {
+		ws.resetForStep()
+	}
+	for i, ws := range wss {
+		lo, hi := e.mbBounds(i)
+		mb := e.sliceBatch(b, lo, hi)
+		e.emitForward(ws, mb, i, true)
+		e.emitBackward(ws, mb, i)
+	}
+	e.emitReduce(wss)
+	if err := e.Exec.Wait(); err != nil {
+		return 0, err
+	}
+
+	scale := e.lossScale(T)
+	loss := 0.0
+	for _, ws := range wss {
+		loss += ws.sumLosses()
+	}
+	loss /= scale
+
+	e.applySGD(wss[0], lr, scale)
+	e.maybeResetDeps()
+	return loss, nil
+}
+
+// Infer runs forward propagation only and returns, per head, the predicted
+// class of every sequence, plus the mean loss when labels are present.
+// Many-to-one returns one row; many-to-many returns one row per timestep.
+func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
+	if e.phantom {
+		return nil, 0, fmt.Errorf("core: Infer on a phantom engine; use EmitInferGraph")
+	}
+	if err := e.checkBatch(b, false); err != nil {
+		return nil, 0, err
+	}
+	T := b.SeqLen()
+	wss := e.workspaces(T)
+	for _, ws := range wss {
+		ws.resetForStep()
+	}
+	for i, ws := range wss {
+		lo, hi := e.mbBounds(i)
+		mb := e.sliceBatch(b, lo, hi)
+		e.emitForward(ws, mb, i, true)
+	}
+	if err := e.Exec.Wait(); err != nil {
+		return nil, 0, err
+	}
+
+	nHeads := 1
+	if e.M.Cfg.Arch == ManyToMany {
+		nHeads = T
+	}
+	preds := make([][]int, nHeads)
+	for h := 0; h < nHeads; h++ {
+		preds[h] = make([]int, 0, e.M.Cfg.Batch)
+		for _, ws := range wss {
+			preds[h] = append(preds[h], tensor.ArgmaxRows(ws.probs[h])...)
+		}
+	}
+	loss := 0.0
+	for _, ws := range wss {
+		loss += ws.sumLosses()
+	}
+	loss /= e.lossScale(T)
+	e.maybeResetDeps()
+	return preds, loss, nil
+}
+
+// InferProbs runs forward propagation and returns, per head, the full
+// class-probability matrix ([Batch x Classes]) for every sequence, plus the
+// mean loss when labels are present. Useful for sampling-based generation
+// and calibration analysis; Infer is the argmax convenience on top of the
+// same forward pass.
+func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
+	if e.phantom {
+		return nil, 0, fmt.Errorf("core: InferProbs on a phantom engine")
+	}
+	if err := e.checkBatch(b, false); err != nil {
+		return nil, 0, err
+	}
+	T := b.SeqLen()
+	wss := e.workspaces(T)
+	for _, ws := range wss {
+		ws.resetForStep()
+	}
+	for i, ws := range wss {
+		lo, hi := e.mbBounds(i)
+		mb := e.sliceBatch(b, lo, hi)
+		e.emitForward(ws, mb, i, true)
+	}
+	if err := e.Exec.Wait(); err != nil {
+		return nil, 0, err
+	}
+	nHeads := 1
+	if e.M.Cfg.Arch == ManyToMany {
+		nHeads = T
+	}
+	probs := make([]*tensor.Matrix, nHeads)
+	for h := 0; h < nHeads; h++ {
+		probs[h] = tensor.New(e.M.Cfg.Batch, e.M.Cfg.Classes)
+		row := 0
+		for _, ws := range wss {
+			for r := 0; r < ws.probs[h].Rows; r++ {
+				copy(probs[h].Row(row), ws.probs[h].Row(r))
+				row++
+			}
+		}
+	}
+	loss := 0.0
+	for _, ws := range wss {
+		loss += ws.sumLosses()
+	}
+	loss /= e.lossScale(T)
+	e.maybeResetDeps()
+	return probs, loss, nil
+}
+
+// EmitTrainGraph emits the dependency/metadata-only task graph of one
+// training step of sequence length T (phantom engines only). The caller
+// owns Wait on the executor (typically a taskrt.Recorder).
+func (e *Engine) EmitTrainGraph(T int) {
+	wss := e.workspaces(T)
+	for i, ws := range wss {
+		e.emitForward(ws, nil, i, true)
+		e.emitBackward(ws, nil, i)
+	}
+	e.emitReduce(wss)
+}
+
+// EmitInferGraph emits the forward-only task graph of sequence length T.
+func (e *Engine) EmitInferGraph(T int) {
+	wss := e.workspaces(T)
+	for i, ws := range wss {
+		e.emitForward(ws, nil, i, true)
+	}
+}
+
+// WorkingSetBytes reports the total activation/gradient working set across
+// all mini-batch workspaces for sequence length T (the memory study).
+func (e *Engine) WorkingSetBytes(T int) int64 {
+	var total int64
+	for _, ws := range e.workspaces(T) {
+		total += ws.workingSetBytes()
+	}
+	return total
+}
+
+// sliceBatch returns the mini-batch view of rows [lo, hi).
+func (e *Engine) sliceBatch(b *Batch, lo, hi int) *Batch {
+	mb := &Batch{X: make([]*tensor.Matrix, len(b.X))}
+	for t := range b.X {
+		mb.X[t] = b.X[t].SliceRows(lo, hi)
+	}
+	if b.Targets != nil {
+		mb.Targets = b.Targets[lo:hi]
+	}
+	if b.StepTargets != nil {
+		mb.StepTargets = make([][]int, len(b.StepTargets))
+		for t := range b.StepTargets {
+			mb.StepTargets[t] = b.StepTargets[t][lo:hi]
+		}
+	}
+	return mb
+}
+
+// applySGD folds mini-batch gradients (already reduced into workspace 0),
+// normalizes, optionally clips, folds momentum, and updates the weights.
+func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
+	if e.WeightDecay > 0 {
+		decay := 1 - lr*e.WeightDecay
+		for l := range e.M.fwd {
+			for _, p := range []*dirParams{e.M.fwd[l], e.M.rev[l]} {
+				w, b := p.wParams()
+				tensor.ScaleInPlace(w, decay)
+				for i := range b {
+					b[i] *= decay
+				}
+			}
+		}
+		tensor.ScaleInPlace(e.M.HeadW, decay)
+		for i := range e.M.HeadB {
+			e.M.HeadB[i] *= decay
+		}
+	}
+	inv := 1.0 / scale
+	if e.GradClip > 0 || e.Momentum > 0 || e.Adam != nil {
+		// Normalize in place so clipping and momentum see mean gradients.
+		for l := range ws.gradsFwd {
+			scaleDirGrads(ws.gradsFwd[l], inv)
+			scaleDirGrads(ws.gradsRev[l], inv)
+		}
+		tensor.ScaleInPlace(ws.headGrads.DW, inv)
+		for i := range ws.headGrads.DB {
+			ws.headGrads.DB[i] *= inv
+		}
+		inv = 1
+	}
+	if e.GradClip > 0 {
+		for l := range ws.gradsFwd {
+			ws.gradsFwd[l].clip(e.GradClip)
+			ws.gradsRev[l].clip(e.GradClip)
+		}
+		tensor.ClipInPlace(ws.headGrads.DW, e.GradClip)
+		clipSlice(ws.headGrads.DB, e.GradClip)
+	}
+	if e.Adam != nil {
+		e.applyAdam(ws, lr)
+		return
+	}
+	if e.Momentum > 0 {
+		if e.vel == nil {
+			e.vel = newVelocity(e.M)
+		}
+		mu := e.Momentum
+		for l := range ws.gradsFwd {
+			vF, vR := e.vel.dirs[2*l], e.vel.dirs[2*l+1]
+			scaleDirGrads(vF, mu)
+			vF.addScaled(1, ws.gradsFwd[l])
+			scaleDirGrads(vR, mu)
+			vR.addScaled(1, ws.gradsRev[l])
+			e.M.fwd[l].applySGD(lr, vF)
+			e.M.rev[l].applySGD(lr, vR)
+		}
+		tensor.ScaleInPlace(e.vel.headW, mu)
+		tensor.AxpyMatrix(e.vel.headW, 1, ws.headGrads.DW)
+		for i := range e.vel.headB {
+			e.vel.headB[i] = mu*e.vel.headB[i] + ws.headGrads.DB[i]
+		}
+		tensor.AxpyMatrix(e.M.HeadW, -lr, e.vel.headW)
+		tensor.Axpy(-lr, e.vel.headB, e.M.HeadB)
+		return
+	}
+	eff := lr * inv
+	for l := range ws.gradsFwd {
+		e.M.fwd[l].applySGD(eff, ws.gradsFwd[l])
+		e.M.rev[l].applySGD(eff, ws.gradsRev[l])
+	}
+	tensor.AxpyMatrix(e.M.HeadW, -eff, ws.headGrads.DW)
+	tensor.Axpy(-eff, ws.headGrads.DB, e.M.HeadB)
+}
+
+func scaleDirGrads(g *dirGrads, alpha float64) {
+	dw, db := g.wData()
+	tensor.ScaleInPlace(dw, alpha)
+	for i := range db {
+		db[i] *= alpha
+	}
+}
+
+// maybeResetDeps clears the executor's dependency table between steps when
+// supported, so per-step input tensors do not accumulate entries.
+func (e *Engine) maybeResetDeps() {
+	if rd, ok := e.Exec.(interface{ ResetDeps() }); ok {
+		rd.ResetDeps()
+	}
+}

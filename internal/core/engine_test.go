@@ -1,0 +1,590 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bpar/internal/rng"
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// makeBatch builds a deterministic random batch for cfg.
+func makeBatch(cfg Config, seed uint64) *Batch {
+	r := rng.New(seed)
+	b := &Batch{X: make([]*tensor.Matrix, cfg.SeqLen)}
+	for t := range b.X {
+		b.X[t] = tensor.New(cfg.Batch, cfg.InputSize)
+		r.FillUniform(b.X[t].Data, -1, 1)
+	}
+	if cfg.Arch == ManyToOne {
+		b.Targets = make([]int, cfg.Batch)
+		for i := range b.Targets {
+			b.Targets[i] = r.Intn(cfg.Classes)
+		}
+	} else {
+		// Input-dependent targets (sign of the first feature) keep the
+		// task learnable for convergence tests while still exercising
+		// arbitrary label plumbing.
+		b.StepTargets = make([][]int, cfg.SeqLen)
+		for t := range b.StepTargets {
+			b.StepTargets[t] = make([]int, cfg.Batch)
+			for i := range b.StepTargets[t] {
+				if b.X[t].At(i, 0) > 0 {
+					b.StepTargets[t][i] = 1 % cfg.Classes
+				} else {
+					b.StepTargets[t][i] = 0
+				}
+			}
+		}
+	}
+	return b
+}
+
+// trainN runs n training steps on a fresh model with the given executor
+// factory and returns the final model and last loss.
+func trainN(t *testing.T, cfg Config, mkExec func() taskrt.Executor, n int) (*Model, float64) {
+	t.Helper()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := mkExec()
+	if rt, ok := exec.(*taskrt.Runtime); ok {
+		defer rt.Shutdown()
+	}
+	e := NewEngine(m, exec)
+	var loss float64
+	for i := 0; i < n; i++ {
+		b := makeBatch(cfg, uint64(100+i))
+		loss, err = e.TrainStep(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, loss
+}
+
+func inlineExec() taskrt.Executor { return taskrt.NewInline(nil) }
+func parallelExec(workers int, pol taskrt.Policy) func() taskrt.Executor {
+	return func() taskrt.Executor {
+		return taskrt.New(taskrt.Options{Workers: workers, Policy: pol})
+	}
+}
+
+func smallCfg(cell CellKind, arch Arch, mbs int) Config {
+	return Config{
+		Cell: cell, Arch: arch, Merge: MergeSum,
+		InputSize: 3, HiddenSize: 4, Layers: 3, SeqLen: 5,
+		Batch: 6, Classes: 3, MiniBatches: mbs, Seed: 42,
+	}
+}
+
+// TestParallelMatchesSequentialBitwise is the paper's central correctness
+// claim (Section III): orchestrating BRNN training via task dependencies
+// produces no accuracy loss versus sequential execution. We verify the
+// strongest form — bitwise identical weights after several steps — for both
+// cell kinds, both architectures, both scheduling policies, and with data
+// parallelism enabled.
+func TestParallelMatchesSequentialBitwise(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		pol  taskrt.Policy
+	}{
+		{"lstm-m2o", smallCfg(LSTM, ManyToOne, 1), taskrt.BreadthFirst},
+		{"gru-m2o", smallCfg(GRU, ManyToOne, 1), taskrt.BreadthFirst},
+		{"rnn-m2o", smallCfg(RNN, ManyToOne, 1), taskrt.BreadthFirst},
+		{"rnn-m2m-mbs2", smallCfg(RNN, ManyToMany, 2), taskrt.BreadthFirst},
+		{"lstm-m2m", smallCfg(LSTM, ManyToMany, 1), taskrt.BreadthFirst},
+		{"gru-m2m", smallCfg(GRU, ManyToMany, 1), taskrt.BreadthFirst},
+		{"lstm-m2o-mbs3", smallCfg(LSTM, ManyToOne, 3), taskrt.BreadthFirst},
+		{"lstm-m2m-mbs2", smallCfg(LSTM, ManyToMany, 2), taskrt.BreadthFirst},
+		{"lstm-m2o-locality", smallCfg(LSTM, ManyToOne, 2), taskrt.LocalityAware},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seqM, seqLoss := trainN(t, tc.cfg, inlineExec, 4)
+			parM, parLoss := trainN(t, tc.cfg, parallelExec(4, tc.pol), 4)
+			if !seqM.WeightsEqual(parM) {
+				t.Fatalf("weights diverged: max |diff| = %g", seqM.WeightsMaxAbsDiff(parM))
+			}
+			if seqLoss != parLoss {
+				t.Fatalf("loss diverged: %g vs %g", seqLoss, parLoss)
+			}
+		})
+	}
+}
+
+// TestParallelRunsAreDeterministic: two identical parallel runs are bitwise
+// identical regardless of scheduling nondeterminism.
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	m1, _ := trainN(t, cfg, parallelExec(4, taskrt.BreadthFirst), 3)
+	m2, _ := trainN(t, cfg, parallelExec(4, taskrt.BreadthFirst), 3)
+	if !m1.WeightsEqual(m2) {
+		t.Fatal("parallel training is not deterministic")
+	}
+}
+
+// TestEndToEndGradientCheck verifies the whole assembled network — cells,
+// merges, head, BPTT wiring — against numeric differentiation of the loss
+// with respect to a sample of weights in every layer and direction.
+func TestEndToEndGradientCheck(t *testing.T) {
+	for _, cellKind := range []CellKind{LSTM, GRU, RNN} {
+		for _, arch := range []Arch{ManyToOne, ManyToMany} {
+			cfg := Config{
+				Cell: cellKind, Arch: arch, Merge: MergeSum,
+				InputSize: 2, HiddenSize: 3, Layers: 2, SeqLen: 3,
+				Batch: 2, Classes: 3, MiniBatches: 1, Seed: 7,
+			}
+			m, err := NewModel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := makeBatch(cfg, 55)
+			checkModelGradients(t, m, b, cellKind.String()+"/"+arch.String())
+		}
+	}
+}
+
+// lossOf runs a forward pass and returns the mean loss without updating.
+func lossOf(t *testing.T, m *Model, b *Batch) float64 {
+	t.Helper()
+	e := NewEngine(m, taskrt.NewInline(nil))
+	_, loss, err := e.Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loss
+}
+
+func checkModelGradients(t *testing.T, m *Model, b *Batch, name string) {
+	t.Helper()
+	// Analytic gradients: run one forward+backward without SGD by using a
+	// zero learning rate, then read the workspace gradients.
+	e := NewEngine(m, taskrt.NewInline(nil))
+	if _, err := e.TrainStep(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	ws := e.workspaces(b.SeqLen())[0]
+	scale := e.lossScale(b.SeqLen())
+
+	const h = 1e-6
+	const tol = 2e-5
+	check := func(what string, w []float64, g []float64, indices []int) {
+		for _, idx := range indices {
+			orig := w[idx]
+			w[idx] = orig + h
+			lp := lossOf(t, m, b)
+			w[idx] = orig - h
+			lm := lossOf(t, m, b)
+			w[idx] = orig
+			num := (lp - lm) / (2 * h)
+			analytic := g[idx] / scale
+			if math.Abs(num-analytic) > tol {
+				t.Fatalf("%s %s[%d]: analytic %g numeric %g", name, what, idx, analytic, num)
+			}
+		}
+	}
+
+	for l := 0; l < m.Cfg.Layers; l++ {
+		for dir := 0; dir < 2; dir++ {
+			p := m.fwd[l]
+			g := ws.gradsFwd[l]
+			tag := "fwd"
+			if dir == 1 {
+				p, g, tag = m.rev[l], ws.gradsRev[l], "rev"
+			}
+			w, bias := p.wParams()
+			dw, db := g.wData()
+			n := len(w.Data)
+			check(tag+"W", w.Data, dw.Data, []int{0, n / 2, n - 1})
+			check(tag+"B", bias, db, []int{0, len(bias) - 1})
+		}
+	}
+	check("headW", m.HeadW.Data, ws.headGrads.DW.Data, []int{0, len(m.HeadW.Data) - 1})
+	check("headB", m.HeadB, ws.headGrads.DB, []int{0, len(m.HeadB) - 1})
+}
+
+// TestAllMergeOpsGradients runs the end-to-end gradient check once per merge
+// operator, covering the distinct backward paths of Equation 11.
+func TestAllMergeOpsGradients(t *testing.T) {
+	for _, op := range []MergeOp{MergeSum, MergeAvg, MergeMul, MergeConcat} {
+		cfg := Config{
+			Cell: LSTM, Arch: ManyToOne, Merge: op,
+			InputSize: 2, HiddenSize: 3, Layers: 2, SeqLen: 3,
+			Batch: 2, Classes: 3, MiniBatches: 1, Seed: 11,
+		}
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkModelGradients(t, m, makeBatch(cfg, 66), "merge-"+op.String())
+	}
+}
+
+// TestTrainingReducesLoss: a small model fits a fixed batch.
+func TestTrainingReducesLoss(t *testing.T) {
+	for _, arch := range []Arch{ManyToOne, ManyToMany} {
+		cfg := Config{
+			Cell: LSTM, Arch: arch, Merge: MergeSum,
+			InputSize: 4, HiddenSize: 8, Layers: 2, SeqLen: 4,
+			Batch: 8, Classes: 3, MiniBatches: 2, Seed: 3,
+		}
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := taskrt.New(taskrt.Options{Workers: 4})
+		e := NewEngine(m, rt)
+		b := makeBatch(cfg, 77)
+		first, err := e.TrainStep(b, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last float64
+		for i := 0; i < 200; i++ {
+			last, err = e.TrainStep(b, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt.Shutdown()
+		if !(last < first*0.7) {
+			t.Fatalf("%v: loss did not drop: first %g last %g", arch, first, last)
+		}
+	}
+}
+
+// TestInferPredictionsMatchTraining: after overfitting one batch, inference
+// predicts the training labels.
+func TestInferLearnsBatch(t *testing.T) {
+	cfg := Config{
+		Cell: GRU, Arch: ManyToOne, Merge: MergeSum,
+		InputSize: 4, HiddenSize: 10, Layers: 1, SeqLen: 4,
+		Batch: 6, Classes: 3, MiniBatches: 1, Seed: 5,
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m, taskrt.NewInline(nil))
+	b := makeBatch(cfg, 88)
+	for i := 0; i < 150; i++ {
+		if _, err := e.TrainStep(b, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds, loss, err := e.Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.5 {
+		t.Fatalf("loss still %g after overfitting", loss)
+	}
+	correct := 0
+	for i, p := range preds[0] {
+		if p == b.Targets[i] {
+			correct++
+		}
+	}
+	if correct < 5 {
+		t.Fatalf("only %d/6 correct after overfitting", correct)
+	}
+}
+
+// TestBSeqMatchesBPar: the data-parallel-only baseline computes bitwise the
+// same update as B-Par with equal mini-batching.
+func TestBSeqMatchesBPar(t *testing.T) {
+	for _, arch := range []Arch{ManyToOne, ManyToMany} {
+		cfg := smallCfg(LSTM, arch, 3)
+		parM, parLoss := trainN(t, cfg, parallelExec(4, taskrt.BreadthFirst), 3)
+
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := taskrt.New(taskrt.Options{Workers: 4})
+		bs := NewBSeq(m, rt)
+		var loss float64
+		for i := 0; i < 3; i++ {
+			b := makeBatch(cfg, uint64(100+i))
+			loss, err = bs.TrainStep(b, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt.Shutdown()
+		if !m.WeightsEqual(parM) {
+			t.Fatalf("%v: BSeq diverged from B-Par: %g", arch, m.WeightsMaxAbsDiff(parM))
+		}
+		if loss != parLoss {
+			t.Fatalf("%v: losses differ: %g vs %g", arch, loss, parLoss)
+		}
+	}
+}
+
+// TestBarrierModeMatchesBPar: per-layer barriers change scheduling only,
+// never numerics.
+func TestBarrierModeMatchesBPar(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	parM, parLoss := trainN(t, cfg, parallelExec(4, taskrt.BreadthFirst), 3)
+
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Options{Workers: 4})
+	e := NewEngine(m, rt)
+	var loss float64
+	for i := 0; i < 3; i++ {
+		b := makeBatch(cfg, uint64(100+i))
+		loss, err = e.TrainStepBarrier(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	if !m.WeightsEqual(parM) {
+		t.Fatalf("barrier mode diverged: %g", m.WeightsMaxAbsDiff(parM))
+	}
+	if loss != parLoss {
+		t.Fatalf("losses differ: %g vs %g", loss, parLoss)
+	}
+}
+
+// TestVariableSequenceLength: the graph adapts when T changes between
+// batches (Section III-B).
+func TestVariableSequenceLength(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Options{Workers: 4})
+	defer rt.Shutdown()
+	e := NewEngine(m, rt)
+	for i, T := range []int{5, 2, 7, 5, 2} {
+		c2 := cfg
+		c2.SeqLen = T
+		b := makeBatch(c2, uint64(i))
+		if _, err := e.TrainStep(b, 0.05); err != nil {
+			t.Fatalf("T=%d: %v", T, err)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 1)
+	m, _ := NewModel(cfg)
+	e := NewEngine(m, taskrt.NewInline(nil))
+	if _, err := e.TrainStep(&Batch{}, 0.1); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+	b := makeBatch(cfg, 1)
+	b.Targets = b.Targets[:2]
+	if _, err := e.TrainStep(b, 0.1); err == nil {
+		t.Fatal("short targets must fail")
+	}
+	bad := makeBatch(cfg, 1)
+	bad.X[0] = tensor.New(cfg.Batch, cfg.InputSize+1)
+	if _, err := e.TrainStep(bad, 0.1); err == nil {
+		t.Fatal("wrong input width must fail")
+	}
+}
+
+func TestInferWithoutTargets(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 1)
+	m, _ := NewModel(cfg)
+	e := NewEngine(m, taskrt.NewInline(nil))
+	b := makeBatch(cfg, 9)
+	b.Targets = nil
+	preds, loss, err := e.Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 0 {
+		t.Fatalf("loss without targets should be 0, got %g", loss)
+	}
+	if len(preds) != 1 || len(preds[0]) != cfg.Batch {
+		t.Fatalf("bad preds shape")
+	}
+}
+
+func TestMbBounds(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 4)
+	cfg.Batch = 10 // 3,3,2,2
+	m, _ := NewModel(cfg)
+	e := NewEngine(m, taskrt.NewInline(nil))
+	want := [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for i, w := range want {
+		lo, hi := e.mbBounds(i)
+		if lo != w[0] || hi != w[1] {
+			t.Fatalf("mb %d: [%d,%d) want [%d,%d)", i, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+func TestGradClipKeepsTrainingStable(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 1)
+	m, _ := NewModel(cfg)
+	e := NewEngine(m, taskrt.NewInline(nil))
+	e.GradClip = 0.1
+	b := makeBatch(cfg, 12)
+	for i := 0; i < 10; i++ {
+		loss, err := e.TrainStep(b, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatal("loss exploded despite clipping")
+		}
+	}
+}
+
+func TestPhantomEngineRefusesRealWork(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 1)
+	m, _ := NewModel(cfg)
+	e := NewPhantomEngine(m, taskrt.NewRecorder(false))
+	if _, err := e.TrainStep(makeBatch(cfg, 1), 0.1); err == nil {
+		t.Fatal("phantom TrainStep must fail")
+	}
+	if _, _, err := e.Infer(makeBatch(cfg, 1)); err == nil {
+		t.Fatal("phantom Infer must fail")
+	}
+}
+
+func TestWorkingSetBytesPositiveAndPhantomAgrees(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	m, _ := NewModel(cfg)
+	real := NewEngine(m, taskrt.NewInline(nil))
+	phantom := NewPhantomEngine(m, taskrt.NewRecorder(false))
+	r := real.WorkingSetBytes(cfg.SeqLen)
+	p := phantom.WorkingSetBytes(cfg.SeqLen)
+	if r <= 0 || p <= 0 {
+		t.Fatal("working sets must be positive")
+	}
+	ratio := float64(r) / float64(p)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("phantom estimate off: real %d phantom %d", r, p)
+	}
+}
+
+func TestInferProbsMatchesInfer(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	m, _ := NewModel(cfg)
+	e := NewEngine(m, taskrt.NewInline(nil))
+	b := makeBatch(cfg, 33)
+	preds, lossA, err := e.Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, lossB, err := e.InferProbs(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossA != lossB {
+		t.Fatalf("losses differ: %g vs %g", lossA, lossB)
+	}
+	if len(probs) != 1 || probs[0].Rows != cfg.Batch || probs[0].Cols != cfg.Classes {
+		t.Fatalf("bad probs shape")
+	}
+	am := tensor.ArgmaxRows(probs[0])
+	for i := range am {
+		if am[i] != preds[0][i] {
+			t.Fatalf("argmax of probs disagrees with Infer at row %d", i)
+		}
+	}
+	// Rows are distributions.
+	for i := 0; i < probs[0].Rows; i++ {
+		sum := 0.0
+		for _, v := range probs[0].Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestWithBatchSharesWeights(t *testing.T) {
+	cfg := smallCfg(GRU, ManyToOne, 2)
+	m, _ := NewModel(cfg)
+	one, err := m.WithBatch(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.WeightsEqual(m) {
+		t.Fatal("views must share weights")
+	}
+	// Training through the original updates the view too (shared storage).
+	e := NewEngine(m, taskrt.NewInline(nil))
+	if _, err := e.TrainStep(makeBatch(cfg, 2), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if !one.WeightsEqual(m) {
+		t.Fatal("views must observe weight updates")
+	}
+	// Batch-1 inference works through the view.
+	c1 := cfg
+	c1.Batch, c1.MiniBatches = 1, 1
+	b := makeBatch(c1, 3)
+	e1 := NewEngine(one, taskrt.NewInline(nil))
+	if _, _, err := e1.Infer(b); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid views are rejected.
+	if _, err := m.WithBatch(0, 1); err == nil {
+		t.Fatal("batch 0 must fail")
+	}
+	if _, err := m.WithBatch(2, 5); err == nil {
+		t.Fatal("mbs > batch must fail")
+	}
+}
+
+// TestIgnoreLabelGradients: within-batch variable-length sequences mask
+// padded timesteps with tensor.IgnoreLabel; the masked loss still gradient-
+// checks end to end, and masked slots carry no gradient.
+func TestIgnoreLabelGradients(t *testing.T) {
+	cfg := Config{
+		Cell: LSTM, Arch: ManyToMany, Merge: MergeSum,
+		InputSize: 2, HiddenSize: 3, Layers: 2, SeqLen: 4,
+		Batch: 2, Classes: 3, MiniBatches: 1, Seed: 19,
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := makeBatch(cfg, 31)
+	// Sequence 1 "ends" after two steps: mask its tail labels.
+	b.StepTargets[2][1] = tensor.IgnoreLabel
+	b.StepTargets[3][1] = tensor.IgnoreLabel
+	checkModelGradients(t, m, b, "masked-m2m")
+}
+
+// TestIgnoreLabelMatchesManualMask: masking a row's label produces exactly
+// the gradients of a loss that never saw that row.
+func TestIgnoreLabelLossDropsMaskedRows(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToMany, 1)
+	m, _ := NewModel(cfg)
+	e := NewEngine(m, taskrt.NewInline(nil))
+	b := makeBatch(cfg, 41)
+	_, full, err := e.Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t0 := range b.StepTargets {
+		b.StepTargets[t0][0] = tensor.IgnoreLabel
+	}
+	_, masked, err := e.Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked >= full && full > 0 {
+		// Not guaranteed ordering in general, but dropping an entire
+		// sequence from the summed loss must reduce it here.
+		t.Fatalf("masked loss %g not below full %g", masked, full)
+	}
+}

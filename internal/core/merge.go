@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+
+	"bpar/internal/tensor"
+)
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+func logF(x float64) float64     { return math.Log(x) }
+
+// mergeForward computes Equation 11: dst = merge(hFwd, hRev).
+// dst is [batch x MergeDim]; hFwd/hRev are [batch x Hidden].
+func mergeForward(op MergeOp, dst, hFwd, hRev *tensor.Matrix) {
+	switch op {
+	case MergeSum:
+		tensor.Add(dst, hFwd, hRev)
+	case MergeAvg:
+		tensor.Average(dst, hFwd, hRev)
+	case MergeMul:
+		tensor.Mul(dst, hFwd, hRev)
+	case MergeConcat:
+		tensor.ConcatCols(dst, hFwd, hRev)
+	default:
+		panic("core: unknown merge op")
+	}
+}
+
+// mergeBackward propagates dMerged through Equation 11, writing the
+// gradient w.r.t. each direction's hidden output. For MergeMul it needs the
+// forward values of the opposite direction.
+func mergeBackward(op MergeOp, dMerged, hFwd, hRev, dHFwd, dHRev *tensor.Matrix) {
+	switch op {
+	case MergeSum:
+		dHFwd.CopyFrom(dMerged)
+		dHRev.CopyFrom(dMerged)
+	case MergeAvg:
+		tensor.Scale(dHFwd, 0.5, dMerged)
+		tensor.Scale(dHRev, 0.5, dMerged)
+	case MergeMul:
+		tensor.Mul(dHFwd, dMerged, hRev)
+		tensor.Mul(dHRev, dMerged, hFwd)
+	case MergeConcat:
+		tensor.SplitCols(dMerged, dHFwd, dHRev)
+	default:
+		panic("core: unknown merge op")
+	}
+}
+
+// mergeFlops estimates the floating-point work of one merge task.
+func mergeFlops(op MergeOp, batch, hidden int) float64 {
+	n := float64(batch * hidden)
+	switch op {
+	case MergeConcat:
+		return n // pure copy traffic, count one op per element
+	default:
+		return 2 * n
+	}
+}
+
+// mergeWorkingSetBytes estimates the bytes one merge task touches.
+func mergeWorkingSetBytes(op MergeOp, batch, hidden int) int64 {
+	in := int64(2 * batch * hidden * 8)
+	out := int64(batch * hidden * 8)
+	if op == MergeConcat {
+		out *= 2
+	}
+	return in + out
+}

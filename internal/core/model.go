@@ -1,0 +1,399 @@
+package core
+
+import (
+	"bpar/internal/cell"
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// dirParams wraps one direction of one layer, dispatching on cell kind so
+// the emission code is written once for LSTM and GRU.
+type dirParams struct {
+	kind CellKind
+	lstm *cell.LSTMWeights
+	gru  *cell.GRUWeights
+	rnn  *cell.RNNWeights
+}
+
+func newDirParams(kind CellKind, inputSize, hiddenSize int, r *rng.RNG) *dirParams {
+	p := &dirParams{kind: kind}
+	switch kind {
+	case LSTM:
+		p.lstm = cell.NewLSTMWeights(inputSize, hiddenSize)
+		p.lstm.Init(r)
+	case GRU:
+		p.gru = cell.NewGRUWeights(inputSize, hiddenSize)
+		p.gru.Init(r)
+	default:
+		p.rnn = cell.NewRNNWeights(inputSize, hiddenSize)
+		p.rnn.Init(r)
+	}
+	return p
+}
+
+func (p *dirParams) paramCount() int {
+	switch p.kind {
+	case LSTM:
+		return p.lstm.ParamCount()
+	case GRU:
+		return p.gru.ParamCount()
+	default:
+		return p.rnn.ParamCount()
+	}
+}
+
+// cellSt is the per-cell activation/cache record for either cell kind.
+type cellSt struct {
+	lstm *cell.LSTMState
+	gru  *cell.GRUState
+	rnn  *cell.RNNState
+}
+
+func (p *dirParams) newState(batch int) *cellSt {
+	switch p.kind {
+	case LSTM:
+		return &cellSt{lstm: cell.NewLSTMState(batch, p.lstm.InputSize, p.lstm.HiddenSize)}
+	case GRU:
+		return &cellSt{gru: cell.NewGRUState(batch, p.gru.InputSize, p.gru.HiddenSize)}
+	default:
+		return &cellSt{rnn: cell.NewRNNState(batch, p.rnn.InputSize, p.rnn.HiddenSize)}
+	}
+}
+
+// H returns the cell's hidden output H_t.
+func (s *cellSt) H() *tensor.Matrix {
+	switch {
+	case s.lstm != nil:
+		return s.lstm.H
+	case s.gru != nil:
+		return s.gru.H
+	default:
+		return s.rnn.H
+	}
+}
+
+// C returns the LSTM cell state (nil for GRU and RNN).
+func (s *cellSt) C() *tensor.Matrix {
+	if s.lstm != nil {
+		return s.lstm.C
+	}
+	return nil
+}
+
+func (s *cellSt) workingSetBytes() int64 {
+	switch {
+	case s.lstm != nil:
+		return s.lstm.WorkingSetBytes()
+	case s.gru != nil:
+		return s.gru.WorkingSetBytes()
+	default:
+		return s.rnn.WorkingSetBytes()
+	}
+}
+
+// forward runs one cell update. cPrev is ignored for GRU and RNN.
+func (p *dirParams) forward(x, hPrev, cPrev *tensor.Matrix, st *cellSt) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMForward(p.lstm, x, hPrev, cPrev, st.lstm)
+	case GRU:
+		cell.GRUForward(p.gru, x, hPrev, st.gru)
+	default:
+		cell.RNNForward(p.rnn, x, hPrev, st.rnn)
+	}
+}
+
+// backward runs one cell's BPTT step. dC/dCPrev are ignored for GRU and RNN.
+func (p *dirParams) backward(st *cellSt, hPrev, cPrev, dH, dC, dX, dHPrev, dCPrev *tensor.Matrix, g *dirGrads) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMBackward(p.lstm, st.lstm, cPrev, dH, dC, dX, dHPrev, dCPrev, g.lstm)
+	case GRU:
+		cell.GRUBackward(p.gru, st.gru, hPrev, dH, dX, dHPrev, g.gru)
+	default:
+		cell.RNNBackward(p.rnn, st.rnn, dH, dX, dHPrev, g.rnn)
+	}
+}
+
+func (p *dirParams) fwdFlops(batch int) float64 {
+	switch p.kind {
+	case LSTM:
+		return cell.LSTMForwardFlops(batch, p.lstm.InputSize, p.lstm.HiddenSize)
+	case GRU:
+		return cell.GRUForwardFlops(batch, p.gru.InputSize, p.gru.HiddenSize)
+	default:
+		return cell.RNNForwardFlops(batch, p.rnn.InputSize, p.rnn.HiddenSize)
+	}
+}
+
+func (p *dirParams) bwdFlops(batch int) float64 {
+	switch p.kind {
+	case LSTM:
+		return cell.LSTMBackwardFlops(batch, p.lstm.InputSize, p.lstm.HiddenSize)
+	case GRU:
+		return cell.GRUBackwardFlops(batch, p.gru.InputSize, p.gru.HiddenSize)
+	default:
+		return cell.RNNBackwardFlops(batch, p.rnn.InputSize, p.rnn.HiddenSize)
+	}
+}
+
+func (p *dirParams) taskWorkingSet(batch int) int64 {
+	switch p.kind {
+	case LSTM:
+		return cell.LSTMWorkingSetBytes(batch, p.lstm.InputSize, p.lstm.HiddenSize)
+	case GRU:
+		return cell.GRUWorkingSetBytes(batch, p.gru.InputSize, p.gru.HiddenSize)
+	default:
+		return cell.RNNWorkingSetBytes(batch, p.rnn.InputSize, p.rnn.HiddenSize)
+	}
+}
+
+// dirGrads accumulates weight gradients for one direction of one layer.
+type dirGrads struct {
+	kind CellKind
+	lstm *cell.LSTMGrads
+	gru  *cell.GRUGrads
+	rnn  *cell.RNNGrads
+}
+
+func (p *dirParams) newGrads() *dirGrads {
+	switch p.kind {
+	case LSTM:
+		return &dirGrads{kind: LSTM, lstm: cell.NewLSTMGrads(p.lstm)}
+	case GRU:
+		return &dirGrads{kind: GRU, gru: cell.NewGRUGrads(p.gru)}
+	default:
+		return &dirGrads{kind: RNN, rnn: cell.NewRNNGrads(p.rnn)}
+	}
+}
+
+// wData returns the weight-gradient matrix and bias-gradient slice.
+func (g *dirGrads) wData() (*tensor.Matrix, []float64) {
+	switch g.kind {
+	case LSTM:
+		return g.lstm.DW, g.lstm.DB
+	case GRU:
+		return g.gru.DW, g.gru.DB
+	default:
+		return g.rnn.DW, g.rnn.DB
+	}
+}
+
+// wParams returns the weight matrix and bias slice of the parameters.
+func (p *dirParams) wParams() (*tensor.Matrix, []float64) {
+	switch p.kind {
+	case LSTM:
+		return p.lstm.W, p.lstm.B
+	case GRU:
+		return p.gru.W, p.gru.B
+	default:
+		return p.rnn.W, p.rnn.B
+	}
+}
+
+func (g *dirGrads) zero() {
+	dw, db := g.wData()
+	dw.Zero()
+	for i := range db {
+		db[i] = 0
+	}
+}
+
+// addScaled accumulates alpha * src into g (the mini-batch reduction).
+func (g *dirGrads) addScaled(alpha float64, src *dirGrads) {
+	dw, db := g.wData()
+	sw, sb := src.wData()
+	tensor.AxpyMatrix(dw, alpha, sw)
+	tensor.Axpy(alpha, sb, db)
+}
+
+// applySGD performs w -= lr * g.
+func (p *dirParams) applySGD(lr float64, g *dirGrads) {
+	w, b := p.wParams()
+	dw, db := g.wData()
+	tensor.AxpyMatrix(w, -lr, dw)
+	tensor.Axpy(-lr, db, b)
+}
+
+// clip clamps gradient magnitudes; keeps small-model training stable.
+func (g *dirGrads) clip(limit float64) {
+	dw, db := g.wData()
+	tensor.ClipInPlace(dw, limit)
+	clipSlice(db, limit)
+}
+
+func clipSlice(s []float64, limit float64) {
+	for i, v := range s {
+		if v > limit {
+			s[i] = limit
+		} else if v < -limit {
+			s[i] = -limit
+		}
+	}
+}
+
+// Model holds the parameters of one BRNN: per layer, one forward-order and
+// one reverse-order parameter set (the paper's two sets of weights and
+// biases), plus the classifier head. Weights are shared across all unrolled
+// timestamps of a layer — the working-set optimization of Section II.
+type Model struct {
+	Cfg Config
+
+	fwd, rev []*dirParams // per layer
+
+	// HeadW is [Classes x MergeDim]; HeadB is the head bias.
+	HeadW *tensor.Matrix
+	HeadB []float64
+}
+
+// NewModel validates cfg and builds a deterministically initialized model.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	m := &Model{Cfg: cfg}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.LayerInputSize(l)
+		m.fwd = append(m.fwd, newDirParams(cfg.Cell, in, cfg.HiddenSize, r.Split()))
+		m.rev = append(m.rev, newDirParams(cfg.Cell, in, cfg.HiddenSize, r.Split()))
+	}
+	d := cfg.MergeDim()
+	m.HeadW = tensor.New(cfg.Classes, d)
+	hr := r.Split()
+	scale := 1.0 / sqrtF(float64(d))
+	hr.FillUniform(m.HeadW.Data, -scale, scale)
+	m.HeadB = make([]float64, cfg.Classes)
+	return m, nil
+}
+
+// ParamCount returns the recurrent parameter count (matches the paper's
+// tables); the head adds HeadParamCount more.
+func (m *Model) ParamCount() int {
+	total := 0
+	for l := range m.fwd {
+		total += m.fwd[l].paramCount() + m.rev[l].paramCount()
+	}
+	return total
+}
+
+// Clone returns a deep copy of the model (same config, copied weights).
+func (m *Model) Clone() *Model {
+	c := &Model{Cfg: m.Cfg, HeadW: m.HeadW.Clone(), HeadB: append([]float64(nil), m.HeadB...)}
+	for l := range m.fwd {
+		c.fwd = append(c.fwd, cloneDir(m.fwd[l]))
+		c.rev = append(c.rev, cloneDir(m.rev[l]))
+	}
+	return c
+}
+
+func cloneDir(p *dirParams) *dirParams {
+	c := &dirParams{kind: p.kind}
+	switch p.kind {
+	case LSTM:
+		c.lstm = cell.NewLSTMWeights(p.lstm.InputSize, p.lstm.HiddenSize)
+	case GRU:
+		c.gru = cell.NewGRUWeights(p.gru.InputSize, p.gru.HiddenSize)
+	default:
+		c.rnn = cell.NewRNNWeights(p.rnn.InputSize, p.rnn.HiddenSize)
+	}
+	cw, cb := c.wParams()
+	pw, pb := p.wParams()
+	cw.CopyFrom(pw)
+	copy(cb, pb)
+	return c
+}
+
+// WithBatch returns a model sharing this model's weights but configured for
+// a different batch size and mini-batch split — e.g. to run single-sequence
+// inference with weights trained at a larger batch. Training through either
+// view updates the same parameters.
+func (m *Model) WithBatch(batch, miniBatches int) (*Model, error) {
+	cfg := m.Cfg
+	cfg.Batch = batch
+	cfg.MiniBatches = miniBatches
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{Cfg: cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB}, nil
+}
+
+// WeightsEqual reports bitwise equality of all parameters — the
+// determinism/equivalence check used by the accuracy-preservation tests.
+func (m *Model) WeightsEqual(o *Model) bool {
+	if len(m.fwd) != len(o.fwd) {
+		return false
+	}
+	for l := range m.fwd {
+		if !dirEqual(m.fwd[l], o.fwd[l]) || !dirEqual(m.rev[l], o.rev[l]) {
+			return false
+		}
+	}
+	if !m.HeadW.Equal(o.HeadW) {
+		return false
+	}
+	for i, v := range m.HeadB {
+		if v != o.HeadB[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dirEqual(a, b *dirParams) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	aw, ab := a.wParams()
+	bw, bb := b.wParams()
+	if !aw.Equal(bw) {
+		return false
+	}
+	for i, v := range ab {
+		if v != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightsMaxAbsDiff returns the largest absolute parameter difference
+// between two models with identical configuration.
+func (m *Model) WeightsMaxAbsDiff(o *Model) float64 {
+	max := 0.0
+	upd := func(d float64) {
+		if d > max {
+			max = d
+		}
+	}
+	for l := range m.fwd {
+		for _, pair := range [][2]*dirParams{{m.fwd[l], o.fwd[l]}, {m.rev[l], o.rev[l]}} {
+			aw, ab := pair[0].wParams()
+			bw, bb := pair[1].wParams()
+			upd(aw.MaxAbsDiff(bw))
+			upd(sliceMaxAbsDiff(ab, bb))
+		}
+	}
+	upd(m.HeadW.MaxAbsDiff(o.HeadW))
+	upd(sliceMaxAbsDiff(m.HeadB, o.HeadB))
+	return max
+}
+
+func sliceMaxAbsDiff(a, b []float64) float64 {
+	max := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func sqrtF(x float64) float64 {
+	// local alias to avoid importing math in several files
+	return mathSqrt(x)
+}

@@ -1,0 +1,67 @@
+package core
+
+import "math"
+
+// AdamOpts configures the Adam optimizer. Enable by setting Engine.Adam;
+// it then takes precedence over Momentum/plain SGD.
+type AdamOpts struct {
+	Beta1, Beta2, Eps float64
+}
+
+// DefaultAdam returns the standard Adam hyper-parameters.
+func DefaultAdam() *AdamOpts { return &AdamOpts{Beta1: 0.9, Beta2: 0.999, Eps: 1e-8} }
+
+// adamState holds the first and second moment estimates for every
+// parameter, plus the step counter for bias correction.
+type adamState struct {
+	step int
+	m, v *velocity
+}
+
+func newAdamState(model *Model) *adamState {
+	return &adamState{m: newVelocity(model), v: newVelocity(model)}
+}
+
+// adamUpdate applies one Adam step to parameters w given normalized
+// gradients g and moment buffers m, v (all equal-length slices).
+func adamUpdate(w, g, m, v []float64, lr float64, o *AdamOpts, c1, c2 float64) {
+	for i, gi := range g {
+		m[i] = o.Beta1*m[i] + (1-o.Beta1)*gi
+		v[i] = o.Beta2*v[i] + (1-o.Beta2)*gi*gi
+		mhat := m[i] / c1
+		vhat := v[i] / c2
+		w[i] -= lr * mhat / (math.Sqrt(vhat) + o.Eps)
+	}
+}
+
+// applyAdam performs one full-model Adam step from the (already normalized
+// and optionally clipped) gradients in ws.
+func (e *Engine) applyAdam(ws *workspace, lr float64) {
+	if e.adam == nil {
+		e.adam = newAdamState(e.M)
+	}
+	st := e.adam
+	st.step++
+	c1 := 1 - math.Pow(e.Adam.Beta1, float64(st.step))
+	c2 := 1 - math.Pow(e.Adam.Beta2, float64(st.step))
+
+	for l := range ws.gradsFwd {
+		for dir := 0; dir < 2; dir++ {
+			p := e.M.fwd[l]
+			g := ws.gradsFwd[l]
+			if dir == 1 {
+				p, g = e.M.rev[l], ws.gradsRev[l]
+			}
+			w, bias := p.wParams()
+			dw, db := g.wData()
+			mBuf := st.m.dirs[2*l+dir]
+			vBuf := st.v.dirs[2*l+dir]
+			mW, mB := mBuf.wData()
+			vW, vB := vBuf.wData()
+			adamUpdate(w.Data, dw.Data, mW.Data, vW.Data, lr, e.Adam, c1, c2)
+			adamUpdate(bias, db, mB, vB, lr, e.Adam, c1, c2)
+		}
+	}
+	adamUpdate(e.M.HeadW.Data, ws.headGrads.DW.Data, st.m.headW.Data, st.v.headW.Data, lr, e.Adam, c1, c2)
+	adamUpdate(e.M.HeadB, ws.headGrads.DB, st.m.headB, st.v.headB, lr, e.Adam, c1, c2)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bpar/internal/tensor"
+)
+
+// serialization format: a fixed magic/version header, the configuration as
+// int64 fields, then every parameter tensor as little-endian float64s in a
+// fixed order (per layer: forward W, forward B, reverse W, reverse B; then
+// head W, head B).
+const modelMagic = "BPAR0001"
+
+// Save writes the model (configuration and all weights) to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	cfg := m.Cfg
+	header := []int64{
+		int64(cfg.Cell), int64(cfg.Arch), int64(cfg.Merge),
+		int64(cfg.InputSize), int64(cfg.HiddenSize), int64(cfg.Layers),
+		int64(cfg.SeqLen), int64(cfg.Batch), int64(cfg.Classes),
+		int64(cfg.MiniBatches), int64(cfg.Seed),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: save header: %w", err)
+		}
+	}
+	writeF64 := func(data []float64) error {
+		return binary.Write(bw, binary.LittleEndian, data)
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		for _, p := range []*dirParams{m.fwd[l], m.rev[l]} {
+			w, bias := p.wParams()
+			if err := writeF64(w.Data); err != nil {
+				return err
+			}
+			if err := writeF64(bias); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeF64(m.HeadW.Data); err != nil {
+		return err
+	}
+	if err := writeF64(m.HeadB); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: load magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("core: bad magic %q (want %q)", magic, modelMagic)
+	}
+	header := make([]int64, 11)
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("core: load header: %w", err)
+		}
+	}
+	cfg := Config{
+		Cell: CellKind(header[0]), Arch: Arch(header[1]), Merge: MergeOp(header[2]),
+		InputSize: int(header[3]), HiddenSize: int(header[4]), Layers: int(header[5]),
+		SeqLen: int(header[6]), Batch: int(header[7]), Classes: int(header[8]),
+		MiniBatches: int(header[9]), Seed: uint64(header[10]),
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: load config: %w", err)
+	}
+	readF64 := func(data []float64) error {
+		return binary.Read(br, binary.LittleEndian, data)
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		for _, p := range []*dirParams{m.fwd[l], m.rev[l]} {
+			w, bias := p.wParams()
+			if err := readF64(w.Data); err != nil {
+				return nil, fmt.Errorf("core: load layer %d weights: %w", l, err)
+			}
+			if err := readF64(bias); err != nil {
+				return nil, fmt.Errorf("core: load layer %d bias: %w", l, err)
+			}
+		}
+	}
+	if err := readF64(m.HeadW.Data); err != nil {
+		return nil, fmt.Errorf("core: load head weights: %w", err)
+	}
+	if err := readF64(m.HeadB); err != nil {
+		return nil, fmt.Errorf("core: load head bias: %w", err)
+	}
+	return m, nil
+}
+
+// velocity holds momentum state matching one model's parameters.
+type velocity struct {
+	dirs  []*dirGrads // fwd then rev per layer, same layout as gradients
+	headW *tensor.Matrix
+	headB []float64
+}
+
+func newVelocity(m *Model) *velocity {
+	v := &velocity{
+		headW: tensor.New(m.HeadW.Rows, m.HeadW.Cols),
+		headB: make([]float64, len(m.HeadB)),
+	}
+	for l := range m.fwd {
+		v.dirs = append(v.dirs, m.fwd[l].newGrads(), m.rev[l].newGrads())
+	}
+	return v
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// headGrads accumulates classifier-head gradients.
+type headGrads struct {
+	DW *tensor.Matrix
+	DB []float64
+}
+
+func (g *headGrads) zero() {
+	g.DW.Zero()
+	for i := range g.DB {
+		g.DB[i] = 0
+	}
+}
+
+// workspace holds the unrolled activations, caches and gradient buffers for
+// one mini-batch, plus the dependency keys that name them in task
+// annotations.
+//
+// In phantom mode no numeric buffers are allocated: only dependency keys
+// exist, and emitted tasks carry metadata but no bodies. Phantom mode lets
+// the discrete-event simulator record task graphs for configurations far too
+// large to execute on the host (e.g. hidden 1024, batch 256, 48 cores).
+type workspace struct {
+	phantom bool
+	rows    int // sequences in this mini-batch
+	T       int // sequence length
+	cfg     Config
+
+	// Dependency keys, always present. Indexing: [layer][timestep].
+	// Chain-buffer conventions:
+	//   kDHChainFwd[l][t] — grad w.r.t. H of forward cell (l,t), written by
+	//     the backward task of cell (l,t+1); zero (never written) at t=T-1.
+	//   kDHChainRev[l][t] — grad w.r.t. H of reverse cell (l,t), written by
+	//     the backward task of cell (l,t-1); zero at t=0.
+	kX            []taskrt.Dep
+	kFwdSt        [][]taskrt.Dep
+	kRevSt        [][]taskrt.Dep
+	kMerged       [][]taskrt.Dep
+	kFinalMerged  taskrt.Dep
+	kProbs        []taskrt.Dep
+	kDMerged      [][]taskrt.Dep
+	kDFinalMerged taskrt.Dep
+	kDHMergeFwd   [][]taskrt.Dep
+	kDHMergeRev   [][]taskrt.Dep
+	kDHChainFwd   [][]taskrt.Dep
+	kDCChainFwd   [][]taskrt.Dep
+	kDHChainRev   [][]taskrt.Dep
+	kDCChainRev   [][]taskrt.Dep
+	kGradsFwd     []taskrt.Dep
+	kGradsRev     []taskrt.Dep
+	kHeadGrads    taskrt.Dep
+
+	// Real buffers; nil in phantom mode.
+	fwdSt, revSt             [][]*cellSt
+	merged                   [][]*tensor.Matrix
+	finalMerged              *tensor.Matrix
+	logits, probs            []*tensor.Matrix
+	losses                   []float64
+	dMerged                  [][]*tensor.Matrix
+	dFinalMerged             *tensor.Matrix
+	dHMergeFwd, dHMergeRev   [][]*tensor.Matrix
+	dHChainFwd, dCChainFwd   [][]*tensor.Matrix
+	dHChainRev, dCChainRev   [][]*tensor.Matrix
+	dXScratchFwd             []*tensor.Matrix // per layer
+	dXScratchRev             []*tensor.Matrix
+	dHSumFwd, dHSumRev       []*tensor.Matrix // per layer dH accumulation scratch
+	dHSinkFwd, dCSinkFwd     []*tensor.Matrix // discard targets at chain boundaries
+	dHSinkRev, dCSinkRev     []*tensor.Matrix
+	zeroH, zeroC, zeroChainH *tensor.Matrix
+	gradsFwd, gradsRev       []*dirGrads
+	headGrads                *headGrads
+}
+
+// token is a unique comparable dependency key for phantom buffers.
+type token struct{ _ byte }
+
+func newToken() taskrt.Dep { return &token{} }
+
+// hasMergePerTimestep reports whether layer l has a merge cell at every
+// timestep (true for all layers except the last layer of a many-to-one
+// model, which has the single final merge).
+func (c Config) hasMergePerTimestep(l int) bool {
+	return l < c.Layers-1 || c.Arch == ManyToMany
+}
+
+// newWorkspace builds a workspace for one mini-batch of `rows` sequences of
+// length T. When phantom is true, only dependency keys are created.
+func newWorkspace(m *Model, rows, T int, phantom bool) *workspace {
+	cfg := m.Cfg
+	w := &workspace{phantom: phantom, rows: rows, T: T, cfg: cfg}
+	L := cfg.Layers
+	H := cfg.HiddenSize
+	D := cfg.MergeDim()
+
+	grid := func() [][]taskrt.Dep {
+		g := make([][]taskrt.Dep, L)
+		for l := range g {
+			g[l] = make([]taskrt.Dep, T)
+			for t := range g[l] {
+				g[l][t] = newToken()
+			}
+		}
+		return g
+	}
+
+	w.kX = make([]taskrt.Dep, T)
+	for t := range w.kX {
+		w.kX[t] = newToken()
+	}
+	w.kFwdSt, w.kRevSt = grid(), grid()
+	w.kMerged, w.kDMerged = grid(), grid()
+	w.kDHMergeFwd, w.kDHMergeRev = grid(), grid()
+	w.kDHChainFwd, w.kDCChainFwd = grid(), grid()
+	w.kDHChainRev, w.kDCChainRev = grid(), grid()
+	w.kFinalMerged, w.kDFinalMerged = newToken(), newToken()
+	w.kHeadGrads = newToken()
+	nHeads := 1
+	if cfg.Arch == ManyToMany {
+		nHeads = T
+	}
+	w.kProbs = make([]taskrt.Dep, nHeads)
+	for i := range w.kProbs {
+		w.kProbs[i] = newToken()
+	}
+	w.kGradsFwd = make([]taskrt.Dep, L)
+	w.kGradsRev = make([]taskrt.Dep, L)
+	for l := 0; l < L; l++ {
+		w.kGradsFwd[l] = newToken()
+		w.kGradsRev[l] = newToken()
+	}
+	w.losses = make([]float64, nHeads)
+	if phantom {
+		return w
+	}
+
+	// Real buffers.
+	w.fwdSt = make([][]*cellSt, L)
+	w.revSt = make([][]*cellSt, L)
+	w.merged = make([][]*tensor.Matrix, L)
+	w.dMerged = make([][]*tensor.Matrix, L)
+	w.dHMergeFwd = make([][]*tensor.Matrix, L)
+	w.dHMergeRev = make([][]*tensor.Matrix, L)
+	w.dHChainFwd = make([][]*tensor.Matrix, L)
+	w.dCChainFwd = make([][]*tensor.Matrix, L)
+	w.dHChainRev = make([][]*tensor.Matrix, L)
+	w.dCChainRev = make([][]*tensor.Matrix, L)
+	for l := 0; l < L; l++ {
+		w.fwdSt[l] = make([]*cellSt, T)
+		w.revSt[l] = make([]*cellSt, T)
+		for t := 0; t < T; t++ {
+			w.fwdSt[l][t] = m.fwd[l].newState(rows)
+			w.revSt[l][t] = m.rev[l].newState(rows)
+		}
+		if cfg.hasMergePerTimestep(l) {
+			w.merged[l] = make([]*tensor.Matrix, T)
+			w.dMerged[l] = make([]*tensor.Matrix, T)
+			for t := 0; t < T; t++ {
+				w.merged[l][t] = tensor.New(rows, D)
+				w.dMerged[l][t] = tensor.New(rows, D)
+			}
+		}
+		w.dHMergeFwd[l] = matRow(T, rows, H)
+		w.dHMergeRev[l] = matRow(T, rows, H)
+		w.dHChainFwd[l] = matRow(T, rows, H)
+		w.dCChainFwd[l] = matRow(T, rows, H)
+		w.dHChainRev[l] = matRow(T, rows, H)
+		w.dCChainRev[l] = matRow(T, rows, H)
+	}
+	if cfg.Arch == ManyToOne {
+		w.finalMerged = tensor.New(rows, D)
+		w.dFinalMerged = tensor.New(rows, D)
+	}
+	w.logits = make([]*tensor.Matrix, nHeads)
+	w.probs = make([]*tensor.Matrix, nHeads)
+	for i := range w.logits {
+		w.logits[i] = tensor.New(rows, cfg.Classes)
+		w.probs[i] = tensor.New(rows, cfg.Classes)
+	}
+
+	w.dXScratchFwd = make([]*tensor.Matrix, L)
+	w.dXScratchRev = make([]*tensor.Matrix, L)
+	w.dHSumFwd = matRow(L, rows, H)
+	w.dHSumRev = matRow(L, rows, H)
+	w.dHSinkFwd = matRow(L, rows, H)
+	w.dCSinkFwd = matRow(L, rows, H)
+	w.dHSinkRev = matRow(L, rows, H)
+	w.dCSinkRev = matRow(L, rows, H)
+	for l := 0; l < L; l++ {
+		in := cfg.LayerInputSize(l)
+		w.dXScratchFwd[l] = tensor.New(rows, in)
+		w.dXScratchRev[l] = tensor.New(rows, in)
+	}
+	w.zeroH = tensor.New(rows, H)
+	w.zeroC = tensor.New(rows, H)
+
+	w.gradsFwd = make([]*dirGrads, L)
+	w.gradsRev = make([]*dirGrads, L)
+	for l := 0; l < L; l++ {
+		w.gradsFwd[l] = m.fwd[l].newGrads()
+		w.gradsRev[l] = m.rev[l].newGrads()
+	}
+	w.headGrads = &headGrads{DW: tensor.New(cfg.Classes, D), DB: make([]float64, cfg.Classes)}
+	return w
+}
+
+func matRow(n, rows, cols int) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, n)
+	for i := range out {
+		out[i] = tensor.New(rows, cols)
+	}
+	return out
+}
+
+// resetForStep zeroes the buffers that accumulate across tasks within one
+// training step: dMerged (summed into by forward- and reverse-cell backward
+// tasks) and the per-mini-batch gradients. Chain and merge-grad buffers at
+// graph boundaries stay zero by construction.
+func (w *workspace) resetForStep() {
+	if w.phantom {
+		return
+	}
+	for l := range w.dMerged {
+		for _, m := range w.dMerged[l] {
+			if m != nil {
+				m.Zero()
+			}
+		}
+	}
+	for l := range w.gradsFwd {
+		w.gradsFwd[l].zero()
+		w.gradsRev[l].zero()
+	}
+	w.headGrads.zero()
+	for i := range w.losses {
+		w.losses[i] = 0
+	}
+}
+
+// workingSetBytes estimates the resident bytes of all live activation and
+// gradient buffers of this workspace — the quantity the paper's memory
+// study reports (75.36 MB without per-layer sync vs 28.26 MB with, for an
+// 8-layer BLSTM at mbs:6).
+func (w *workspace) workingSetBytes() int64 {
+	if w.phantom {
+		return w.phantomWorkingSetBytes()
+	}
+	var total int64
+	add := func(m *tensor.Matrix) {
+		if m != nil {
+			total += int64(len(m.Data)) * 8
+		}
+	}
+	for l := range w.fwdSt {
+		for t := range w.fwdSt[l] {
+			total += w.fwdSt[l][t].workingSetBytes()
+			total += w.revSt[l][t].workingSetBytes()
+		}
+		for _, grid := range [][]*tensor.Matrix{
+			w.merged[l], w.dMerged[l], w.dHMergeFwd[l], w.dHMergeRev[l],
+			w.dHChainFwd[l], w.dCChainFwd[l], w.dHChainRev[l], w.dCChainRev[l],
+		} {
+			for _, m := range grid {
+				add(m)
+			}
+		}
+	}
+	add(w.finalMerged)
+	add(w.dFinalMerged)
+	for i := range w.logits {
+		add(w.logits[i])
+		add(w.probs[i])
+	}
+	return total
+}
+
+// phantomWorkingSetBytes computes the same estimate analytically.
+func (w *workspace) phantomWorkingSetBytes() int64 {
+	cfg := w.cfg
+	var total int64
+	gates := int64(cfg.gatesPerCell())
+	H := int64(cfg.HiddenSize)
+	D := int64(cfg.MergeDim())
+	rows := int64(w.rows)
+	T := int64(w.T)
+	for l := 0; l < cfg.Layers; l++ {
+		in := int64(cfg.LayerInputSize(l))
+		var perState int64
+		if cfg.Cell == LSTM {
+			perState = rows*(in+H) + rows*gates*H + 3*rows*H
+		} else {
+			perState = 2*rows*(in+H) + rows*2*H + 2*rows*H
+		}
+		total += 2 * T * perState * 8
+		if cfg.hasMergePerTimestep(l) {
+			total += 2 * T * rows * D * 8 // merged + dMerged
+		}
+		total += 6 * T * rows * H * 8 // merge-grad and chain buffers
+	}
+	if cfg.Arch == ManyToOne {
+		total += 2 * rows * D * 8
+		total += 2 * rows * int64(cfg.Classes) * 8
+	} else {
+		total += 2 * T * rows * int64(cfg.Classes) * 8
+	}
+	return total
+}

@@ -1,0 +1,159 @@
+// Package costmodel describes the simulated hardware platforms and converts
+// task metadata (flops, working set) into execution time, cache behaviour,
+// and counter estimates. It is the calibration layer between the task graphs
+// B-Par emits and the discrete-event simulator in internal/sim.
+//
+// The default machine reproduces the paper's CPU platform: a dual-socket
+// Intel Xeon Platinum 8160 (2 x 24 cores @ 2.1 GHz, 33 MB shared L3 per
+// socket). Because absolute rates depend on kernels we do not have (MKL),
+// the per-core flop rate is a calibrated constant chosen so simulated B-Par
+// times land near the paper's Table III magnitudes; every reported
+// comparison is a ratio, which the constant cancels out of.
+package costmodel
+
+// Machine describes one simulated multi-core platform.
+type Machine struct {
+	Name    string
+	Cores   int
+	Sockets int
+	// GHz is the core clock, used to convert durations to cycles for the
+	// IPC estimate.
+	GHz float64
+	// CoreGFlops is the effective per-core flop rate (GFLOP/s) on
+	// cache-resident data (f32 AVX-512 MKL-sequential territory).
+	CoreGFlops float64
+	// MemBytesPerSec is the per-core sustained rate at which last-level
+	// cache misses are serviced; a task pays missBytes/MemBytesPerSec of
+	// extra latency on top of its compute time.
+	MemBytesPerSec float64
+	// NUMAPenalty multiplies the memory term when a task's inputs live on
+	// the other socket.
+	NUMAPenalty float64
+	// L3PerSocketBytes is the shared last-level cache per socket.
+	L3PerSocketBytes int64
+	// TaskOverheadSec is the per-task runtime cost (creation, scheduling,
+	// synchronization bookkeeping).
+	TaskOverheadSec float64
+	// InstrPerFlop estimates retired instructions per floating-point
+	// operation for the fused vector kernels.
+	InstrPerFlop float64
+	// ColdMissPerFlop estimates L3 misses per flop when a task's inputs
+	// are entirely cold; scaled down by the cache-hit ratio.
+	ColdMissPerFlop float64
+}
+
+// CoresPerSocket returns the per-socket core count.
+func (m Machine) CoresPerSocket() int { return m.Cores / m.Sockets }
+
+// SocketOf maps a core index to its socket.
+func (m Machine) SocketOf(core int) int {
+	cps := m.CoresPerSocket()
+	s := core / cps
+	if s >= m.Sockets {
+		s = m.Sockets - 1
+	}
+	return s
+}
+
+// TaskSeconds converts a task's flops and cache-miss traffic into seconds
+// on one core: compute time plus miss-service time (scaled by the NUMA
+// multiplier when data crosses sockets) plus fixed runtime overhead.
+func (m Machine) TaskSeconds(flops, missBytes, numaMult float64) float64 {
+	t := m.TaskOverheadSec
+	if flops > 0 {
+		t += flops / (m.CoreGFlops * 1e9)
+	}
+	if missBytes > 0 {
+		t += missBytes * numaMult / m.MemBytesPerSec
+	}
+	return t
+}
+
+// IPC estimates instructions per cycle for a task of the given flops that
+// ran for dur seconds.
+func (m Machine) IPC(flops, dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return (m.InstrPerFlop * flops) / (dur * m.GHz * 1e9)
+}
+
+// MPKI estimates last-level-cache misses per kilo-instruction for a task
+// whose inputs had the given hit ratio in the socket cache.
+func (m Machine) MPKI(flops, hitRatio float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	misses := m.ColdMissPerFlop * flops * (1 - hitRatio)
+	instr := m.InstrPerFlop * flops
+	return misses / (instr / 1000)
+}
+
+// XeonPlatinum8160x2 is the paper's CPU platform (Table I).
+func XeonPlatinum8160x2() Machine {
+	return Machine{
+		Name:             "2x Intel Xeon Platinum 8160 @2.1 GHz",
+		Cores:            48,
+		Sockets:          2,
+		GHz:              2.1,
+		CoreGFlops:       60.0,
+		MemBytesPerSec:   12e9,
+		NUMAPenalty:      1.4,
+		L3PerSocketBytes: 33792 * 1024,
+		TaskOverheadSec:  8e-6,
+		InstrPerFlop:     0.07,
+		ColdMissPerFlop:  0.0018,
+	}
+}
+
+// WithCores returns a copy restricted to the first n cores. Following the
+// paper's methodology, runs of 24 or fewer cores stay on a single socket.
+func (m Machine) WithCores(n int) Machine {
+	if n <= 0 || n > m.Cores {
+		return m
+	}
+	c := m
+	c.Cores = n
+	cps := m.CoresPerSocket()
+	c.Sockets = (n + cps - 1) / cps
+	return c
+}
+
+// GPU describes a throughput-oriented accelerator for the framework GPU
+// baselines (Tesla V100 in the paper).
+type GPU struct {
+	Name string
+	// EffTFlops is the sustained tensor throughput on large RNN GEMMs.
+	EffTFlops float64
+	// LaunchSec is the per-kernel launch latency.
+	LaunchSec float64
+	// FixedSec is the per-batch framework overhead (graph dispatch, host
+	// sync) that dominates small workloads.
+	FixedSec float64
+}
+
+// TeslaV100 is the paper's GPU platform.
+func TeslaV100() GPU {
+	return GPU{Name: "Tesla V100 SXM2", EffTFlops: 12.0, LaunchSec: 4e-6, FixedSec: 0.022}
+}
+
+// FugakuA64FX models one Fugaku node's A64FX processor, the many-core CPU
+// the paper's introduction cites as motivation (2.78 Tflop/s per socket,
+// first in the November 2021 Top500): 48 compute cores in 4 core-memory
+// groups (CMGs), 8 MiB shared L2 per CMG, and HBM2 memory whose ~1 TB/s
+// feeds misses far faster than the Xeon's DDR4.
+func FugakuA64FX() Machine {
+	return Machine{
+		Name:             "Fujitsu A64FX @2.2 GHz (Fugaku node)",
+		Cores:            48,
+		Sockets:          4, // CMGs act as NUMA domains
+		GHz:              2.2,
+		CoreGFlops:       55.0, // ~2.78 Tflop/s DP per socket / 48 cores, sustained
+		MemBytesPerSec:   20e9, // HBM2: ~1 TB/s across 48 cores
+		NUMAPenalty:      1.2,  // inter-CMG ring is cheaper than QPI
+		L3PerSocketBytes: 8 << 20,
+		TaskOverheadSec:  10e-6,
+		InstrPerFlop:     0.07,
+		ColdMissPerFlop:  0.0018,
+	}
+}

@@ -1,0 +1,122 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXeonShape(t *testing.T) {
+	m := XeonPlatinum8160x2()
+	if m.Cores != 48 || m.Sockets != 2 || m.CoresPerSocket() != 24 {
+		t.Fatalf("platform shape wrong: %+v", m)
+	}
+	if SocketChecks := m.SocketOf(0); SocketChecks != 0 {
+		t.Fatal("core 0 must be socket 0")
+	}
+	if m.SocketOf(23) != 0 || m.SocketOf(24) != 1 || m.SocketOf(47) != 1 {
+		t.Fatal("socket mapping wrong")
+	}
+}
+
+func TestWithCores(t *testing.T) {
+	m := XeonPlatinum8160x2()
+	for _, tc := range []struct{ n, sockets int }{
+		{1, 1}, {8, 1}, {24, 1}, {25, 2}, {32, 2}, {48, 2},
+	} {
+		c := m.WithCores(tc.n)
+		if c.Cores != tc.n || c.Sockets != tc.sockets {
+			t.Errorf("WithCores(%d): got %d cores %d sockets, want %d sockets", tc.n, c.Cores, c.Sockets, tc.sockets)
+		}
+	}
+	// Out-of-range returns the original machine.
+	if m.WithCores(0).Cores != 48 || m.WithCores(100).Cores != 48 {
+		t.Fatal("out-of-range WithCores must be identity")
+	}
+}
+
+func TestTaskSecondsComponents(t *testing.T) {
+	m := XeonPlatinum8160x2()
+	// Compute-only.
+	c := m.TaskSeconds(60e9, 0, 1)
+	if math.Abs(c-(1.0+m.TaskOverheadSec)) > 1e-9 {
+		t.Fatalf("60 GF at 60 GF/s should take ~1s, got %g", c)
+	}
+	// Memory-only.
+	mem := m.TaskSeconds(0, 12e9, 1)
+	if math.Abs(mem-(1.0+m.TaskOverheadSec)) > 1e-9 {
+		t.Fatalf("12 GB at 12 GB/s should take ~1s, got %g", mem)
+	}
+	// NUMA multiplies only the memory term.
+	numa := m.TaskSeconds(60e9, 12e9, m.NUMAPenalty)
+	want := 1.0 + m.NUMAPenalty + m.TaskOverheadSec
+	if math.Abs(numa-want) > 1e-9 {
+		t.Fatalf("NUMA task: got %g want %g", numa, want)
+	}
+	// Zero-work task costs only overhead.
+	if m.TaskSeconds(0, 0, 1) != m.TaskOverheadSec {
+		t.Fatal("empty task must cost overhead only")
+	}
+}
+
+func TestIPCScalesInverselyWithDuration(t *testing.T) {
+	m := XeonPlatinum8160x2()
+	fast := m.IPC(1e9, 0.01)
+	slow := m.IPC(1e9, 0.02)
+	if math.Abs(fast-2*slow) > 1e-9 {
+		t.Fatalf("IPC should halve when duration doubles: %g vs %g", fast, slow)
+	}
+	if m.IPC(1e9, 0) != 0 {
+		t.Fatal("zero duration must yield zero IPC")
+	}
+	// Hot-task IPC lands near 2, the calibration anchor for Figure 7.
+	hotDur := m.TaskSeconds(1e9, 0, 1)
+	ipc := m.IPC(1e9, hotDur)
+	if ipc < 1.5 || ipc > 2.5 {
+		t.Fatalf("hot IPC %g outside [1.5, 2.5]", ipc)
+	}
+}
+
+func TestMPKIDropsWithHitRatio(t *testing.T) {
+	m := XeonPlatinum8160x2()
+	cold := m.MPKI(1e9, 0)
+	warm := m.MPKI(1e9, 0.5)
+	hot := m.MPKI(1e9, 1)
+	if !(cold > warm && warm > hot) {
+		t.Fatalf("MPKI must fall with hit ratio: %g %g %g", cold, warm, hot)
+	}
+	if hot != 0 {
+		t.Fatalf("fully hot task must have 0 MPKI, got %g", hot)
+	}
+	// Cold MPKI lands in the paper's observed 20-30 band.
+	if cold < 15 || cold > 40 {
+		t.Fatalf("cold MPKI %g outside [15, 40] (paper buckets reach 20-30)", cold)
+	}
+	if m.MPKI(0, 0) != 0 {
+		t.Fatal("zero-flop task must have 0 MPKI")
+	}
+}
+
+func TestGPUPlatform(t *testing.T) {
+	g := TeslaV100()
+	if g.EffTFlops <= 0 || g.LaunchSec <= 0 || g.FixedSec <= 0 {
+		t.Fatalf("V100 parameters must be positive: %+v", g)
+	}
+}
+
+func TestFugakuPlatform(t *testing.T) {
+	m := FugakuA64FX()
+	if m.Cores != 48 || m.Sockets != 4 || m.CoresPerSocket() != 12 {
+		t.Fatalf("A64FX shape wrong: %+v", m)
+	}
+	// CMG mapping.
+	if m.SocketOf(0) != 0 || m.SocketOf(11) != 0 || m.SocketOf(12) != 1 || m.SocketOf(47) != 3 {
+		t.Fatal("CMG mapping wrong")
+	}
+	xeon := XeonPlatinum8160x2()
+	if !(m.MemBytesPerSec > xeon.MemBytesPerSec) {
+		t.Fatal("HBM must out-bandwidth DDR4")
+	}
+	if !(m.L3PerSocketBytes < xeon.L3PerSocketBytes) {
+		t.Fatal("per-CMG L2 must be smaller than Xeon L3")
+	}
+}

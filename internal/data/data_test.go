@@ -1,0 +1,406 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"bpar/internal/core"
+	"bpar/internal/rng"
+	"bpar/internal/taskrt"
+)
+
+func rngNew(seed uint64) *rng.RNG { return rng.New(seed) }
+
+func TestSpeechBatchShapes(t *testing.T) {
+	c := NewSpeechCorpus(13, 1)
+	b := c.Batch(4, 20)
+	if len(b.X) != 20 {
+		t.Fatalf("timesteps %d", len(b.X))
+	}
+	for t0, x := range b.X {
+		if x.Rows != 4 || x.Cols != 13 {
+			t.Fatalf("X[%d] shape %dx%d", t0, x.Rows, x.Cols)
+		}
+	}
+	if len(b.Targets) != 4 {
+		t.Fatalf("targets %d", len(b.Targets))
+	}
+	for _, tgt := range b.Targets {
+		if tgt < 0 || tgt >= NumDigits {
+			t.Fatalf("target %d", tgt)
+		}
+	}
+}
+
+func TestSpeechDeterministicPerSeed(t *testing.T) {
+	a := NewSpeechCorpus(8, 7).Batch(3, 10)
+	b := NewSpeechCorpus(8, 7).Batch(3, 10)
+	for t0 := range a.X {
+		if !a.X[t0].Equal(b.X[t0]) {
+			t.Fatal("same seed must give same batch")
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatal("targets differ")
+		}
+	}
+	c := NewSpeechCorpus(8, 8).Batch(3, 10)
+	same := true
+	for t0 := range a.X {
+		if !a.X[t0].Equal(c.X[t0]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical batches")
+	}
+}
+
+// TestSpeechClassesSeparable: a nearest-centroid classifier on mean frames
+// beats chance by a wide margin, so the corpus is learnable.
+func TestSpeechClassesSeparable(t *testing.T) {
+	c := NewSpeechCorpus(16, 3)
+	b := c.Batch(100, 12)
+	correct := 0
+	for i := 0; i < 100; i++ {
+		// Mean frame of the utterance.
+		mean := make([]float64, 16)
+		for t0 := range b.X {
+			row := b.X[t0].Row(i)
+			for j, v := range row {
+				mean[j] += v
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(len(b.X))
+		}
+		best, bestD := -1, math.Inf(1)
+		for d := 0; d < NumDigits; d++ {
+			cent := c.Centroid(d)
+			dist := 0.0
+			for j := range mean {
+				diff := mean[j] - cent[j]
+				dist += diff * diff
+			}
+			if dist < bestD {
+				best, bestD = d, dist
+			}
+		}
+		if best == b.Targets[i] {
+			correct++
+		}
+	}
+	// Chance is ~9%. Require far better.
+	if correct < 60 {
+		t.Fatalf("nearest-centroid accuracy %d%%: classes not separable", correct)
+	}
+}
+
+func TestSpeechVariableLengthPadding(t *testing.T) {
+	c := NewSpeechCorpus(4, 5)
+	b := c.Batch(50, 16)
+	// Some utterances must end before seqLen (zero-padded tail frames).
+	padded := 0
+	for i := 0; i < 50; i++ {
+		lastRow := b.X[15].Row(i)
+		allZero := true
+		for _, v := range lastRow {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			padded++
+		}
+	}
+	if padded == 0 {
+		t.Fatal("expected some padded utterances")
+	}
+	if padded == 50 {
+		t.Fatal("expected some full-length utterances")
+	}
+}
+
+func TestSpeechPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpeechCorpus(0, 1)
+}
+
+func TestTextCorpusBasics(t *testing.T) {
+	c := NewTextCorpus(32, 10000, 1)
+	if c.Len() != 10000 {
+		t.Fatalf("len %d", c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if int(c.At(i)) >= 32 {
+			t.Fatalf("symbol %d out of vocab", c.At(i))
+		}
+	}
+	if len(c.Preview(50)) != 50 {
+		t.Fatal("preview length")
+	}
+}
+
+func TestTextBatchEncoding(t *testing.T) {
+	c := NewTextCorpus(16, 5000, 2)
+	b := c.Batch(6, 12)
+	if len(b.X) != 12 || len(b.StepTargets) != 12 {
+		t.Fatal("shape")
+	}
+	for t0 := 0; t0 < 12; t0++ {
+		if b.X[t0].Rows != 6 || b.X[t0].Cols != 16 {
+			t.Fatal("X shape")
+		}
+		for i := 0; i < 6; i++ {
+			// Exactly one hot per row.
+			row := b.X[t0].Row(i)
+			ones, hot := 0, -1
+			for j, v := range row {
+				if v == 1 {
+					ones++
+					hot = j
+				} else if v != 0 {
+					t.Fatalf("non-binary value %g", v)
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("row has %d hots", ones)
+			}
+			// Target of t is the hot symbol of t+1 within the same window.
+			if t0+1 < 12 {
+				nextRow := b.X[t0+1].Row(i)
+				if nextRow[b.StepTargets[t0][i]] != 1 {
+					t.Fatal("target does not match next input")
+				}
+			}
+			if hot < 0 || b.StepTargets[t0][i] >= 16 {
+				t.Fatal("bad indices")
+			}
+		}
+	}
+}
+
+// TestTextChainIsPredictable: the dominant successor of a frequent symbol
+// accounts for a large share of its bigrams, so next-char prediction has
+// learnable structure.
+func TestTextChainIsPredictable(t *testing.T) {
+	c := NewTextCorpus(24, 50000, 3)
+	// Find the most frequent symbol.
+	freq := make([]int, 24)
+	for i := 0; i < c.Len(); i++ {
+		freq[c.At(i)]++
+	}
+	best := 0
+	for s, f := range freq {
+		if f > freq[best] {
+			best = s
+		}
+	}
+	counts := c.BigramCounts(byte(best))
+	total, maxC := 0, 0
+	for _, n := range counts {
+		total += n
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bigrams")
+	}
+	if float64(maxC)/float64(total) < 0.3 {
+		t.Fatalf("dominant successor share %.2f too low", float64(maxC)/float64(total))
+	}
+}
+
+func TestTextDeterminism(t *testing.T) {
+	a := NewTextCorpus(16, 1000, 9)
+	b := NewTextCorpus(16, 1000, 9)
+	for i := 0; i < 1000; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatal("same seed must give same text")
+		}
+	}
+}
+
+func TestTextPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTextCorpus(1, 100, 1) },
+		func() { NewTextCorpus(300, 100, 1) },
+		func() { NewTextCorpus(16, 1, 1) },
+		func() { NewTextCorpus(16, 100, 1).Batch(0, 5) },
+		func() { NewTextCorpus(16, 100, 1).Batch(2, 500) },
+		func() { NewSpeechCorpus(4, 1).Batch(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestCorporaTrainEndToEnd: both corpora drive a real model to a loss well
+// below the untrained baseline — the accuracy smoke test of the pipeline.
+func TestCorporaTrainEndToEnd(t *testing.T) {
+	// Speech, many-to-one.
+	sc := NewSpeechCorpus(8, 11)
+	cfgS := core.Config{
+		Cell: core.LSTM, Arch: core.ManyToOne, Merge: core.MergeSum,
+		InputSize: 8, HiddenSize: 12, Layers: 1, SeqLen: 8,
+		Batch: 16, Classes: NumDigits, MiniBatches: 2, Seed: 1,
+	}
+	mS, err := core.NewModel(cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Options{Workers: 4})
+	defer rt.Shutdown()
+	eS := core.NewEngine(mS, rt)
+	bS := sc.Batch(16, 8)
+	first, err := eS.TrainStep(bS, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 80; i++ {
+		if last, err = eS.TrainStep(bS, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first*0.8 {
+		t.Fatalf("speech loss did not fall: %g -> %g", first, last)
+	}
+
+	// Text, many-to-many.
+	tc := NewTextCorpus(12, 20000, 13)
+	cfgT := core.Config{
+		Cell: core.GRU, Arch: core.ManyToMany, Merge: core.MergeSum,
+		InputSize: 12, HiddenSize: 16, Layers: 1, SeqLen: 6,
+		Batch: 16, Classes: 12, MiniBatches: 1, Seed: 2,
+	}
+	mT, err := core.NewModel(cfgT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eT := core.NewEngine(mT, rt)
+	bT := tc.Batch(16, 6)
+	firstT, err := eT.TrainStep(bT, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastT float64
+	for i := 0; i < 80; i++ {
+		if lastT, err = eT.TrainStep(bT, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastT >= firstT*0.9 {
+		t.Fatalf("text loss did not fall: %g -> %g", firstT, lastT)
+	}
+}
+
+func TestSpeechForkSharesTemplates(t *testing.T) {
+	c := NewSpeechCorpus(8, 42)
+	f := c.Fork(7)
+	// Same language: centroids identical.
+	for d := 0; d < NumDigits; d++ {
+		a, b := c.Centroid(d), f.Centroid(d)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("Fork must share templates")
+			}
+		}
+	}
+	// Different utterance streams.
+	ba, bb := c.Batch(4, 8), f.Batch(4, 8)
+	same := true
+	for t0 := range ba.X {
+		if !ba.X[t0].Equal(bb.X[t0]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Fork must draw independent utterances")
+	}
+}
+
+func TestSpeechDatasetMaterializeAndSplit(t *testing.T) {
+	c := NewSpeechCorpus(6, 3)
+	d := c.Materialize(40, 10)
+	if d.Len() != 40 {
+		t.Fatalf("len %d", d.Len())
+	}
+	train, eval := d.Split(0.75)
+	if train.Len() != 30 || eval.Len() != 10 {
+		t.Fatalf("split %d/%d", train.Len(), eval.Len())
+	}
+	// Batches are stable in dataset order.
+	b := d.Batch(5, 4)
+	for i := 0; i < 4; i++ {
+		if b.Targets[i] != d.Target(5+i) {
+			t.Fatal("Batch order broken")
+		}
+	}
+	// Epoch covers the dataset once, shuffled, dropping the remainder.
+	r := rngNew(9)
+	batches := d.Epoch(8, r)
+	if len(batches) != 5 {
+		t.Fatalf("epoch batches %d, want 5", len(batches))
+	}
+	counts := map[int]int{}
+	total := 0
+	for _, b := range batches {
+		for _, tgt := range b.Targets {
+			counts[tgt]++
+			total++
+		}
+	}
+	if total != 40 {
+		t.Fatalf("epoch covered %d of 40", total)
+	}
+	// Two epochs shuffle differently (with overwhelming probability).
+	b1 := d.Epoch(8, rngNew(1))
+	b2 := d.Epoch(8, rngNew(2))
+	same := true
+	for i := range b1 {
+		for j := range b1[i].Targets {
+			if b1[i].Targets[j] != b2[i].Targets[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("epochs not shuffled")
+	}
+}
+
+func TestSpeechDatasetPanics(t *testing.T) {
+	c := NewSpeechCorpus(4, 1)
+	d := c.Materialize(10, 5)
+	for _, f := range []func(){
+		func() { c.Materialize(0, 5) },
+		func() { d.Split(0) },
+		func() { d.Split(1) },
+		func() { d.Batch(8, 4) },
+		func() { d.Epoch(0, rngNew(1)) },
+		func() { d.Epoch(11, rngNew(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

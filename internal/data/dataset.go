@@ -1,0 +1,103 @@
+package data
+
+import (
+	"fmt"
+
+	"bpar/internal/core"
+	"bpar/internal/rng"
+	"bpar/internal/tensor"
+)
+
+// SpeechDataset is a materialized, fixed set of utterances, enabling proper
+// epoch-based training with shuffling and train/test splits (the generative
+// SpeechCorpus produces an endless stream instead).
+type SpeechDataset struct {
+	InputSize, SeqLen int
+	// frames[i] is utterance i, stored [SeqLen x InputSize] row-major.
+	frames  []*tensor.Matrix
+	targets []int
+}
+
+// Materialize draws n utterances from the corpus into a fixed dataset.
+func (c *SpeechCorpus) Materialize(n, seqLen int) *SpeechDataset {
+	if n <= 0 || seqLen <= 0 {
+		panic(fmt.Sprintf("data: Materialize(%d, %d)", n, seqLen))
+	}
+	d := &SpeechDataset{InputSize: c.InputSize, SeqLen: seqLen}
+	for i := 0; i < n; i++ {
+		b := c.Batch(1, seqLen)
+		utt := tensor.New(seqLen, c.InputSize)
+		for t := 0; t < seqLen; t++ {
+			copy(utt.Row(t), b.X[t].Row(0))
+		}
+		d.frames = append(d.frames, utt)
+		d.targets = append(d.targets, b.Targets[0])
+	}
+	return d
+}
+
+// Len returns the number of utterances.
+func (d *SpeechDataset) Len() int { return len(d.frames) }
+
+// Target returns the label of utterance i.
+func (d *SpeechDataset) Target(i int) int { return d.targets[i] }
+
+// Split partitions the dataset into a training head and an evaluation tail.
+func (d *SpeechDataset) Split(trainFrac float64) (train, eval *SpeechDataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("data: Split(%g)", trainFrac))
+	}
+	cut := int(float64(len(d.frames)) * trainFrac)
+	if cut == 0 || cut == len(d.frames) {
+		panic("data: Split produced an empty side")
+	}
+	train = &SpeechDataset{InputSize: d.InputSize, SeqLen: d.SeqLen,
+		frames: d.frames[:cut], targets: d.targets[:cut]}
+	eval = &SpeechDataset{InputSize: d.InputSize, SeqLen: d.SeqLen,
+		frames: d.frames[cut:], targets: d.targets[cut:]}
+	return train, eval
+}
+
+// batchOf assembles the utterances at the given indices into a core.Batch.
+func (d *SpeechDataset) batchOf(idx []int) *core.Batch {
+	b := &core.Batch{
+		X:       make([]*tensor.Matrix, d.SeqLen),
+		Targets: make([]int, len(idx)),
+	}
+	for t := 0; t < d.SeqLen; t++ {
+		b.X[t] = tensor.New(len(idx), d.InputSize)
+	}
+	for row, i := range idx {
+		for t := 0; t < d.SeqLen; t++ {
+			copy(b.X[t].Row(row), d.frames[i].Row(t))
+		}
+		b.Targets[row] = d.targets[i]
+	}
+	return b
+}
+
+// Batch assembles utterances [lo, lo+batch) in dataset order.
+func (d *SpeechDataset) Batch(lo, batch int) *core.Batch {
+	if lo < 0 || lo+batch > len(d.frames) {
+		panic(fmt.Sprintf("data: Batch(%d, %d) out of range for %d utterances", lo, batch, len(d.frames)))
+	}
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return d.batchOf(idx)
+}
+
+// Epoch returns shuffled full batches covering the dataset once (a trailing
+// remainder smaller than batchSize is dropped, as frameworks do).
+func (d *SpeechDataset) Epoch(batchSize int, r *rng.RNG) []*core.Batch {
+	if batchSize <= 0 || batchSize > len(d.frames) {
+		panic(fmt.Sprintf("data: Epoch batch size %d for %d utterances", batchSize, len(d.frames)))
+	}
+	perm := r.Perm(len(d.frames))
+	var out []*core.Batch
+	for lo := 0; lo+batchSize <= len(perm); lo += batchSize {
+		out = append(out, d.batchOf(perm[lo:lo+batchSize]))
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV). Each experiment builds the relevant B-Par task
+// graphs with the real builder, replays them on the simulated 48-core
+// platform (internal/sim) or the native runtime, evaluates the framework
+// baselines (internal/baseline), and prints rows/series in the same shape
+// the paper reports.
+//
+// Absolute times come from a calibrated cost model, so they land near —
+// not exactly on — the paper's numbers; the experiment tests assert the
+// paper's *shape*: who wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bpar/internal/core"
+	"bpar/internal/costmodel"
+	"bpar/internal/sim"
+	"bpar/internal/taskrt"
+)
+
+// PaperCoreCounts is the core-count sweep used throughout the evaluation.
+var PaperCoreCounts = []int{1, 2, 4, 8, 16, 24, 32, 48}
+
+// Opts scales experiments. Zero values select the paper's parameters;
+// tests use smaller sequence lengths to keep run times reasonable.
+type Opts struct {
+	// SeqLen overrides the sequence length of every configuration.
+	SeqLen int
+	// CoreCounts overrides the core sweep.
+	CoreCounts []int
+	// Machine overrides the simulated platform.
+	Machine *costmodel.Machine
+}
+
+func (o Opts) seq(def int) int {
+	if o.SeqLen > 0 {
+		return o.SeqLen
+	}
+	return def
+}
+
+func (o Opts) cores() []int {
+	if len(o.CoreCounts) > 0 {
+		return o.CoreCounts
+	}
+	return PaperCoreCounts
+}
+
+func (o Opts) machine() costmodel.Machine {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	return costmodel.XeonPlatinum8160x2()
+}
+
+// buildTrainGraph records the barrier-free training task graph of cfg.
+func buildTrainGraph(cfg core.Config) (*taskrt.Graph, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := taskrt.NewRecorder(false)
+	e := core.NewPhantomEngine(m, rec)
+	e.EmitTrainGraph(cfg.SeqLen)
+	g := rec.Graph()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildInferGraph records the forward-only task graph of cfg.
+func buildInferGraph(cfg core.Config) (*taskrt.Graph, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := taskrt.NewRecorder(false)
+	e := core.NewPhantomEngine(m, rec)
+	e.EmitInferGraph(cfg.SeqLen)
+	g := rec.Graph()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildBarrierTrainGraph records the training graph with per-layer barriers
+// (the framework-style execution of the same model).
+func buildBarrierTrainGraph(cfg core.Config) (*taskrt.Graph, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := taskrt.NewRecorder(false)
+	e := core.NewPhantomEngine(m, rec)
+	e.EmitTrainGraphBarrier(cfg.SeqLen)
+	g := rec.Graph()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// simBParTrain simulates one B-Par training batch of cfg on `cores` cores.
+func simBParTrain(cfg core.Config, machine costmodel.Machine, cores int, pol sim.Policy) (float64, error) {
+	g, err := buildTrainGraph(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(g, sim.Options{Machine: machine, Cores: cores, Policy: pol})
+	if err != nil {
+		return 0, err
+	}
+	return res.MakespanSec, nil
+}
+
+// simBParBest simulates cfg across the core sweep and returns the best time
+// and the core count achieving it (the paper reports best-over-cores).
+func simBParBest(cfg core.Config, machine costmodel.Machine, coreCounts []int) (float64, int, error) {
+	g, err := buildTrainGraph(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	best, bestC := -1.0, 0
+	for _, c := range coreCounts {
+		res, err := sim.Run(g, sim.Options{Machine: machine, Cores: c, Policy: sim.Locality})
+		if err != nil {
+			return 0, 0, err
+		}
+		if best < 0 || res.MakespanSec < best {
+			best, bestC = res.MakespanSec, c
+		}
+	}
+	return best, bestC, nil
+}
+
+// bseqTrainSec models the data-parallel-only baseline: MiniBatches coarse
+// sequential tasks scheduled on min(cores, MiniBatches) cores. Each coarse
+// task processes its share of the batch at single-core speed with a modest
+// memory multiplier (sequential execution reuses caches poorly across a
+// whole network sweep). It matches the paper's observed B-Seq behaviour:
+// scaling flat once cores exceed the mini-batch count.
+func bseqTrainSec(cfg core.Config, machine costmodel.Machine, cores int) float64 {
+	const seqMemMult = 2.4
+	totalFlops := trainFlops(cfg)
+	n := cfg.MiniBatches
+	perMB := totalFlops / float64(n) / (machine.CoreGFlops * 1e9) * seqMemMult
+	width := cores
+	if width > n {
+		width = n
+	}
+	if width < 1 {
+		width = 1
+	}
+	waves := (n + width - 1) / width
+	return float64(waves) * perMB
+}
+
+// trainFlops sums one training batch's cell flops (forward + backward).
+func trainFlops(cfg core.Config) float64 {
+	g, err := buildTrainGraph(cfg)
+	if err != nil {
+		return 0
+	}
+	return g.TotalFlops()
+}
+
+// fprintln writes a line, ignoring errors (report writers are in-memory or
+// stdout).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled skips the heavy simulation sweeps under the race detector:
+// they are single-goroutine CPU-bound replays (no concurrency to check) and
+// run 10-20x slower instrumented, blowing test timeouts. The concurrent
+// code paths (taskrt, core training) keep full race coverage.
+const raceEnabled = true

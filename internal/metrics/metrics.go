@@ -1,0 +1,188 @@
+// Package metrics provides the small statistics containers used by the
+// simulator and experiment harnesses: weighted histograms (for the IPC and
+// MPKI distributions of Figure 7), online mean/variance accumulators, and
+// simple duration summaries (for the task-granularity study).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hist is a weighted histogram over explicit bucket edges: bucket i covers
+// [Edges[i], Edges[i+1]); a final implicit bucket covers [Edges[last], +inf).
+type Hist struct {
+	Edges   []float64
+	Weights []float64
+	Total   float64
+}
+
+// NewHist builds a histogram with the given ascending bucket edges.
+func NewHist(edges ...float64) *Hist {
+	if len(edges) == 0 {
+		panic("metrics: NewHist needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("metrics: NewHist edges must be strictly ascending")
+		}
+	}
+	return &Hist{Edges: edges, Weights: make([]float64, len(edges))}
+}
+
+// Add records value v with weight w (e.g. a task's IPC weighted by its
+// duration). Values below the first edge are clamped into the first bucket.
+func (h *Hist) Add(v, w float64) {
+	if w <= 0 || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.Edges, v)
+	if i > 0 && (i == len(h.Edges) || h.Edges[i] != v) {
+		i--
+	} else if i == len(h.Edges) {
+		i--
+	}
+	h.Weights[i] += w
+	h.Total += w
+}
+
+// Share returns the fraction of total weight in the bucket starting at the
+// given edge (must be one of the construction edges).
+func (h *Hist) Share(edge float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	for i, e := range h.Edges {
+		if e == edge {
+			return h.Weights[i] / h.Total
+		}
+	}
+	panic(fmt.Sprintf("metrics: Share(%g) is not a bucket edge", edge))
+}
+
+// Shares returns every bucket's weight fraction.
+func (h *Hist) Shares() []float64 {
+	out := make([]float64, len(h.Weights))
+	if h.Total == 0 {
+		return out
+	}
+	for i, w := range h.Weights {
+		out[i] = w / h.Total
+	}
+	return out
+}
+
+// String renders the histogram as "edge:share%" pairs.
+func (h *Hist) String() string {
+	var b strings.Builder
+	for i, e := range h.Edges {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		share := 0.0
+		if h.Total > 0 {
+			share = h.Weights[i] / h.Total * 100
+		}
+		fmt.Fprintf(&b, "%g+:%.1f%%", e, share)
+	}
+	return b.String()
+}
+
+// Online accumulates mean/variance/min/max incrementally (Welford).
+type Online struct {
+	N         int64
+	mean, m2  float64
+	Min, Max  float64
+	populated bool
+}
+
+// Add records one observation.
+func (o *Online) Add(v float64) {
+	o.N++
+	if !o.populated {
+		o.Min, o.Max = v, v
+		o.populated = true
+	} else {
+		if v < o.Min {
+			o.Min = v
+		}
+		if v > o.Max {
+			o.Max = v
+		}
+	}
+	d := v - o.mean
+	o.mean += d / float64(o.N)
+	o.m2 += d * (v - o.mean)
+}
+
+// Mean returns the running mean (0 with no observations).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the population variance.
+func (o *Online) Variance() float64 {
+	if o.N < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.N)
+}
+
+// Std returns the population standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Variance()) }
+
+// Sum returns N * mean.
+func (o *Online) Sum() float64 { return o.mean * float64(o.N) }
+
+// Summary captures a batch of values for percentile reporting.
+type Summary struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one value.
+func (s *Summary) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N returns the number of recorded values.
+func (s *Summary) N() int { return len(s.vals) }
+
+// Percentile returns the p-th percentile (0-100) by nearest-rank.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.vals[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (s *Summary) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Min and Max return the extremes.
+func (s *Summary) Min() float64 { return s.Percentile(0) }
+func (s *Summary) Max() float64 { return s.Percentile(100) }

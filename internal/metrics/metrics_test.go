@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist(0, 1, 2)
+	h.Add(0.5, 1) // bucket [0,1)
+	h.Add(1.0, 2) // bucket [1,2)
+	h.Add(1.9, 1) // bucket [1,2)
+	h.Add(5, 4)   // bucket [2,inf)
+	h.Add(-3, 2)  // clamped into [0,1)
+	if h.Total != 10 {
+		t.Fatalf("total %g", h.Total)
+	}
+	if h.Share(0) != 0.3 || h.Share(1) != 0.3 || h.Share(2) != 0.4 {
+		t.Fatalf("shares %v", h.Shares())
+	}
+}
+
+func TestHistIgnoresBadWeightsAndNaN(t *testing.T) {
+	h := NewHist(0, 1)
+	h.Add(0.5, 0)
+	h.Add(0.5, -1)
+	h.Add(math.NaN(), 5)
+	if h.Total != 0 {
+		t.Fatalf("total %g", h.Total)
+	}
+}
+
+func TestHistSharesSumToOne(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHist(0, 1, 2, 3)
+		added := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Add(v, 1)
+				added = true
+			}
+		}
+		if !added {
+			return true
+		}
+		sum := 0.0
+		for _, s := range h.Shares() {
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHist() },
+		func() { NewHist(1, 1) },
+		func() {
+			h := NewHist(0, 1)
+			h.Add(0.5, 1)
+			h.Share(5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistString(t *testing.T) {
+	h := NewHist(0, 1)
+	h.Add(0.5, 1)
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(v)
+	}
+	if o.N != 8 || math.Abs(o.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %g", o.Mean())
+	}
+	if math.Abs(o.Std()-2) > 1e-12 {
+		t.Fatalf("std %g", o.Std())
+	}
+	if o.Min != 2 || o.Max != 9 {
+		t.Fatalf("min/max %g %g", o.Min, o.Max)
+	}
+	if math.Abs(o.Sum()-40) > 1e-9 {
+		t.Fatalf("sum %g", o.Sum())
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 {
+		t.Fatal("empty accumulator must be zero")
+	}
+}
+
+func TestSummaryPercentiles(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 100 {
+		t.Fatal("N")
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max %g %g", s.Min(), s.Max())
+	}
+	if s.Percentile(50) != 50 {
+		t.Fatalf("p50 %g", s.Percentile(50))
+	}
+	if s.Percentile(99) != 99 {
+		t.Fatalf("p99 %g", s.Percentile(99))
+	}
+	if math.Abs(s.Mean()-50.5) > 1e-12 {
+		t.Fatalf("mean %g", s.Mean())
+	}
+}
+
+func TestSummaryEmptySafe(t *testing.T) {
+	var s Summary
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummaryAddAfterQuery(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatal("Add after query must re-sort")
+	}
+}

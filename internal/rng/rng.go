@@ -1,0 +1,126 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used for reproducible weight initialization and synthetic
+// data generation. It intentionally avoids math/rand so that results are
+// stable across Go releases and so that independent streams can be split off
+// cheaply for parallel initialization.
+//
+// The generator is xoshiro256**, seeded through SplitMix64, following the
+// reference construction by Blackman and Vigna.
+package rng
+
+import "math"
+
+// RNG is a deterministic xoshiro256** pseudo-random generator.
+// The zero value is not valid; use New.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used both for seeding and for splitting streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Distinct seeds yield
+// independent-looking streams; the same seed always yields the same stream.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not be seeded with an all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent from the
+// receiver's future output. It is used to hand child generators to parallel
+// initializers without sharing state.
+func (r *RNG) Split() *RNG {
+	seed := r.Uint64()
+	return New(seed ^ 0xa3cc7d5a1a5a7d3c)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free bounded sampling is overkill here; simple
+	// modulo bias is negligible for the small n used by data generators, but
+	// use multiply-shift which is both fast and unbiased enough.
+	return int((r.Uint64() >> 33) % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate via the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// FillUniform fills dst with uniform values in [lo, hi).
+func (r *RNG) FillUniform(dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = r.Uniform(lo, hi)
+	}
+}
+
+// FillNormal fills dst with normal deviates of the given mean and stddev.
+func (r *RNG) FillNormal(dst []float64, mean, stddev float64) {
+	for i := range dst {
+		dst[i] = mean + stddev*r.NormFloat64()
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

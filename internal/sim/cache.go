@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"bpar/internal/costmodel"
+	"bpar/internal/taskrt"
+)
+
+// cacheState models the per-socket shared last-level cache with a byte
+// clock: every completed task "retires" its working set through its
+// socket's cache. A consumer scheduled on the same socket finds a
+// producer's data still resident if fewer than L3-capacity bytes have been
+// retired since the producer finished — an LRU approximation that captures
+// exactly the reuse-distance effect the paper's locality-aware scheduler
+// exploits.
+type cacheState struct {
+	m           costmodel.Machine
+	socketClock []int64 // bytes retired per socket
+	finClock    []int64 // per node: socket byte clock at completion
+	nodeSocket  []int   // per node: socket it ran on (-1 before completion)
+	nodeCore    []int
+}
+
+func newCacheState(n int, m costmodel.Machine) *cacheState {
+	cs := &cacheState{
+		m:           m,
+		socketClock: make([]int64, m.Sockets),
+		finClock:    make([]int64, n),
+		nodeSocket:  make([]int, n),
+		nodeCore:    make([]int, n),
+	}
+	for i := range cs.nodeSocket {
+		cs.nodeSocket[i] = -1
+		cs.nodeCore[i] = -1
+	}
+	return cs
+}
+
+// hitAndCross returns, for a task about to run on `socket`:
+//
+//	hit   — the fraction of its data-carrying predecessors whose output is
+//	        still resident in that socket's L3;
+//	cross — the fraction produced on a different socket (NUMA traffic).
+//
+// A task with no data predecessors (graph roots reading fresh inputs) is
+// fully cold but local.
+func (cs *cacheState) hitAndCross(g *taskrt.Graph, nd *taskrt.GraphNode, socket int) (hit, cross float64) {
+	// Weight each data predecessor by its working set: a cell task whose
+	// 4 MB weights-and-state predecessor is resident is almost entirely
+	// cache-hot even if a 100 KB merge input is cold.
+	var totalB, hotB, farB float64
+	for i, p := range nd.Preds {
+		if !nd.DataPreds[i] {
+			continue
+		}
+		ps := cs.nodeSocket[p]
+		if ps < 0 {
+			continue // predecessor not complete: cannot happen in valid runs
+		}
+		w := float64(g.Nodes[p].WorkingSet)
+		if w <= 0 {
+			w = 1
+		}
+		totalB += w
+		if ps != socket {
+			farB += w
+			continue
+		}
+		if cs.socketClock[socket]-cs.finClock[p] < cs.m.L3PerSocketBytes {
+			hotB += w
+		}
+	}
+	if totalB == 0 {
+		return 0, 0
+	}
+	return hotB / totalB, farB / totalB
+}
+
+// complete retires a finished task's working set through its socket cache.
+func (cs *cacheState) complete(nd *taskrt.GraphNode, socket, core int) {
+	cs.socketClock[socket] += nd.WorkingSet
+	cs.finClock[nd.ID] = cs.socketClock[socket]
+	cs.nodeSocket[nd.ID] = socket
+	cs.nodeCore[nd.ID] = core
+}

@@ -1,0 +1,60 @@
+package taskrt
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the dependency graph in Graphviz DOT format — the same
+// picture as the paper's Figure 2: nodes are tasks (colored by kind), solid
+// edges carry data, dashed edges are ordering-only (WAR/WAW/barrier).
+// Render with: dot -Tsvg graph.dot -o graph.svg
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph bpar {\n")
+	p("  label=%q;\n  labelloc=t;\n  rankdir=TB;\n", title)
+	p("  node [shape=box, style=filled, fontsize=10];\n")
+	for _, n := range g.Nodes {
+		p("  n%d [label=%q, fillcolor=%q];\n", n.ID, n.Label, kindColor(n.Kind))
+	}
+	for _, n := range g.Nodes {
+		for i, pr := range n.Preds {
+			style := "solid"
+			if !n.DataPreds[i] {
+				style = "dashed"
+			}
+			p("  n%d -> n%d [style=%s];\n", pr, n.ID, style)
+		}
+	}
+	p("}\n")
+	return err
+}
+
+// kindColor maps task kinds to fill colors, matching the visual language of
+// the paper's figures: forward cells light, backward cells red-toned, merges
+// yellow, head green.
+func kindColor(kind string) string {
+	switch kind {
+	case "lstm", "gru", "rnn":
+		return "lightblue"
+	case "lstm-bwd", "gru-bwd", "rnn-bwd":
+		return "lightcoral"
+	case "merge":
+		return "khaki"
+	case "merge-bwd":
+		return "gold"
+	case "head", "head-bwd":
+		return "palegreen"
+	case "reduce":
+		return "plum"
+	case "barrier":
+		return "gray"
+	default:
+		return "white"
+	}
+}

@@ -1,0 +1,54 @@
+package taskrt
+
+import "fmt"
+
+// Inline is an Executor that runs each task body immediately at Submit time,
+// on the submitting goroutine. Because B-Par builders emit tasks in
+// topological order (Algorithms 2 and 3 create tasks in the order their
+// dependencies allow), inline execution is a valid sequential schedule of the
+// same graph. It is the reference implementation against which the parallel
+// runtime is checked for bitwise equality, and it is how B-Seq processes each
+// mini-batch internally.
+type Inline struct {
+	errs     []error
+	executed int64
+	taskNS   int64
+	sink     TraceSink
+	nextID   int
+}
+
+// NewInline returns an inline executor. sink may be nil.
+func NewInline(sink TraceSink) *Inline { return &Inline{sink: sink} }
+
+// Submit runs the task body immediately.
+func (e *Inline) Submit(t *Task) {
+	id := e.nextID
+	e.nextID++
+	if t.Fn == nil {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			e.errs = append(e.errs, fmt.Errorf("taskrt: inline task %q panicked: %v", t.Label, p))
+		}
+	}()
+	t.Fn()
+	e.executed++
+	if e.sink != nil {
+		e.sink.TaskDone(TaskRecord{
+			ID: id, Label: t.Label, Kind: t.Kind, Worker: 0,
+			Flops: t.Flops, WorkingSet: t.WorkingSet,
+		})
+	}
+}
+
+// Wait returns the first error produced by a submitted task, if any.
+func (e *Inline) Wait() error {
+	for _, err := range e.errs {
+		return err
+	}
+	return nil
+}
+
+// Executed reports how many task bodies ran.
+func (e *Inline) Executed() int64 { return e.executed }

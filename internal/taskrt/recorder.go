@@ -1,0 +1,232 @@
+package taskrt
+
+import "fmt"
+
+// GraphNode is one task in a recorded dependency graph.
+type GraphNode struct {
+	ID         int
+	Label      string
+	Kind       string
+	Flops      float64
+	WorkingSet int64
+	Preds      []int
+	Succs      []int
+	// DataPreds lists, for each predecessor, whether the edge carries data
+	// the node reads (true) or is a WAR/WAW ordering edge (false). Parallel
+	// to Preds. The simulator's cache model uses it for locality decisions.
+	DataPreds []bool
+}
+
+// Graph is an immutable task dependency DAG captured from a builder's task
+// stream. The discrete-event simulator replays it on a virtual machine.
+type Graph struct {
+	Nodes []*GraphNode
+}
+
+// Recorder is an Executor that records the dependency graph a builder emits
+// instead of (or in addition to) executing it. With Execute set, task bodies
+// also run inline so the numerical results stay available.
+type Recorder struct {
+	Execute bool
+
+	nodes       []*GraphNode
+	deps        map[Dep]*recDep
+	errs        []error
+	lastBarrier int
+}
+
+type recDep struct {
+	lastWriter int
+	readers    []int
+}
+
+// NewRecorder returns a graph recorder. If execute is true, task bodies run
+// inline at Submit (valid because builders submit in topological order).
+func NewRecorder(execute bool) *Recorder {
+	return &Recorder{Execute: execute, deps: make(map[Dep]*recDep), lastBarrier: -1}
+}
+
+// Barrier records a synchronization point: a zero-cost node depending on
+// every node submitted since the previous barrier, which every later node
+// depends on. It models the per-layer barriers of framework-style execution
+// so the simulator can contrast them with B-Par's barrier-free graphs.
+func (r *Recorder) Barrier() {
+	id := len(r.nodes)
+	n := &GraphNode{ID: id, Label: "barrier", Kind: "barrier"}
+	start := r.lastBarrier + 1
+	for p := start; p < id; p++ {
+		pn := r.nodes[p]
+		n.Preds = append(n.Preds, p)
+		n.DataPreds = append(n.DataPreds, false)
+		pn.Succs = append(pn.Succs, id)
+	}
+	r.nodes = append(r.nodes, n)
+	r.lastBarrier = id
+}
+
+// Submit records the task's node and dependency edges.
+func (r *Recorder) Submit(t *Task) {
+	id := len(r.nodes)
+	n := &GraphNode{
+		ID: id, Label: t.Label, Kind: t.Kind,
+		Flops: t.Flops, WorkingSet: t.WorkingSet,
+	}
+	r.nodes = append(r.nodes, n)
+
+	seen := make(map[int]bool)
+	addPred := func(p int, data bool) {
+		if p < 0 || p == id || seen[p] {
+			return
+		}
+		seen[p] = true
+		n.Preds = append(n.Preds, p)
+		n.DataPreds = append(n.DataPreds, data)
+		pn := r.nodes[p]
+		pn.Succs = append(pn.Succs, id)
+	}
+
+	if r.lastBarrier >= 0 {
+		addPred(r.lastBarrier, false)
+	}
+	for _, k := range t.In {
+		e := r.dep(k)
+		addPred(e.lastWriter, true)
+		e.readers = append(e.readers, id)
+	}
+	for _, k := range t.InOut {
+		e := r.dep(k)
+		addPred(e.lastWriter, true)
+		for _, rd := range e.readers {
+			addPred(rd, false)
+		}
+		e.lastWriter = id
+		e.readers = e.readers[:0]
+	}
+	for _, k := range t.Out {
+		e := r.dep(k)
+		addPred(e.lastWriter, false)
+		for _, rd := range e.readers {
+			addPred(rd, false)
+		}
+		e.lastWriter = id
+		e.readers = e.readers[:0]
+	}
+
+	if r.Execute && t.Fn != nil {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					r.errs = append(r.errs, fmt.Errorf("taskrt: recorded task %q panicked: %v", t.Label, p))
+				}
+			}()
+			t.Fn()
+		}()
+	}
+}
+
+func (r *Recorder) dep(k Dep) *recDep {
+	e := r.deps[k]
+	if e == nil {
+		e = &recDep{lastWriter: -1}
+		r.deps[k] = e
+	}
+	return e
+}
+
+// Wait returns the first recorded execution error, if any.
+func (r *Recorder) Wait() error {
+	for _, err := range r.errs {
+		return err
+	}
+	return nil
+}
+
+// Graph returns the captured dependency graph.
+func (r *Recorder) Graph() *Graph { return &Graph{Nodes: r.nodes} }
+
+// TaskCount returns the number of recorded tasks.
+func (r *Recorder) TaskCount() int { return len(r.nodes) }
+
+// Validate checks the graph is a DAG whose node IDs are already in
+// topological order (predecessors have smaller IDs), which holds by
+// construction for recorded graphs; it exists to catch recorder bugs.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		if len(n.DataPreds) != len(n.Preds) {
+			return fmt.Errorf("taskrt: node %d has %d preds but %d data flags", n.ID, len(n.Preds), len(n.DataPreds))
+		}
+		for _, p := range n.Preds {
+			if p >= n.ID {
+				return fmt.Errorf("taskrt: node %d has predecessor %d >= itself", n.ID, p)
+			}
+			if p < 0 {
+				return fmt.Errorf("taskrt: node %d has negative predecessor", n.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// CriticalPathFlops returns the largest total Flops along any dependency
+// chain — the lower bound on parallel execution work, used by simulator
+// sanity checks and parallel-efficiency analyses.
+func (g *Graph) CriticalPathFlops() float64 {
+	best := make([]float64, len(g.Nodes))
+	maxPath := 0.0
+	for _, n := range g.Nodes { // IDs are topologically ordered
+		b := 0.0
+		for _, p := range n.Preds {
+			if best[p] > b {
+				b = best[p]
+			}
+		}
+		best[n.ID] = b + n.Flops
+		if best[n.ID] > maxPath {
+			maxPath = best[n.ID]
+		}
+	}
+	return maxPath
+}
+
+// TotalFlops sums Flops over all nodes.
+func (g *Graph) TotalFlops() float64 {
+	s := 0.0
+	for _, n := range g.Nodes {
+		s += n.Flops
+	}
+	return s
+}
+
+// MaxWidth returns an upper bound on achievable concurrency: the largest
+// antichain found by greedy level scheduling (nodes grouped by earliest
+// level; the widest level is returned).
+func (g *Graph) MaxWidth() int {
+	level := make([]int, len(g.Nodes))
+	counts := map[int]int{}
+	widest := 0
+	for _, n := range g.Nodes {
+		l := 0
+		for _, p := range n.Preds {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[n.ID] = l
+		counts[l]++
+		if counts[l] > widest {
+			widest = counts[l]
+		}
+	}
+	return widest
+}
+
+// CountKind returns how many nodes have the given Kind.
+func (g *Graph) CountKind(kind string) int {
+	c := 0
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			c++
+		}
+	}
+	return c
+}

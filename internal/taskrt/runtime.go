@@ -1,0 +1,406 @@
+package taskrt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy selects the ready-queue scheduling policy.
+type Policy int
+
+const (
+	// BreadthFirst uses a single global FIFO ready queue (the paper's
+	// default breadth-first scheduler).
+	BreadthFirst Policy = iota
+	// LocalityAware places newly readied tasks on the queue of the worker
+	// that produced their input data.
+	LocalityAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case BreadthFirst:
+		return "breadth-first"
+	case LocalityAware:
+		return "locality-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures a Runtime.
+type Options struct {
+	// Workers is the number of worker goroutines ("cores"). Must be >= 1.
+	Workers int
+	// Policy selects breadth-first or locality-aware scheduling.
+	Policy Policy
+	// Sink, when non-nil, receives a record per executed task.
+	Sink TraceSink
+}
+
+// node is the runtime-internal representation of a submitted task.
+type node struct {
+	task     *Task
+	id       int
+	pending  int // unsatisfied dependency count
+	succs    []*node
+	finished bool
+	worker   int
+	submitNS int64
+}
+
+// depEntry tracks the last writer and the readers-since-last-write of one
+// dependency key, from which RAW/WAR/WAW edges are derived.
+type depEntry struct {
+	lastWriter *node
+	readers    []*node
+}
+
+// Runtime executes tasks on a pool of worker goroutines, deriving the task
+// dependency graph dynamically from Submit annotations.
+type Runtime struct {
+	mu       sync.Mutex
+	workCond *sync.Cond // wakes idle workers
+	doneCond *sync.Cond // wakes Wait
+
+	opts        Options
+	deps        map[Dep]*depEntry
+	readyGlobal fifo
+	readyLocal  []fifo
+
+	outstanding int // submitted but not finished
+	running     int
+	shutdown    bool
+	errs        []error
+	nextID      int
+	start       time.Time
+	wg          sync.WaitGroup
+
+	stats Stats
+}
+
+// fifo is a simple slice-backed FIFO queue of nodes.
+type fifo struct {
+	items []*node
+	head  int
+}
+
+func (q *fifo) push(n *node) { q.items = append(q.items, n) }
+
+func (q *fifo) pop() *node {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	n := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	// Reclaim space once the queue drains far enough.
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return n
+}
+
+func (q *fifo) empty() bool { return q.head >= len(q.items) }
+
+// New creates a runtime with the given options and starts its workers.
+// Call Shutdown when done with it.
+func New(opts Options) *Runtime {
+	if opts.Workers < 1 {
+		panic(fmt.Sprintf("taskrt: Workers must be >= 1, got %d", opts.Workers))
+	}
+	r := &Runtime{
+		opts:       opts,
+		deps:       make(map[Dep]*depEntry),
+		readyLocal: make([]fifo, opts.Workers),
+		start:      time.Now(),
+	}
+	r.workCond = sync.NewCond(&r.mu)
+	r.doneCond = sync.NewCond(&r.mu)
+	r.wg.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go r.worker(w)
+	}
+	return r
+}
+
+// Workers reports the configured worker count.
+func (r *Runtime) Workers() int { return r.opts.Workers }
+
+// Submit registers the task; it becomes ready as soon as its dependencies
+// are satisfied. Safe for concurrent use, although B-Par's builders submit
+// from a single goroutine in topological order, like Algorithm 2/3.
+func (r *Runtime) Submit(t *Task) {
+	tSubmit := time.Now()
+	r.mu.Lock()
+	if r.shutdown {
+		r.mu.Unlock()
+		panic("taskrt: Submit after Shutdown")
+	}
+	n := &node{task: t, id: r.nextID, worker: -1, submitNS: tSubmit.Sub(r.start).Nanoseconds()}
+	r.nextID++
+
+	// Derive dependency edges. predSeen dedupes multiple edges from the
+	// same predecessor so pending counts each predecessor once.
+	predSeen := make(map[*node]bool)
+	addPred := func(p *node) {
+		if p == nil || p == n || p.finished || predSeen[p] {
+			return
+		}
+		predSeen[p] = true
+		p.succs = append(p.succs, n)
+		n.pending++
+	}
+
+	for _, k := range t.In {
+		e := r.dep(k)
+		addPred(e.lastWriter) // RAW
+		e.readers = append(e.readers, n)
+	}
+	for _, k := range t.InOut {
+		e := r.dep(k)
+		addPred(e.lastWriter) // RAW + WAW
+		for _, rd := range e.readers {
+			addPred(rd) // WAR
+		}
+		e.lastWriter = n
+		e.readers = e.readers[:0]
+	}
+	for _, k := range t.Out {
+		e := r.dep(k)
+		addPred(e.lastWriter) // WAW
+		for _, rd := range e.readers {
+			addPred(rd) // WAR
+		}
+		e.lastWriter = n
+		e.readers = e.readers[:0]
+	}
+
+	r.outstanding++
+	r.stats.Submitted++
+	if n.pending == 0 {
+		r.readyGlobal.push(n)
+		r.workCond.Signal()
+	}
+	r.stats.SubmitNS += time.Since(tSubmit).Nanoseconds()
+	r.mu.Unlock()
+}
+
+func (r *Runtime) dep(k Dep) *depEntry {
+	e := r.deps[k]
+	if e == nil {
+		e = &depEntry{}
+		r.deps[k] = e
+	}
+	return e
+}
+
+// worker is the body of each worker goroutine.
+func (r *Runtime) worker(w int) {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		var n *node
+		for {
+			n = r.popFor(w)
+			if n != nil || r.shutdown {
+				break
+			}
+			r.workCond.Wait()
+		}
+		if n == nil { // shutdown with no work left
+			r.mu.Unlock()
+			return
+		}
+		r.running++
+		if r.running > r.stats.MaxRunning {
+			r.stats.MaxRunning = r.running
+		}
+		r.mu.Unlock()
+
+		r.execute(n, w)
+	}
+}
+
+// popFor returns the next task for worker w under the configured policy.
+// Caller holds r.mu.
+func (r *Runtime) popFor(w int) *node {
+	if r.opts.Policy == LocalityAware {
+		if n := r.readyLocal[w].pop(); n != nil {
+			r.stats.LocalHits++
+			return n
+		}
+	}
+	if n := r.readyGlobal.pop(); n != nil {
+		return n
+	}
+	if r.opts.Policy == LocalityAware {
+		// Steal the oldest task from the busiest peer queue.
+		for i := range r.readyLocal {
+			if i == w {
+				continue
+			}
+			if n := r.readyLocal[i].pop(); n != nil {
+				r.stats.Steals++
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// execute runs a task body outside the lock, then performs completion
+// bookkeeping: marking successors ready and waking Wait.
+func (r *Runtime) execute(n *node, w int) {
+	startT := time.Now()
+	var taskErr error
+	if n.task.Fn != nil {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					taskErr = fmt.Errorf("taskrt: task %q panicked: %v", n.task.Label, p)
+				}
+			}()
+			n.task.Fn()
+		}()
+	}
+	endT := time.Now()
+
+	if r.opts.Sink != nil {
+		r.opts.Sink.TaskDone(TaskRecord{
+			ID:         n.id,
+			Label:      n.task.Label,
+			Kind:       n.task.Kind,
+			Worker:     w,
+			SubmitNS:   n.submitNS,
+			StartNS:    startT.Sub(r.start).Nanoseconds(),
+			EndNS:      endT.Sub(r.start).Nanoseconds(),
+			Flops:      n.task.Flops,
+			WorkingSet: n.task.WorkingSet,
+		})
+	}
+
+	tDone := time.Now()
+	r.mu.Lock()
+	n.finished = true
+	n.worker = w
+	r.running--
+	r.stats.Executed++
+	r.stats.TaskNS += endT.Sub(startT).Nanoseconds()
+	if taskErr != nil {
+		r.errs = append(r.errs, taskErr)
+	}
+	woke := 0
+	for _, s := range n.succs {
+		s.pending--
+		if s.pending == 0 {
+			if r.opts.Policy == LocalityAware {
+				// The successor consumes data this worker just produced:
+				// run it here for cache reuse.
+				r.readyLocal[w].push(s)
+			} else {
+				r.readyGlobal.push(s)
+			}
+			woke++
+		}
+	}
+	// This worker will loop and pick one task itself; wake peers for the rest.
+	for i := 1; i < woke; i++ {
+		r.workCond.Signal()
+	}
+	r.outstanding--
+	// Every completion may satisfy a WaitFor; a full drain satisfies Wait.
+	r.doneCond.Broadcast()
+	r.stats.CompleteNS += time.Since(tDone).Nanoseconds()
+	r.mu.Unlock()
+}
+
+// WaitFor blocks until the last task that wrote the given dependency key
+// has completed — the equivalent of OmpSs's `#pragma omp taskwait on(x)`.
+// It returns immediately if no unfinished task writes the key. Unlike Wait,
+// it does not drain the whole graph, so a caller can consume one result
+// while unrelated tasks continue executing.
+func (r *Runtime) WaitFor(k Dep) {
+	r.mu.Lock()
+	for {
+		e := r.deps[k]
+		if e == nil || e.lastWriter == nil || e.lastWriter.finished {
+			r.mu.Unlock()
+			return
+		}
+		// doneCond broadcasts only when everything drains; poll on the
+		// worker wake condition too by re-checking after any completion.
+		r.doneCond.Wait()
+	}
+}
+
+// Wait blocks until all submitted tasks have completed, then returns the
+// joined task errors (nil if none). The runtime remains usable afterwards:
+// the dependency table persists, so later submissions still order against
+// completed writers correctly (completed predecessors simply add no edges).
+func (r *Runtime) Wait() error {
+	r.mu.Lock()
+	for r.outstanding > 0 {
+		r.doneCond.Wait()
+	}
+	err := errors.Join(r.errs...)
+	r.mu.Unlock()
+	return err
+}
+
+// Shutdown waits for outstanding work, then stops all workers. The runtime
+// must not be used afterwards.
+func (r *Runtime) Shutdown() {
+	_ = r.Wait()
+	r.mu.Lock()
+	r.shutdown = true
+	r.workCond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Stats returns a snapshot of runtime counters.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// ResetDeps clears the dependency table between iterations that reuse the
+// same buffers, preventing spurious WAR/WAW edges from a previous batch when
+// the caller has already synchronized with Wait.
+func (r *Runtime) ResetDeps() {
+	r.mu.Lock()
+	if r.outstanding != 0 {
+		r.mu.Unlock()
+		panic("taskrt: ResetDeps with outstanding tasks")
+	}
+	r.deps = make(map[Dep]*depEntry)
+	r.mu.Unlock()
+}
+
+// Stats aggregates runtime counters. SubmitNS and CompleteNS together are
+// the runtime's bookkeeping overhead; the paper reports this overhead to be
+// ten times smaller than time spent in task bodies (TaskNS).
+type Stats struct {
+	Submitted  int64
+	Executed   int64
+	TaskNS     int64 // total wall time inside task bodies
+	SubmitNS   int64 // time spent creating tasks/deps
+	CompleteNS int64 // time spent in completion bookkeeping
+	MaxRunning int   // peak concurrently running tasks
+	LocalHits  int64 // tasks served from the submitting worker's local queue
+	Steals     int64 // tasks stolen from peer local queues
+}
+
+// OverheadRatio returns (submit+complete time) / task body time; the paper's
+// granularity study keeps this well under 0.1.
+func (s Stats) OverheadRatio() float64 {
+	if s.TaskNS == 0 {
+		return 0
+	}
+	return float64(s.SubmitNS+s.CompleteNS) / float64(s.TaskNS)
+}

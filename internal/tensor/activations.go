@@ -1,0 +1,129 @@
+package tensor
+
+import "math"
+
+// Sigmoid returns the logistic function 1 / (1 + e^-x), the "sigm" of
+// Equations 1, 2, 4, 7 and 8. The two-sided formulation avoids overflow for
+// large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// SigmoidInPlace applies Sigmoid element-wise.
+func SigmoidInPlace(m *Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = Sigmoid(v)
+	}
+}
+
+// TanhInPlace applies tanh element-wise.
+func TanhInPlace(m *Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = math.Tanh(v)
+	}
+}
+
+// SigmoidSlice applies Sigmoid to a sub-slice; gate kernels use it to
+// activate only their columns of a fused pre-activation buffer.
+func SigmoidSlice(s []float64) {
+	for i, v := range s {
+		s[i] = Sigmoid(v)
+	}
+}
+
+// TanhSlice applies tanh to a sub-slice.
+func TanhSlice(s []float64) {
+	for i, v := range s {
+		s[i] = math.Tanh(v)
+	}
+}
+
+// DSigmoidFromY returns the derivative of the sigmoid expressed in terms of
+// its output y: y * (1 - y).
+func DSigmoidFromY(y float64) float64 { return y * (1 - y) }
+
+// DTanhFromY returns the derivative of tanh expressed in terms of its output
+// y: 1 - y².
+func DTanhFromY(y float64) float64 { return 1 - y*y }
+
+// SoftmaxRows applies a numerically stable softmax to every row of m in
+// place: each row becomes a probability distribution.
+func SoftmaxRows(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// IgnoreLabel marks a row as excluded from loss and gradient computation —
+// the padding label for within-batch variable-length sequences.
+const IgnoreLabel = -1
+
+// CrossEntropyRows returns the mean negative log-likelihood of the target
+// class per row, given row-wise probability distributions (after
+// SoftmaxRows). targets[i] is the class index for row i; rows labelled
+// IgnoreLabel contribute nothing (and do not count toward the mean).
+func CrossEntropyRows(probs *Matrix, targets []int) float64 {
+	if len(targets) != probs.Rows {
+		panic("tensor: CrossEntropyRows targets length mismatch")
+	}
+	const eps = 1e-12
+	loss := 0.0
+	n := 0
+	for i, t := range targets {
+		if t == IgnoreLabel {
+			continue
+		}
+		p := probs.At(i, t)
+		loss -= math.Log(p + eps)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return loss / float64(n)
+}
+
+// SoftmaxCrossEntropyBackward writes into dst the gradient of the mean
+// cross-entropy loss with respect to the softmax *inputs*: (p - onehot)/N.
+// probs must already contain softmax outputs.
+func SoftmaxCrossEntropyBackward(dst, probs *Matrix, targets []int) {
+	checkSameShape2("SoftmaxCrossEntropyBackward", dst, probs)
+	if len(targets) != probs.Rows {
+		panic("tensor: SoftmaxCrossEntropyBackward targets length mismatch")
+	}
+	invN := 1 / float64(probs.Rows)
+	for i := 0; i < probs.Rows; i++ {
+		d := dst.Row(i)
+		if targets[i] == IgnoreLabel {
+			for j := range d {
+				d[j] = 0
+			}
+			continue
+		}
+		p := probs.Row(i)
+		for j, v := range p {
+			d[j] = v * invN
+		}
+		d[targets[i]] -= invN
+	}
+}

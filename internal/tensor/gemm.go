@@ -1,0 +1,187 @@
+package tensor
+
+import "fmt"
+
+// Blocking parameters for the cache-blocked GEMM kernels. Tuned for typical
+// L1/L2 sizes; correctness never depends on them.
+const (
+	blockM = 64
+	blockN = 64
+	blockK = 64
+)
+
+// MatMul computes dst = a * b, where a is m x k and b is k x n.
+// dst must be m x n and must not alias a or b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch dst %dx%d = a %dx%d * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Zero()
+	GemmAcc(dst, a, b)
+}
+
+// GemmAcc computes dst += a * b with cache blocking.
+// dst must be m x n and must not alias a or b.
+func GemmAcc(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmAcc shape mismatch dst %dx%d += a %dx%d * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for kk := 0; kk < k; kk += blockK {
+		kMax := min(kk+blockK, k)
+		for ii := 0; ii < m; ii += blockM {
+			iMax := min(ii+blockM, m)
+			for i := ii; i < iMax; i++ {
+				arow := a.Data[i*k:]
+				drow := dst.Data[i*n : (i+1)*n]
+				for p := kk; p < kMax; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[p*n : (p+1)*n]
+					axpy(av, brow, drow)
+				}
+			}
+		}
+	}
+}
+
+// MatMulT computes dst = a * bT^T, where a is m x k and bT is n x k
+// (that is, bT holds B transposed, the natural layout for weight matrices
+// stored as [outputs x inputs]). dst must be m x n.
+func MatMulT(dst, a, bT *Matrix) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch dst %dx%d = a %dx%d * (b^T) %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols))
+	}
+	dst.Zero()
+	GemmTAcc(dst, a, bT)
+}
+
+// GemmTAcc computes dst += a * bT^T with cache blocking. Inner loops are dot
+// products over contiguous rows of both operands, which is the
+// cache-friendliest form for row-major storage.
+func GemmTAcc(dst, a, bT *Matrix) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: GemmTAcc shape mismatch dst %dx%d += a %dx%d * (b^T) %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, bT.Rows
+	for ii := 0; ii < m; ii += blockM {
+		iMax := min(ii+blockM, m)
+		for jj := 0; jj < n; jj += blockN {
+			jMax := min(jj+blockN, n)
+			for i := ii; i < iMax; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				drow := dst.Data[i*n:]
+				for j := jj; j < jMax; j++ {
+					brow := bT.Data[j*k : (j+1)*k]
+					drow[j] += dot(arow, brow)
+				}
+			}
+		}
+	}
+}
+
+// GemmATAcc computes dst += a^T * b, where a is k x m and b is k x n, so dst
+// is m x n. This is the kernel for weight gradients: dW += dGates^T * Input.
+func GemmATAcc(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmATAcc shape mismatch dst %dx%d += (a^T of %dx%d) * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k, m, n := a.Rows, a.Cols, b.Cols
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			axpy(av, brow, dst.Data[i*n:(i+1)*n])
+		}
+	}
+}
+
+// MatMulNaive is the reference triple loop used by tests to validate the
+// blocked kernels.
+func MatMulNaive(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulNaive shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+// Gemv computes dst = a * x for a m x k matrix and k-vector x; dst has m
+// elements. Used by batch-size-1 paths where a full GEMM is wasteful.
+func Gemv(dst []float64, a *Matrix, x []float64) {
+	if a.Cols != len(x) || a.Rows != len(dst) {
+		panic(fmt.Sprintf("tensor: Gemv shape mismatch dst[%d] = a %dx%d * x[%d]",
+			len(dst), a.Rows, a.Cols, len(x)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		dst[i] = dot(a.Data[i*a.Cols:(i+1)*a.Cols], x)
+	}
+}
+
+// dot returns the inner product of equal-length slices, unrolled by four to
+// give the compiler independent accumulator chains.
+func dot(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// axpy computes y += alpha * x over equal-length slices.
+func axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Dot exposes the inner product for vector callers.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	return dot(a, b)
+}
+
+// Axpy exposes y += alpha*x for vector callers.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	axpy(alpha, x, y)
+}

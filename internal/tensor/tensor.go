@@ -1,0 +1,206 @@
+// Package tensor implements the dense linear-algebra kernels that back every
+// B-Par task: blocked matrix multiplication, matrix-vector products,
+// element-wise gate arithmetic, and the activation functions used by LSTM and
+// GRU cells (Equations 1-10 of the paper).
+//
+// It is the stand-in for the MKL-Sequential library the paper links against:
+// each B-Par task executes a short sequence of these kernels sequentially,
+// and all parallelism comes from running many tasks concurrently.
+//
+// Matrices are dense, row-major, float64. Row-major keeps the inner GEMM
+// loops contiguous and makes [batch x features] activations cheap to slice
+// per sample.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values; element (i, j) lives at Data[i*Cols+j].
+	Data []float64
+}
+
+// New returns a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length must be rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports exact element-wise equality (including shape).
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports element-wise closeness within absolute tolerance atol or
+// relative tolerance rtol, whichever is looser, NaN-unsafe.
+func (m *Matrix) AllClose(o *Matrix, rtol, atol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		w := o.Data[i]
+		d := math.Abs(v - w)
+		if d > atol+rtol*math.Max(math.Abs(v), math.Abs(w)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - o.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	const block = 32
+	for ii := 0; ii < m.Rows; ii += block {
+		iMax := min(ii+block, m.Rows)
+		for jj := 0; jj < m.Cols; jj += block {
+			jMax := min(jj+block, m.Cols)
+			for i := ii; i < iMax; i++ {
+				row := m.Data[i*m.Cols:]
+				for j := jj; j < jMax; j++ {
+					t.Data[j*t.Cols+i] = row[j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 256 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// ConcatCols writes [a | b] into dst. dst must be a.Rows x (a.Cols+b.Cols).
+// It implements the [X_t, H_{t-1}] concatenation from Equations 1-4 and 7-9.
+func ConcatCols(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("tensor: ConcatCols shape mismatch dst %dx%d, a %dx%d, b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		d := dst.Row(i)
+		copy(d[:a.Cols], a.Row(i))
+		copy(d[a.Cols:], b.Row(i))
+	}
+}
+
+// SplitCols writes the first a.Cols columns of src into a and the remaining
+// b.Cols columns into b. It is the adjoint of ConcatCols, used in backward
+// propagation to split the gradient of [X_t, H_{t-1}].
+func SplitCols(src, a, b *Matrix) {
+	if a.Rows != b.Rows || src.Rows != a.Rows || src.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("tensor: SplitCols shape mismatch src %dx%d, a %dx%d, b %dx%d",
+			src.Rows, src.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		s := src.Row(i)
+		copy(a.Row(i), s[:a.Cols])
+		copy(b.Row(i), s[a.Cols:])
+	}
+}
+
+// SliceRows returns a view of rows [lo, hi) sharing storage with m.
+// It is used to split a batch into mini-batches without copying.
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

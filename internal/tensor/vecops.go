@@ -1,0 +1,153 @@
+package tensor
+
+import "fmt"
+
+// AddBiasRows adds the bias vector to every row of m (broadcast add), the
+// "+ B" term of Equations 1-4 and 7-9.
+func AddBiasRows(m *Matrix, bias []float64) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBiasRows bias[%d] vs %d cols", len(bias), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range bias {
+			row[j] += b
+		}
+	}
+}
+
+// Add computes dst = a + b element-wise.
+func Add(dst, a, b *Matrix) {
+	checkSameShape3("Add", dst, a, b)
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise.
+func Sub(dst, a, b *Matrix) {
+	checkSameShape3("Sub", dst, a, b)
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+}
+
+// Mul computes dst = a ⊙ b, the Hadamard product used by Equations 5, 6, 9
+// and 10.
+func Mul(dst, a, b *Matrix) {
+	checkSameShape3("Mul", dst, a, b)
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+}
+
+// MulAcc computes dst += a ⊙ b.
+func MulAcc(dst, a, b *Matrix) {
+	checkSameShape3("MulAcc", dst, a, b)
+	for i, v := range a.Data {
+		dst.Data[i] += v * b.Data[i]
+	}
+}
+
+// AddAcc computes dst += a.
+func AddAcc(dst, a *Matrix) {
+	checkSameShape2("AddAcc", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] += v
+	}
+}
+
+// Scale computes dst = alpha * a.
+func Scale(dst *Matrix, alpha float64, a *Matrix) {
+	checkSameShape2("Scale", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = alpha * v
+	}
+}
+
+// ScaleInPlace multiplies every element of m by alpha.
+func ScaleInPlace(m *Matrix, alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AxpyMatrix computes dst += alpha * a, the SGD update kernel.
+func AxpyMatrix(dst *Matrix, alpha float64, a *Matrix) {
+	checkSameShape2("AxpyMatrix", dst, a)
+	axpy(alpha, a.Data, dst.Data)
+}
+
+// Average computes dst = (a + b) / 2, one of the merge operators of
+// Equation 11.
+func Average(dst, a, b *Matrix) {
+	checkSameShape3("Average", dst, a, b)
+	for i, v := range a.Data {
+		dst.Data[i] = 0.5 * (v + b.Data[i])
+	}
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// SumAbs returns the sum of absolute values (L1 norm of the flattened data).
+func (m *Matrix) SumAbs() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		if v < 0 {
+			s -= v
+		} else {
+			s += v
+		}
+	}
+	return s
+}
+
+// ArgmaxRows returns, for each row, the column index of the maximum value.
+func ArgmaxRows(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bi := row[0], 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > best {
+				best, bi = row[j], j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// ClipInPlace clamps every element into [-limit, limit]; gradient clipping.
+func ClipInPlace(m *Matrix, limit float64) {
+	if limit <= 0 {
+		panic("tensor: ClipInPlace requires positive limit")
+	}
+	for i, v := range m.Data {
+		if v > limit {
+			m.Data[i] = limit
+		} else if v < -limit {
+			m.Data[i] = -limit
+		}
+	}
+}
+
+func checkSameShape2(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func checkSameShape3(op string, a, b, c *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.Rows != c.Rows || a.Cols != c.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d, %dx%d, %dx%d",
+			op, a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+}

@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"bpar/internal/rng"
+)
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	dst := New(2, 2)
+
+	Add(dst, a, b)
+	if !dst.Equal(FromSlice(2, 2, []float64{6, 8, 10, 12})) {
+		t.Fatalf("Add got %v", dst)
+	}
+	Sub(dst, b, a)
+	if !dst.Equal(FromSlice(2, 2, []float64{4, 4, 4, 4})) {
+		t.Fatalf("Sub got %v", dst)
+	}
+	Mul(dst, a, b)
+	if !dst.Equal(FromSlice(2, 2, []float64{5, 12, 21, 32})) {
+		t.Fatalf("Mul got %v", dst)
+	}
+}
+
+func TestMulAccAddAcc(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	dst := FromSlice(1, 3, []float64{1, 1, 1})
+	MulAcc(dst, a, b)
+	if !dst.Equal(FromSlice(1, 3, []float64{5, 11, 19})) {
+		t.Fatalf("MulAcc got %v", dst)
+	}
+	AddAcc(dst, a)
+	if !dst.Equal(FromSlice(1, 3, []float64{6, 13, 22})) {
+		t.Fatalf("AddAcc got %v", dst)
+	}
+}
+
+func TestScaleAxpyAverage(t *testing.T) {
+	a := FromSlice(1, 2, []float64{2, 4})
+	dst := New(1, 2)
+	Scale(dst, 0.5, a)
+	if !dst.Equal(FromSlice(1, 2, []float64{1, 2})) {
+		t.Fatalf("Scale got %v", dst)
+	}
+	AxpyMatrix(dst, 2, a)
+	if !dst.Equal(FromSlice(1, 2, []float64{5, 10})) {
+		t.Fatalf("AxpyMatrix got %v", dst)
+	}
+	b := FromSlice(1, 2, []float64{3, 2})
+	Average(dst, a, b)
+	if !dst.Equal(FromSlice(1, 2, []float64{2.5, 3})) {
+		t.Fatalf("Average got %v", dst)
+	}
+	ScaleInPlace(dst, 2)
+	if !dst.Equal(FromSlice(1, 2, []float64{5, 6})) {
+		t.Fatalf("ScaleInPlace got %v", dst)
+	}
+}
+
+func TestAddBiasRows(t *testing.T) {
+	m := New(3, 2)
+	AddBiasRows(m, []float64{1, -1})
+	for i := 0; i < 3; i++ {
+		if m.At(i, 0) != 1 || m.At(i, 1) != -1 {
+			t.Fatalf("AddBiasRows got %v", m)
+		}
+	}
+}
+
+func TestSumAndSumAbs(t *testing.T) {
+	m := FromSlice(1, 4, []float64{1, -2, 3, -4})
+	if m.Sum() != -2 {
+		t.Fatalf("Sum got %g", m.Sum())
+	}
+	if m.SumAbs() != 10 {
+		t.Fatalf("SumAbs got %g", m.SumAbs())
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{0.1, 0.9, 0.5, 3, 2, 1})
+	got := ArgmaxRows(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgmaxRows got %v", got)
+	}
+}
+
+func TestClipInPlace(t *testing.T) {
+	m := FromSlice(1, 4, []float64{-5, -0.5, 0.5, 5})
+	ClipInPlace(m, 1)
+	if !m.Equal(FromSlice(1, 4, []float64{-1, -0.5, 0.5, 1})) {
+		t.Fatalf("ClipInPlace got %v", m)
+	}
+}
+
+func TestSigmoidProperties(t *testing.T) {
+	// Bounded, monotone, symmetric around 0.5, and overflow-safe.
+	if Sigmoid(0) != 0.5 {
+		t.Fatalf("Sigmoid(0)=%g", Sigmoid(0))
+	}
+	if Sigmoid(1000) != 1 || Sigmoid(-1000) != 0 {
+		t.Fatal("Sigmoid must saturate without NaN")
+	}
+	prev := -1.0
+	for x := -10.0; x <= 10; x += 0.25 {
+		y := Sigmoid(x)
+		if y <= prev {
+			t.Fatalf("Sigmoid not strictly increasing at %g", x)
+		}
+		if s := Sigmoid(x) + Sigmoid(-x); math.Abs(s-1) > 1e-12 {
+			t.Fatalf("Sigmoid symmetry broken at %g: %g", x, s)
+		}
+		prev = y
+	}
+}
+
+func TestActivationInPlaceAndSlices(t *testing.T) {
+	m := FromSlice(1, 3, []float64{-1, 0, 1})
+	s := m.Clone()
+	SigmoidInPlace(s)
+	for i, v := range m.Data {
+		if s.Data[i] != Sigmoid(v) {
+			t.Fatal("SigmoidInPlace mismatch")
+		}
+	}
+	th := m.Clone()
+	TanhInPlace(th)
+	for i, v := range m.Data {
+		if th.Data[i] != math.Tanh(v) {
+			t.Fatal("TanhInPlace mismatch")
+		}
+	}
+	sl := []float64{-2, 2}
+	SigmoidSlice(sl)
+	if sl[0] != Sigmoid(-2) || sl[1] != Sigmoid(2) {
+		t.Fatal("SigmoidSlice mismatch")
+	}
+	tl := []float64{-2, 2}
+	TanhSlice(tl)
+	if tl[0] != math.Tanh(-2) || tl[1] != math.Tanh(2) {
+		t.Fatal("TanhSlice mismatch")
+	}
+}
+
+func TestDerivativeFromOutput(t *testing.T) {
+	// Compare analytic derivative-from-output against central differences.
+	const h = 1e-6
+	for _, x := range []float64{-3, -0.7, 0, 0.7, 3} {
+		y := Sigmoid(x)
+		num := (Sigmoid(x+h) - Sigmoid(x-h)) / (2 * h)
+		if math.Abs(DSigmoidFromY(y)-num) > 1e-6 {
+			t.Fatalf("DSigmoidFromY off at %g: %g vs %g", x, DSigmoidFromY(y), num)
+		}
+		ty := math.Tanh(x)
+		tnum := (math.Tanh(x+h) - math.Tanh(x-h)) / (2 * h)
+		if math.Abs(DTanhFromY(ty)-tnum) > 1e-6 {
+			t.Fatalf("DTanhFromY off at %g", x)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax out of range: %v", m.Row(i))
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("softmax row %d sums to %g", i, sum)
+		}
+	}
+	// Uniform logits stay uniform even at extreme magnitude (stability).
+	for _, v := range m.Row(1) {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("softmax stability broken: %v", m.Row(1))
+		}
+	}
+	if m.At(0, 2) <= m.At(0, 1) || m.At(0, 1) <= m.At(0, 0) {
+		t.Fatal("softmax must preserve order")
+	}
+}
+
+func TestCrossEntropyAndBackward(t *testing.T) {
+	logits := FromSlice(2, 3, []float64{2, 1, 0, 0, 3, 0})
+	probs := logits.Clone()
+	SoftmaxRows(probs)
+	targets := []int{0, 1}
+	loss := CrossEntropyRows(probs, targets)
+	if loss <= 0 {
+		t.Fatalf("loss must be positive, got %g", loss)
+	}
+
+	// Numeric check of the fused softmax+CE gradient.
+	grad := New(2, 3)
+	SoftmaxCrossEntropyBackward(grad, probs, targets)
+	const h = 1e-6
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			lp := logits.Clone()
+			lp.Set(i, j, lp.At(i, j)+h)
+			SoftmaxRows(lp)
+			lm := logits.Clone()
+			lm.Set(i, j, lm.At(i, j)-h)
+			SoftmaxRows(lm)
+			num := (CrossEntropyRows(lp, targets) - CrossEntropyRows(lm, targets)) / (2 * h)
+			if math.Abs(num-grad.At(i, j)) > 1e-5 {
+				t.Fatalf("CE gradient off at (%d,%d): analytic %g numeric %g", i, j, grad.At(i, j), num)
+			}
+		}
+	}
+}
+
+func TestGradKernelsAgainstRandomShapes(t *testing.T) {
+	// dX = dG * W and dW += dG^T * X shapes used by the cells.
+	r := rng.New(11)
+	batch, out, in := 7, 12, 9
+	dG := randomMatrix(r, batch, out)
+	w := randomMatrix(r, out, in)
+	x := randomMatrix(r, batch, in)
+
+	dX := New(batch, in)
+	MatMul(dX, dG, w)
+	dXref := New(batch, in)
+	MatMulNaive(dXref, dG, w)
+	if !dX.AllClose(dXref, 1e-12, 1e-12) {
+		t.Fatal("dX kernel mismatch")
+	}
+
+	dW := New(out, in)
+	GemmATAcc(dW, dG, x)
+	dWref := New(out, in)
+	MatMulNaive(dWref, dG.Transpose(), x)
+	if !dW.AllClose(dWref, 1e-12, 1e-12) {
+		t.Fatal("dW kernel mismatch")
+	}
+}
+
+func TestCrossEntropyIgnoreLabel(t *testing.T) {
+	probs := FromSlice(3, 2, []float64{0.7, 0.3, 0.2, 0.8, 0.5, 0.5})
+	full := CrossEntropyRows(probs, []int{0, 1, 0})
+	masked := CrossEntropyRows(probs, []int{0, 1, IgnoreLabel})
+	// Masked mean is over two rows only.
+	want := (-math.Log(0.7) - math.Log(0.8)) / 2
+	if math.Abs(masked-want) > 1e-9 {
+		t.Fatalf("masked CE %g want %g", masked, want)
+	}
+	if masked == full {
+		t.Fatal("mask must change the mean")
+	}
+	if CrossEntropyRows(probs, []int{IgnoreLabel, IgnoreLabel, IgnoreLabel}) != 0 {
+		t.Fatal("all-ignored batch must have zero loss")
+	}
+
+	grad := New(3, 2)
+	SoftmaxCrossEntropyBackward(grad, probs, []int{0, 1, IgnoreLabel})
+	for j := 0; j < 2; j++ {
+		if grad.At(2, j) != 0 {
+			t.Fatal("ignored row must have zero gradient")
+		}
+	}
+	if grad.At(0, 0) == 0 {
+		t.Fatal("live rows must have gradient")
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one complete ("X") event in the Chrome trace-event format,
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"` // worker id
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the collected task records as a Chrome
+// trace-event JSON array: one lane per worker, one slice per task, with
+// flops and working-set size attached as arguments. Load the output in
+// chrome://tracing or Perfetto to see the B-Par schedule — which tasks
+// overlapped, where workers idled, how layers interleaved.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	recs := r.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].StartNS < recs[j].StartNS })
+	events := make([]chromeEvent, 0, len(recs))
+	for _, rec := range recs {
+		events = append(events, chromeEvent{
+			Name:  rec.Label,
+			Cat:   rec.Kind,
+			Phase: "X",
+			TS:    float64(rec.StartNS) / 1000.0,
+			Dur:   float64(rec.EndNS-rec.StartNS) / 1000.0,
+			PID:   1,
+			TID:   rec.Worker,
+			Args: map[string]any{
+				"flops":       rec.Flops,
+				"working_set": rec.WorkingSet,
+				"task_id":     rec.ID,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("trace: encode chrome trace: %w", err)
+	}
+	return nil
+}

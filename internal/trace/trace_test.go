@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"bpar/internal/taskrt"
+)
+
+func rec(kind string, startNS, endNS int64, ws int64, flops float64) taskrt.TaskRecord {
+	return taskrt.TaskRecord{Kind: kind, StartNS: startNS, EndNS: endNS, WorkingSet: ws, Flops: flops}
+}
+
+func TestRecorderCollects(t *testing.T) {
+	r := &Recorder{}
+	r.TaskDone(rec("lstm", 0, 1000, 100, 10))
+	r.TaskDone(rec("merge", 0, 2000, 50, 5))
+	if r.Len() != 2 {
+		t.Fatalf("len %d", r.Len())
+	}
+	recs := r.Records()
+	if len(recs) != 2 || recs[0].Kind != "lstm" {
+		t.Fatal("records wrong")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := &Recorder{}
+	// Two lstm tasks of 1ms and 3ms; one merge of 0.5ms.
+	r.TaskDone(rec("lstm", 0, 1_000_000, 2<<20, 1e6))
+	r.TaskDone(rec("lstm", 0, 3_000_000, 4<<20, 3e6))
+	r.TaskDone(rec("merge", 0, 500_000, 1<<20, 1e5))
+	g := r.Summarize()
+	if g.TotalTasks != 3 {
+		t.Fatalf("total %d", g.TotalTasks)
+	}
+	if g.AllDurUS.Min() != 500 || g.AllDurUS.Max() != 3000 {
+		t.Fatalf("dur range [%g,%g]", g.AllDurUS.Min(), g.AllDurUS.Max())
+	}
+	if len(g.ByKind) != 2 {
+		t.Fatalf("kinds %d", len(g.ByKind))
+	}
+	// Sorted: lstm, merge.
+	lstm := g.ByKind[0]
+	if lstm.Kind != "lstm" || lstm.Count != 2 {
+		t.Fatalf("lstm stats %+v", lstm)
+	}
+	if lstm.AvgWorkingSet != 3*(1<<20) {
+		t.Fatalf("avg ws %g", lstm.AvgWorkingSet)
+	}
+	if lstm.DurUS.Mean() != 2000 {
+		t.Fatalf("lstm mean %g", lstm.DurUS.Mean())
+	}
+	if lstm.TotalFlops != 4e6 {
+		t.Fatalf("flops %g", lstm.TotalFlops)
+	}
+	if g.String() == "" {
+		t.Fatal("string render empty")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.TaskDone(rec("k", 0, 1000, 1, 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestRecorderWithRuntime(t *testing.T) {
+	r := &Recorder{}
+	rt := taskrt.New(taskrt.Options{Workers: 2, Sink: r})
+	defer rt.Shutdown()
+	for i := 0; i < 10; i++ {
+		rt.Submit(&taskrt.Task{Kind: "w", Fn: func() {}, Flops: 5, WorkingSet: 7})
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len %d", r.Len())
+	}
+	g := r.Summarize()
+	if g.ByKind[0].TotalFlops != 50 {
+		t.Fatalf("flops %g", g.ByKind[0].TotalFlops)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := &Recorder{}
+	r.TaskDone(taskrt.TaskRecord{ID: 1, Label: "fwd L0 t0", Kind: "lstm", Worker: 2,
+		StartNS: 1000, EndNS: 5000, Flops: 100, WorkingSet: 64})
+	r.TaskDone(taskrt.TaskRecord{ID: 2, Label: "merge L0 t0", Kind: "merge", Worker: 0,
+		StartNS: 500, EndNS: 900, Flops: 10, WorkingSet: 8})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("want 2 events, got %d", len(events))
+	}
+	// Sorted by start time: merge first.
+	if events[0]["name"] != "merge L0 t0" || events[1]["name"] != "fwd L0 t0" {
+		t.Fatalf("unexpected order: %v", events)
+	}
+	if events[1]["ph"] != "X" || events[1]["dur"].(float64) != 4.0 {
+		t.Fatalf("bad event encoding: %v", events[1])
+	}
+	if events[1]["tid"].(float64) != 2 {
+		t.Fatal("worker lane lost")
+	}
+}

@@ -190,6 +190,46 @@ func BenchmarkTaskRuntime(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerSmallTasks floods the scheduler with tiny dependent
+// tasks — the regime where submit/complete bookkeeping dominates — on 8+
+// workers, batch-submitting one wave of 64 chains at a time. The reported
+// metrics are the contention/idle counters of the sharded scheduler.
+func BenchmarkSchedulerSmallTasks(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	const chains = 64
+	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.LocalityAware})
+	defer rt.Shutdown()
+	batch := make([]*taskrt.Task, chains)
+	sinks := make([]int64, chains) // per-chain: serialized by the InOut dep
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < chains; c++ {
+			c := c
+			batch[c] = &taskrt.Task{
+				Kind:  "tiny",
+				InOut: []taskrt.Dep{c},
+				Fn:    func() { sinks[c]++ },
+			}
+		}
+		rt.SubmitAll(batch)
+	}
+	if err := rt.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	st := rt.Stats()
+	if st.Executed != int64(b.N)*chains {
+		b.Fatalf("executed %d, want %d", st.Executed, int64(b.N)*chains)
+	}
+	b.ReportMetric(st.OverheadRatio(), "overhead")
+	b.ReportMetric(float64(st.LockWaitNS)/float64(b.N), "lockwait-ns/op")
+	b.ReportMetric(float64(st.IdleNS())/float64(b.N), "idle-ns/op")
+	b.ReportMetric(float64(st.Steals), "steals")
+}
+
 func BenchmarkAblationPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunAblationPolicy(paperOpts()); err != nil {

@@ -25,14 +25,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency, sched")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
 	flag.Parse()
 
 	o := experiments.Opts{SeqLen: *seq}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "policy", "efficiency", "platforms", "crossover"}
+		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "policy", "efficiency", "platforms", "crossover", "sched"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -131,6 +131,12 @@ func run(name string, o experiments.Opts) error {
 			return err
 		}
 		experiments.PrintPlatforms(w, r)
+	case "sched":
+		r, err := experiments.RunScheduler(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScheduler(w, r)
 	case "granularity-ablation":
 		r, err := experiments.RunAblationGranularity(o)
 		if err != nil {

@@ -130,6 +130,8 @@ func run(task, cellName string, layers, hidden, seq, batch, mbs, epochs, steps i
 	st := rt.Stats()
 	fmt.Printf("runtime: %d tasks executed, overhead ratio %.4f, peak parallel tasks %d, local-queue hits %d, steals %d\n",
 		st.Executed, st.OverheadRatio(), st.MaxRunning, st.LocalHits, st.Steals)
+	fmt.Printf("runtime: submit-lock wait %v, failed steals %d, total worker idle %v\n",
+		time.Duration(st.LockWaitNS), st.StealFails, time.Duration(st.IdleNS()))
 
 	if sink != nil {
 		f, err := os.Create(traceFile)

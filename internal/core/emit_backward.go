@@ -73,6 +73,7 @@ func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
 	}
 
 	L, T := cfg.Layers, ws.T
+	batch := make([]*taskrt.Task, 0, T)
 	for t := T - 1; t >= 0; t-- {
 		task := &taskrt.Task{
 			Label: fmt.Sprintf("head-bwd t%d mb%d", t, mbIdx),
@@ -88,8 +89,9 @@ func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
 				e.headBackward(ws, t, ws.merged[L-1][t], mb.StepTargets[t], ws.dMerged[L-1][t])
 			}
 		}
-		e.Exec.Submit(task)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // headBackward computes, for head slot h: dLogits = probs - onehot(targets),
@@ -149,6 +151,7 @@ func (e *Engine) emitMergeBackward(ws *workspace, l, mbIdx int) {
 	cfg := e.M.Cfg
 	mFlops := mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize)
 	mWS := mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize)
+	batch := make([]*taskrt.Task, 0, ws.T)
 	for t := 0; t < ws.T; t++ {
 		in := []taskrt.Dep{ws.kDMerged[l][t]}
 		if cfg.Merge == MergeMul {
@@ -169,8 +172,9 @@ func (e *Engine) emitMergeBackward(ws *workspace, l, mbIdx int) {
 					ws.dHMergeFwd[l][t], ws.dHMergeRev[l][t])
 			}
 		}
-		e.Exec.Submit(task)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // emitCellBackward emits the backward cell tasks of layer l: the forward
@@ -198,6 +202,7 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 	kind := e.kindBwdCell()
 	isLSTM := cfg.Cell == LSTM
 
+	batch := make([]*taskrt.Task, 0, T)
 	for t := T - 1; t >= 0; t-- {
 		in := []taskrt.Dep{ws.kFwdSt[l][t], ws.kDHMergeFwd[l][t], ws.kDHChainFwd[l][t]}
 		if isLSTM {
@@ -245,8 +250,9 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 				}
 			}
 		}
-		e.Exec.Submit(task)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // emitRevCellBackward emits the reverse direction's backward chain of layer
@@ -262,6 +268,7 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 	kind := e.kindBwdCell()
 	isLSTM := cfg.Cell == LSTM
 
+	batch := make([]*taskrt.Task, 0, T)
 	for t := 0; t < T; t++ {
 		in := []taskrt.Dep{ws.kRevSt[l][t], ws.kDHMergeRev[l][t], ws.kDHChainRev[l][t]}
 		if isLSTM {
@@ -309,8 +316,9 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 				}
 			}
 		}
-		e.Exec.Submit(task)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // emitReduce emits the mini-batch gradient reduction tasks: one task per
@@ -324,6 +332,7 @@ func (e *Engine) emitReduce(wss []*workspace) {
 	}
 	cfg := e.M.Cfg
 	w0 := wss[0]
+	batch := make([]*taskrt.Task, 0, 2*cfg.Layers+1)
 	for l := 0; l < cfg.Layers; l++ {
 		for dir := 0; dir < 2; dir++ {
 			l, dir := l, dir
@@ -359,7 +368,7 @@ func (e *Engine) emitReduce(wss []*workspace) {
 					}
 				}
 			}
-			e.Exec.Submit(task)
+			batch = append(batch, task)
 		}
 	}
 
@@ -383,5 +392,6 @@ func (e *Engine) emitReduce(wss []*workspace) {
 			}
 		}
 	}
-	e.Exec.Submit(task)
+	batch = append(batch, task)
+	taskrt.SubmitBatch(e.Exec, batch)
 }

@@ -57,6 +57,7 @@ func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
 		fwdFlops := lR.fwdFlops(ws.rows)
 		cellWS := lR.taskWorkingSet(ws.rows)
 
+		batch := make([]*taskrt.Task, 0, T)
 		for u := 0; u < T; u++ {
 			t := T - 1 - u
 			in := []taskrt.Dep{e.inputKey(ws, l, t)}
@@ -82,8 +83,9 @@ func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
 					lR.forward(x, hPrev, cPrev, ws.revSt[l][t])
 				}
 			}
-			e.Exec.Submit(task)
+			batch = append(batch, task)
 		}
+		taskrt.SubmitBatch(e.Exec, batch)
 	}
 }
 
@@ -97,6 +99,7 @@ func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
 		fwdFlops := lF.fwdFlops(ws.rows)
 		cellWS := lF.taskWorkingSet(ws.rows)
 
+		batch := make([]*taskrt.Task, 0, T)
 		for t := 0; t < T; t++ {
 			in := []taskrt.Dep{e.inputKey(ws, l, t)}
 			if t > 0 {
@@ -121,8 +124,9 @@ func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
 					lF.forward(x, hPrev, cPrev, ws.fwdSt[l][t])
 				}
 			}
-			e.Exec.Submit(task)
+			batch = append(batch, task)
 		}
+		taskrt.SubmitBatch(e.Exec, batch)
 	}
 }
 
@@ -136,6 +140,7 @@ func (e *Engine) emitMergeCells(ws *workspace, mbIdx, l int) {
 		if cfg.hasMergePerTimestep(l) {
 			mFlops := mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize)
 			mWS := mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize)
+			batch := make([]*taskrt.Task, 0, T)
 			for t := 0; t < T; t++ {
 				task := &taskrt.Task{
 					Label: fmt.Sprintf("merge L%d t%d mb%d", l, t, mbIdx),
@@ -150,8 +155,9 @@ func (e *Engine) emitMergeCells(ws *workspace, mbIdx, l int) {
 						mergeForward(cfg.Merge, ws.merged[l][t], ws.fwdSt[l][t].H(), ws.revSt[l][t].H())
 					}
 				}
-				e.Exec.Submit(task)
+				batch = append(batch, task)
 			}
+			taskrt.SubmitBatch(e.Exec, batch)
 		}
 	}
 
@@ -228,6 +234,7 @@ func (e *Engine) emitHeadForward(ws *workspace, mb *Batch, mbIdx int) {
 	}
 
 	L, T := cfg.Layers, ws.T
+	batch := make([]*taskrt.Task, 0, T)
 	for t := 0; t < T; t++ {
 		task := &taskrt.Task{
 			Label: fmt.Sprintf("head t%d mb%d", t, mbIdx),
@@ -244,8 +251,9 @@ func (e *Engine) emitHeadForward(ws *workspace, mb *Batch, mbIdx int) {
 			}
 			task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], targets) }
 		}
-		e.Exec.Submit(task)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // headForward computes logits, probabilities, and (when labels are present)

@@ -47,11 +47,22 @@ type Engine struct {
 	// before each update: w *= (1 - lr*WeightDecay).
 	WeightDecay float64
 
+	// MaxCachedSeqLens bounds how many distinct sequence lengths keep live
+	// workspaces in the cache (LRU eviction). Zero means the default of 8;
+	// negative means unbounded. Variable-length serving workloads would
+	// otherwise accumulate one workspace set per length seen.
+	MaxCachedSeqLens int
+
 	phantom bool
 	wsByT   map[int][]*workspace
+	wsLRU   []int // cached sequence lengths, most recently used first
 	vel     *velocity
 	adam    *adamState
 }
+
+// defaultMaxCachedSeqLens is the workspace-cache bound when
+// MaxCachedSeqLens is left zero.
+const defaultMaxCachedSeqLens = 8
 
 // NewEngine creates an engine executing real numeric tasks.
 func NewEngine(m *Model, exec taskrt.Executor) *Engine {
@@ -67,9 +78,11 @@ func NewPhantomEngine(m *Model, exec taskrt.Executor) *Engine {
 
 // workspaces returns (building if needed) the per-mini-batch workspaces for
 // sequence length T. B-Par adjusts the computation graph dynamically when
-// the sequence length changes between batches.
+// the sequence length changes between batches. The cache holds at most
+// MaxCachedSeqLens distinct lengths; the least recently used is evicted.
 func (e *Engine) workspaces(T int) []*workspace {
 	if ws, ok := e.wsByT[T]; ok {
+		e.touchSeqLen(T)
 		return ws
 	}
 	cfg := e.M.Cfg
@@ -85,7 +98,38 @@ func (e *Engine) workspaces(T int) []*workspace {
 		ws[i] = newWorkspace(e.M, rows, T, e.phantom)
 	}
 	e.wsByT[T] = ws
+	e.touchSeqLen(T)
+	if bound := e.wsCacheBound(); bound > 0 {
+		for len(e.wsLRU) > bound {
+			victim := e.wsLRU[len(e.wsLRU)-1]
+			e.wsLRU = e.wsLRU[:len(e.wsLRU)-1]
+			delete(e.wsByT, victim)
+		}
+	}
 	return ws
+}
+
+func (e *Engine) wsCacheBound() int {
+	switch {
+	case e.MaxCachedSeqLens > 0:
+		return e.MaxCachedSeqLens
+	case e.MaxCachedSeqLens < 0:
+		return 0 // unbounded
+	default:
+		return defaultMaxCachedSeqLens
+	}
+}
+
+// touchSeqLen moves T to the most-recently-used slot of the LRU list.
+func (e *Engine) touchSeqLen(T int) {
+	for i, v := range e.wsLRU {
+		if v == T {
+			copy(e.wsLRU[1:i+1], e.wsLRU[:i])
+			e.wsLRU[0] = T
+			return
+		}
+	}
+	e.wsLRU = append([]int{T}, e.wsLRU...)
 }
 
 // mbBounds returns the row range of mini-batch i.

@@ -588,3 +588,52 @@ func TestIgnoreLabelLossDropsMaskedRows(t *testing.T) {
 		t.Fatalf("masked loss %g not below full %g", masked, full)
 	}
 }
+
+// TestWorkspaceCacheLRU checks the per-sequence-length workspace cache is
+// bounded with least-recently-used eviction, and that touching a length
+// refreshes its recency.
+func TestWorkspaceCacheLRU(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	m, _ := NewModel(cfg)
+	e := NewPhantomEngine(m, taskrt.NewRecorder(false))
+	e.MaxCachedSeqLens = 3
+
+	for _, T := range []int{2, 3, 4} {
+		e.workspaces(T)
+	}
+	e.workspaces(2)             // refresh T=2: LRU order is now 2, 4, 3
+	ws5 := e.workspaces(5)      // evicts T=3
+	if _, ok := e.wsByT[3]; ok {
+		t.Fatal("T=3 not evicted")
+	}
+	for _, T := range []int{2, 4, 5} {
+		if _, ok := e.wsByT[T]; !ok {
+			t.Fatalf("T=%d evicted, want kept", T)
+		}
+	}
+	if len(e.wsByT) != 3 || len(e.wsLRU) != 3 {
+		t.Fatalf("cache size %d, lru %d, want 3", len(e.wsByT), len(e.wsLRU))
+	}
+	if got := e.workspaces(5); got[0] != ws5[0] {
+		t.Fatal("cached workspaces not returned")
+	}
+
+	// Default bound applies when the field is zero.
+	e2 := NewPhantomEngine(m, taskrt.NewRecorder(false))
+	for T := 1; T <= 20; T++ {
+		e2.workspaces(T)
+	}
+	if len(e2.wsByT) != defaultMaxCachedSeqLens {
+		t.Fatalf("default cache holds %d lengths, want %d", len(e2.wsByT), defaultMaxCachedSeqLens)
+	}
+
+	// Negative disables the bound.
+	e3 := NewPhantomEngine(m, taskrt.NewRecorder(false))
+	e3.MaxCachedSeqLens = -1
+	for T := 1; T <= 20; T++ {
+		e3.workspaces(T)
+	}
+	if len(e3.wsByT) != 20 {
+		t.Fatalf("unbounded cache holds %d lengths, want 20", len(e3.wsByT))
+	}
+}

@@ -1,6 +1,10 @@
 package taskrt
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Inline is an Executor that runs each task body immediately at Submit time,
 // on the submitting goroutine. Because B-Par builders emit tasks in
@@ -15,40 +19,50 @@ type Inline struct {
 	taskNS   int64
 	sink     TraceSink
 	nextID   int
+	start    time.Time
 }
 
 // NewInline returns an inline executor. sink may be nil.
-func NewInline(sink TraceSink) *Inline { return &Inline{sink: sink} }
+func NewInline(sink TraceSink) *Inline {
+	return &Inline{sink: sink, start: time.Now()}
+}
 
-// Submit runs the task body immediately.
+// Submit runs the task body immediately. Every task — including Fn == nil
+// placeholder tasks — is counted and recorded with real timestamps, so an
+// inline run yields the same TaskRecord stream shape as the parallel
+// runtime executing the same graph.
 func (e *Inline) Submit(t *Task) {
 	id := e.nextID
 	e.nextID++
-	if t.Fn == nil {
-		return
+	submitNS := time.Since(e.start).Nanoseconds()
+	startT := time.Now()
+	if t.Fn != nil {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					e.errs = append(e.errs, fmt.Errorf("taskrt: task %q panicked: %v", t.Label, p))
+				}
+			}()
+			t.Fn()
+		}()
 	}
-	defer func() {
-		if p := recover(); p != nil {
-			e.errs = append(e.errs, fmt.Errorf("taskrt: inline task %q panicked: %v", t.Label, p))
-		}
-	}()
-	t.Fn()
+	endT := time.Now()
 	e.executed++
+	e.taskNS += endT.Sub(startT).Nanoseconds()
 	if e.sink != nil {
 		e.sink.TaskDone(TaskRecord{
 			ID: id, Label: t.Label, Kind: t.Kind, Worker: 0,
-			Flops: t.Flops, WorkingSet: t.WorkingSet,
+			SubmitNS: submitNS,
+			StartNS:  startT.Sub(e.start).Nanoseconds(),
+			EndNS:    endT.Sub(e.start).Nanoseconds(),
+			Flops:    t.Flops, WorkingSet: t.WorkingSet,
 		})
 	}
 }
 
-// Wait returns the first error produced by a submitted task, if any.
-func (e *Inline) Wait() error {
-	for _, err := range e.errs {
-		return err
-	}
-	return nil
-}
+// Wait returns the joined errors produced by submitted tasks, if any.
+func (e *Inline) Wait() error { return errors.Join(e.errs...) }
 
-// Executed reports how many task bodies ran.
+// Executed reports how many tasks were submitted and ran (Fn == nil tasks
+// count as executed empty bodies, matching Runtime).
 func (e *Inline) Executed() int64 { return e.executed }

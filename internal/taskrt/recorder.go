@@ -1,6 +1,9 @@
 package taskrt
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // GraphNode is one task in a recorded dependency graph.
 type GraphNode struct {
@@ -133,13 +136,8 @@ func (r *Recorder) dep(k Dep) *recDep {
 	return e
 }
 
-// Wait returns the first recorded execution error, if any.
-func (r *Recorder) Wait() error {
-	for _, err := range r.errs {
-		return err
-	}
-	return nil
-}
+// Wait returns the joined recorded execution errors, if any.
+func (r *Recorder) Wait() error { return errors.Join(r.errs...) }
 
 // Graph returns the captured dependency graph.
 func (r *Recorder) Graph() *Graph { return &Graph{Nodes: r.nodes} }

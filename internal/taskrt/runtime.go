@@ -3,7 +3,9 @@ package taskrt
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,11 +46,26 @@ type Options struct {
 type node struct {
 	task     *Task
 	id       int
-	pending  int // unsatisfied dependency count
-	succs    []*node
-	finished bool
-	worker   int
 	submitNS int64
+
+	// pending is the unsatisfied-dependency count plus a submission guard:
+	// it starts at 1 so the node cannot become ready while Submit is still
+	// deriving edges; Submit drops the guard with a final decrement, so
+	// exactly one party (Submit or the last-finishing predecessor) observes
+	// zero and enqueues the node.
+	pending atomic.Int32
+
+	mu       sync.Mutex // guards finished and succs
+	finished bool
+	succs    []*node
+}
+
+// done reports whether the node's task has completed.
+func (n *node) done() bool {
+	n.mu.Lock()
+	d := n.finished
+	n.mu.Unlock()
+	return d
 }
 
 // depEntry tracks the last writer and the readers-since-last-write of one
@@ -58,39 +75,62 @@ type depEntry struct {
 	readers    []*node
 }
 
-// Runtime executes tasks on a pool of worker goroutines, deriving the task
-// dependency graph dynamically from Submit annotations.
-type Runtime struct {
-	mu       sync.Mutex
-	workCond *sync.Cond // wakes idle workers
-	doneCond *sync.Cond // wakes Wait
+// depShards is the number of dependency-table shards. Power of two so the
+// shard index is a mask of the key hash.
+const depShards = 64
 
-	opts        Options
-	deps        map[Dep]*depEntry
-	readyGlobal fifo
-	readyLocal  []fifo
-
-	outstanding int // submitted but not finished
-	running     int
-	shutdown    bool
-	errs        []error
-	nextID      int
-	start       time.Time
-	wg          sync.WaitGroup
-
-	stats Stats
+// depShard is one slice of the dependency table with its own lock, so
+// WaitFor readers and the submitter never contend on a single table-wide
+// mutex. Padded so neighbouring shard locks do not share a cache line.
+type depShard struct {
+	mu sync.Mutex
+	m  map[Dep]*depEntry
+	_  [32]byte
 }
 
-// fifo is a simple slice-backed FIFO queue of nodes.
-type fifo struct {
+// entry returns (creating if needed) the entry for k. Caller holds s.mu.
+func (s *depShard) entry(k Dep) *depEntry {
+	e := s.m[k]
+	if e == nil {
+		e = &depEntry{}
+		s.m[k] = e
+	}
+	return e
+}
+
+// queue is a locked slice-backed task queue. The global ready queue pops
+// FIFO at the head; per-worker deques pop LIFO at the tail (the hottest,
+// most recently readied task) while thieves steal FIFO from the head (the
+// oldest task, as the paper's work-stealing does). An atomic length
+// snapshot lets thieves pick a victim without taking any lock.
+type queue struct {
+	mu    sync.Mutex
 	items []*node
 	head  int
+	size  atomic.Int32
 }
 
-func (q *fifo) push(n *node) { q.items = append(q.items, n) }
+func (q *queue) push(n *node) {
+	q.mu.Lock()
+	q.items = append(q.items, n)
+	q.size.Store(int32(len(q.items) - q.head))
+	q.mu.Unlock()
+}
 
-func (q *fifo) pop() *node {
+func (q *queue) pushBatch(ns []*node) {
+	if len(ns) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.items = append(q.items, ns...)
+	q.size.Store(int32(len(q.items) - q.head))
+	q.mu.Unlock()
+}
+
+func (q *queue) popHead() *node {
+	q.mu.Lock()
 	if q.head >= len(q.items) {
+		q.mu.Unlock()
 		return nil
 	}
 	n := q.items[q.head]
@@ -101,10 +141,98 @@ func (q *fifo) pop() *node {
 		q.items = append(q.items[:0], q.items[q.head:]...)
 		q.head = 0
 	}
+	q.size.Store(int32(len(q.items) - q.head))
+	q.mu.Unlock()
 	return n
 }
 
-func (q *fifo) empty() bool { return q.head >= len(q.items) }
+func (q *queue) popTail() *node {
+	q.mu.Lock()
+	if q.head >= len(q.items) {
+		q.mu.Unlock()
+		return nil
+	}
+	last := len(q.items) - 1
+	n := q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if q.head >= len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.size.Store(int32(len(q.items) - q.head))
+	q.mu.Unlock()
+	return n
+}
+
+// Runtime executes tasks on a pool of worker goroutines, deriving the task
+// dependency graph dynamically from Submit annotations.
+//
+// Unlike a single-mutex design, the hot paths are partitioned: submission
+// serializes on submitMu (dependency derivation must observe submissions in
+// order), the dependency table is sharded by key hash, each worker owns a
+// ready deque with its own small lock, and completion bookkeeping touches
+// only atomics, the finished node, and the readied successors' queues — so
+// the builder goroutine submitting the next timestep never contends with
+// workers retiring the previous one.
+type Runtime struct {
+	opts  Options
+	start time.Time
+
+	// submitMu serializes task submission. Completion never takes it.
+	submitMu sync.Mutex
+	nextID   int
+
+	hashSeed maphash.Seed
+	shards   [depShards]depShard
+
+	global queue
+	local  []queue
+
+	outstanding atomic.Int64
+	shutdownFlg atomic.Bool
+
+	// Idle workers park on idleCond. wakeups is a latched signal count so a
+	// wake issued between a worker's last queue scan and its sleep is never
+	// lost; idlers lets producers skip the lock when nobody is parked.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	wakeups  int
+	idlers   atomic.Int32
+
+	// Wait and WaitFor park on doneCond; completions broadcast only when
+	// doneWaiters says someone is listening.
+	doneMu      sync.Mutex
+	doneCond    *sync.Cond
+	doneWaiters atomic.Int32
+
+	errsMu sync.Mutex
+	errs   []error
+
+	wg sync.WaitGroup
+
+	stats runtimeStats
+}
+
+// runtimeStats holds the contended counters behind Stats as atomics.
+type runtimeStats struct {
+	submitted  atomic.Int64
+	executed   atomic.Int64
+	taskNS     atomic.Int64
+	submitNS   atomic.Int64
+	completeNS atomic.Int64
+	lockWaitNS atomic.Int64
+	localHits  atomic.Int64
+	steals     atomic.Int64
+	stealFails atomic.Int64
+	running    atomic.Int32
+	maxRunning atomic.Int32
+
+	workerIdleNS []atomic.Int64
+	// idleSince[w] is the ns-since-start timestamp at which worker w parked
+	// (0 = not parked), so Stats can charge in-progress idleness.
+	idleSince []atomic.Int64
+}
 
 // New creates a runtime with the given options and starts its workers.
 // Call Shutdown when done with it.
@@ -113,13 +241,18 @@ func New(opts Options) *Runtime {
 		panic(fmt.Sprintf("taskrt: Workers must be >= 1, got %d", opts.Workers))
 	}
 	r := &Runtime{
-		opts:       opts,
-		deps:       make(map[Dep]*depEntry),
-		readyLocal: make([]fifo, opts.Workers),
-		start:      time.Now(),
+		opts:     opts,
+		start:    time.Now(),
+		hashSeed: maphash.MakeSeed(),
+		local:    make([]queue, opts.Workers),
 	}
-	r.workCond = sync.NewCond(&r.mu)
-	r.doneCond = sync.NewCond(&r.mu)
+	for i := range r.shards {
+		r.shards[i].m = make(map[Dep]*depEntry)
+	}
+	r.idleCond = sync.NewCond(&r.idleMu)
+	r.doneCond = sync.NewCond(&r.doneMu)
+	r.stats.workerIdleNS = make([]atomic.Int64, opts.Workers)
+	r.stats.idleSince = make([]atomic.Int64, opts.Workers)
 	r.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go r.worker(w)
@@ -130,130 +263,266 @@ func New(opts Options) *Runtime {
 // Workers reports the configured worker count.
 func (r *Runtime) Workers() int { return r.opts.Workers }
 
+// shard returns the dependency shard owning key k.
+func (r *Runtime) shard(k Dep) *depShard {
+	return &r.shards[maphash.Comparable(r.hashSeed, k)&(depShards-1)]
+}
+
 // Submit registers the task; it becomes ready as soon as its dependencies
 // are satisfied. Safe for concurrent use, although B-Par's builders submit
 // from a single goroutine in topological order, like Algorithm 2/3.
 func (r *Runtime) Submit(t *Task) {
-	tSubmit := time.Now()
-	r.mu.Lock()
-	if r.shutdown {
-		r.mu.Unlock()
+	tStart := time.Now()
+	if !r.submitMu.TryLock() {
+		r.submitMu.Lock()
+		r.stats.lockWaitNS.Add(time.Since(tStart).Nanoseconds())
+	}
+	if r.shutdownFlg.Load() {
+		r.submitMu.Unlock()
 		panic("taskrt: Submit after Shutdown")
 	}
-	n := &node{task: t, id: r.nextID, worker: -1, submitNS: tSubmit.Sub(r.start).Nanoseconds()}
-	r.nextID++
+	n := r.submitOne(t, tStart)
+	r.submitMu.Unlock()
+	if n != nil {
+		r.global.push(n)
+		r.wake(1)
+	}
+	r.stats.submitNS.Add(time.Since(tStart).Nanoseconds())
+}
 
-	// Derive dependency edges. predSeen dedupes multiple edges from the
-	// same predecessor so pending counts each predecessor once.
-	predSeen := make(map[*node]bool)
+// SubmitAll registers a batch of tasks in order under a single acquisition
+// of the submission lock, then publishes every immediately-ready task at
+// once. Builders that emit a whole timestep (or layer) of tasks use it to
+// amortize locking across the batch.
+func (r *Runtime) SubmitAll(ts []*Task) {
+	if len(ts) == 0 {
+		return
+	}
+	tStart := time.Now()
+	if !r.submitMu.TryLock() {
+		r.submitMu.Lock()
+		r.stats.lockWaitNS.Add(time.Since(tStart).Nanoseconds())
+	}
+	if r.shutdownFlg.Load() {
+		r.submitMu.Unlock()
+		panic("taskrt: Submit after Shutdown")
+	}
+	var ready []*node
+	for _, t := range ts {
+		if n := r.submitOne(t, tStart); n != nil {
+			ready = append(ready, n)
+		}
+	}
+	r.submitMu.Unlock()
+	if len(ready) > 0 {
+		r.global.pushBatch(ready)
+		r.wake(len(ready))
+	}
+	r.stats.submitNS.Add(time.Since(tStart).Nanoseconds())
+}
+
+// submitOne derives the task's dependency edges and registers it. Caller
+// holds submitMu and passes the submission-time clock reading. Returns the
+// node if it is immediately ready (the caller enqueues it), nil otherwise.
+func (r *Runtime) submitOne(t *Task, at time.Time) *node {
+	n := &node{task: t, id: r.nextID, submitNS: at.Sub(r.start).Nanoseconds()}
+	r.nextID++
+	n.pending.Store(1) // submission guard, dropped at the end
+
+	// predSeen dedupes multiple edges from the same predecessor so pending
+	// counts each predecessor once. Allocated lazily: dependency-free tasks
+	// never pay for it.
+	var predSeen map[*node]bool
 	addPred := func(p *node) {
-		if p == nil || p == n || p.finished || predSeen[p] {
+		if p == nil || p == n || predSeen[p] {
 			return
 		}
+		if predSeen == nil {
+			predSeen = make(map[*node]bool)
+		}
 		predSeen[p] = true
-		p.succs = append(p.succs, n)
-		n.pending++
+		p.mu.Lock()
+		if !p.finished {
+			// Increment before the successor becomes visible to p's
+			// completer, or its decrement could race pending to zero and
+			// double-enqueue n.
+			n.pending.Add(1)
+			p.succs = append(p.succs, n)
+		}
+		p.mu.Unlock()
 	}
 
 	for _, k := range t.In {
-		e := r.dep(k)
+		sh := r.shard(k)
+		sh.mu.Lock()
+		e := sh.entry(k)
 		addPred(e.lastWriter) // RAW
 		e.readers = append(e.readers, n)
+		sh.mu.Unlock()
 	}
 	for _, k := range t.InOut {
-		e := r.dep(k)
+		sh := r.shard(k)
+		sh.mu.Lock()
+		e := sh.entry(k)
 		addPred(e.lastWriter) // RAW + WAW
 		for _, rd := range e.readers {
 			addPred(rd) // WAR
 		}
 		e.lastWriter = n
 		e.readers = e.readers[:0]
+		sh.mu.Unlock()
 	}
 	for _, k := range t.Out {
-		e := r.dep(k)
+		sh := r.shard(k)
+		sh.mu.Lock()
+		e := sh.entry(k)
 		addPred(e.lastWriter) // WAW
 		for _, rd := range e.readers {
 			addPred(rd) // WAR
 		}
 		e.lastWriter = n
 		e.readers = e.readers[:0]
+		sh.mu.Unlock()
 	}
 
-	r.outstanding++
-	r.stats.Submitted++
-	if n.pending == 0 {
-		r.readyGlobal.push(n)
-		r.workCond.Signal()
+	r.outstanding.Add(1)
+	r.stats.submitted.Add(1)
+	if n.pending.Add(-1) == 0 {
+		return n
 	}
-	r.stats.SubmitNS += time.Since(tSubmit).Nanoseconds()
-	r.mu.Unlock()
+	return nil
 }
 
-func (r *Runtime) dep(k Dep) *depEntry {
-	e := r.deps[k]
-	if e == nil {
-		e = &depEntry{}
-		r.deps[k] = e
+// wake makes up to k parked workers rescan the queues. The wakeups counter
+// latches signals issued while a worker is between its last scan and its
+// cond wait, so no wake is lost.
+func (r *Runtime) wake(k int) {
+	if k <= 0 || r.idlers.Load() == 0 {
+		return
 	}
-	return e
+	r.idleMu.Lock()
+	r.wakeups += k
+	if k == 1 {
+		r.idleCond.Signal()
+	} else {
+		r.idleCond.Broadcast()
+	}
+	r.idleMu.Unlock()
 }
 
 // worker is the body of each worker goroutine.
 func (r *Runtime) worker(w int) {
 	defer r.wg.Done()
 	for {
-		r.mu.Lock()
-		var n *node
+		n := r.tryPop(w)
+		if n == nil {
+			n = r.awaitWork(w)
+			if n == nil { // shutdown with no work left
+				return
+			}
+		}
+		run := r.stats.running.Add(1)
 		for {
-			n = r.popFor(w)
-			if n != nil || r.shutdown {
+			m := r.stats.maxRunning.Load()
+			if run <= m || r.stats.maxRunning.CompareAndSwap(m, run) {
 				break
 			}
-			r.workCond.Wait()
 		}
-		if n == nil { // shutdown with no work left
-			r.mu.Unlock()
-			return
-		}
-		r.running++
-		if r.running > r.stats.MaxRunning {
-			r.stats.MaxRunning = r.running
-		}
-		r.mu.Unlock()
-
 		r.execute(n, w)
 	}
 }
 
-// popFor returns the next task for worker w under the configured policy.
-// Caller holds r.mu.
-func (r *Runtime) popFor(w int) *node {
+// tryPop returns the next task for worker w under the configured policy:
+// own deque (newest first), then the global queue, then a steal.
+func (r *Runtime) tryPop(w int) *node {
 	if r.opts.Policy == LocalityAware {
-		if n := r.readyLocal[w].pop(); n != nil {
-			r.stats.LocalHits++
+		if n := r.local[w].popTail(); n != nil {
+			r.stats.localHits.Add(1)
 			return n
 		}
 	}
-	if n := r.readyGlobal.pop(); n != nil {
+	if n := r.global.popHead(); n != nil {
 		return n
 	}
 	if r.opts.Policy == LocalityAware {
-		// Steal the oldest task from the busiest peer queue.
-		for i := range r.readyLocal {
-			if i == w {
-				continue
-			}
-			if n := r.readyLocal[i].pop(); n != nil {
-				r.stats.Steals++
-				return n
-			}
-		}
+		return r.steal(w)
 	}
 	return nil
 }
 
-// execute runs a task body outside the lock, then performs completion
-// bookkeeping: marking successors ready and waking Wait.
+// steal takes the oldest task from the longest peer deque. The longest
+// victim is both the most likely to still hold a task by the time its lock
+// is taken and the one whose backlog most needs draining.
+func (r *Runtime) steal(w int) *node {
+	for attempt := 0; attempt < len(r.local); attempt++ {
+		victim, best := -1, int32(0)
+		for i := range r.local {
+			if i == w {
+				continue
+			}
+			if s := r.local[i].size.Load(); s > best {
+				victim, best = i, s
+			}
+		}
+		if victim < 0 {
+			r.stats.stealFails.Add(1)
+			return nil
+		}
+		if n := r.local[victim].popHead(); n != nil {
+			r.stats.steals.Add(1)
+			return n
+		}
+		// Lost the race to the victim's owner or another thief; rescan.
+	}
+	r.stats.stealFails.Add(1)
+	return nil
+}
+
+// awaitWork parks worker w until a task arrives or shutdown. It accounts
+// the parked time to the worker's idle counter.
+func (r *Runtime) awaitWork(w int) *node {
+	idleStart := time.Now()
+	since := idleStart.Sub(r.start).Nanoseconds()
+	if since == 0 {
+		since = 1
+	}
+	r.stats.idleSince[w].Store(since)
+	defer func() {
+		r.stats.workerIdleNS[w].Add(time.Since(idleStart).Nanoseconds())
+		r.stats.idleSince[w].Store(0)
+	}()
+	for {
+		r.idlers.Add(1)
+		// Rescan after registering as idle: a producer that enqueued before
+		// seeing us idle is now guaranteed visible to this scan.
+		if n := r.tryPop(w); n != nil {
+			r.idlers.Add(-1)
+			return n
+		}
+		if r.shutdownFlg.Load() {
+			r.idlers.Add(-1)
+			return nil
+		}
+		r.idleMu.Lock()
+		for r.wakeups == 0 && !r.shutdownFlg.Load() {
+			r.idleCond.Wait()
+		}
+		if r.wakeups > 0 {
+			r.wakeups--
+		}
+		r.idleMu.Unlock()
+		r.idlers.Add(-1)
+		if n := r.tryPop(w); n != nil {
+			return n
+		}
+		if r.shutdownFlg.Load() {
+			return nil
+		}
+	}
+}
+
+// execute runs a task body, then performs completion bookkeeping: marking
+// successors ready and waking waiters. No global lock is involved.
 func (r *Runtime) execute(n *node, w int) {
 	startT := time.Now()
 	var taskErr error
@@ -283,39 +552,46 @@ func (r *Runtime) execute(n *node, w int) {
 		})
 	}
 
-	tDone := time.Now()
-	r.mu.Lock()
-	n.finished = true
-	n.worker = w
-	r.running--
-	r.stats.Executed++
-	r.stats.TaskNS += endT.Sub(startT).Nanoseconds()
+	r.stats.running.Add(-1)
+	r.stats.executed.Add(1)
+	r.stats.taskNS.Add(endT.Sub(startT).Nanoseconds())
 	if taskErr != nil {
+		r.errsMu.Lock()
 		r.errs = append(r.errs, taskErr)
+		r.errsMu.Unlock()
 	}
-	woke := 0
-	for _, s := range n.succs {
-		s.pending--
-		if s.pending == 0 {
-			if r.opts.Policy == LocalityAware {
-				// The successor consumes data this worker just produced:
-				// run it here for cache reuse.
-				r.readyLocal[w].push(s)
-			} else {
-				r.readyGlobal.push(s)
-			}
-			woke++
+
+	n.mu.Lock()
+	n.finished = true
+	succs := n.succs
+	n.succs = nil
+	n.mu.Unlock()
+
+	var readied []*node
+	for _, s := range succs {
+		if s.pending.Add(-1) == 0 {
+			readied = append(readied, s)
 		}
 	}
-	// This worker will loop and pick one task itself; wake peers for the rest.
-	for i := 1; i < woke; i++ {
-		r.workCond.Signal()
+	if len(readied) > 0 {
+		if r.opts.Policy == LocalityAware {
+			// The successors consume data this worker just produced: run
+			// them here for cache reuse; peers steal if this backs up.
+			r.local[w].pushBatch(readied)
+		} else {
+			r.global.pushBatch(readied)
+		}
+		// This worker loops and picks one task itself; wake peers for the rest.
+		r.wake(len(readied) - 1)
 	}
-	r.outstanding--
+	r.outstanding.Add(-1)
 	// Every completion may satisfy a WaitFor; a full drain satisfies Wait.
-	r.doneCond.Broadcast()
-	r.stats.CompleteNS += time.Since(tDone).Nanoseconds()
-	r.mu.Unlock()
+	if r.doneWaiters.Load() > 0 {
+		r.doneMu.Lock()
+		r.doneCond.Broadcast()
+		r.doneMu.Unlock()
+	}
+	r.stats.completeNS.Add(time.Since(endT).Nanoseconds())
 }
 
 // WaitFor blocks until the last task that wrote the given dependency key
@@ -324,16 +600,24 @@ func (r *Runtime) execute(n *node, w int) {
 // it does not drain the whole graph, so a caller can consume one result
 // while unrelated tasks continue executing.
 func (r *Runtime) WaitFor(k Dep) {
-	r.mu.Lock()
 	for {
-		e := r.deps[k]
-		if e == nil || e.lastWriter == nil || e.lastWriter.finished {
-			r.mu.Unlock()
+		sh := r.shard(k)
+		sh.mu.Lock()
+		var lw *node
+		if e := sh.m[k]; e != nil {
+			lw = e.lastWriter
+		}
+		sh.mu.Unlock()
+		if lw == nil || lw.done() {
 			return
 		}
-		// doneCond broadcasts only when everything drains; poll on the
-		// worker wake condition too by re-checking after any completion.
-		r.doneCond.Wait()
+		r.doneWaiters.Add(1)
+		r.doneMu.Lock()
+		if !lw.done() {
+			r.doneCond.Wait()
+		}
+		r.doneMu.Unlock()
+		r.doneWaiters.Add(-1)
 	}
 }
 
@@ -342,12 +626,18 @@ func (r *Runtime) WaitFor(k Dep) {
 // the dependency table persists, so later submissions still order against
 // completed writers correctly (completed predecessors simply add no edges).
 func (r *Runtime) Wait() error {
-	r.mu.Lock()
-	for r.outstanding > 0 {
-		r.doneCond.Wait()
+	if r.outstanding.Load() > 0 {
+		r.doneWaiters.Add(1)
+		r.doneMu.Lock()
+		for r.outstanding.Load() > 0 {
+			r.doneCond.Wait()
+		}
+		r.doneMu.Unlock()
+		r.doneWaiters.Add(-1)
 	}
+	r.errsMu.Lock()
 	err := errors.Join(r.errs...)
-	r.mu.Unlock()
+	r.errsMu.Unlock()
 	return err
 }
 
@@ -355,31 +645,56 @@ func (r *Runtime) Wait() error {
 // must not be used afterwards.
 func (r *Runtime) Shutdown() {
 	_ = r.Wait()
-	r.mu.Lock()
-	r.shutdown = true
-	r.workCond.Broadcast()
-	r.mu.Unlock()
+	r.shutdownFlg.Store(true)
+	r.idleMu.Lock()
+	r.idleCond.Broadcast()
+	r.idleMu.Unlock()
 	r.wg.Wait()
 }
 
-// Stats returns a snapshot of runtime counters.
+// Stats returns a snapshot of runtime counters. Workers currently parked
+// are charged their in-progress idle time, so idle counters are meaningful
+// mid-run, not only after Shutdown.
 func (r *Runtime) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	s := Stats{
+		Submitted:  r.stats.submitted.Load(),
+		Executed:   r.stats.executed.Load(),
+		TaskNS:     r.stats.taskNS.Load(),
+		SubmitNS:   r.stats.submitNS.Load(),
+		CompleteNS: r.stats.completeNS.Load(),
+		MaxRunning: int(r.stats.maxRunning.Load()),
+		LocalHits:  r.stats.localHits.Load(),
+		Steals:     r.stats.steals.Load(),
+		StealFails: r.stats.stealFails.Load(),
+		LockWaitNS: r.stats.lockWaitNS.Load(),
+	}
+	nowNS := time.Since(r.start).Nanoseconds()
+	s.WorkerIdleNS = make([]int64, len(r.stats.workerIdleNS))
+	for i := range r.stats.workerIdleNS {
+		v := r.stats.workerIdleNS[i].Load()
+		if since := r.stats.idleSince[i].Load(); since != 0 && nowNS > since {
+			v += nowNS - since
+		}
+		s.WorkerIdleNS[i] = v
+	}
+	return s
 }
 
 // ResetDeps clears the dependency table between iterations that reuse the
 // same buffers, preventing spurious WAR/WAW edges from a previous batch when
 // the caller has already synchronized with Wait.
 func (r *Runtime) ResetDeps() {
-	r.mu.Lock()
-	if r.outstanding != 0 {
-		r.mu.Unlock()
+	r.submitMu.Lock()
+	defer r.submitMu.Unlock()
+	if r.outstanding.Load() != 0 {
 		panic("taskrt: ResetDeps with outstanding tasks")
 	}
-	r.deps = make(map[Dep]*depEntry)
-	r.mu.Unlock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[Dep]*depEntry)
+		sh.mu.Unlock()
+	}
 }
 
 // Stats aggregates runtime counters. SubmitNS and CompleteNS together are
@@ -389,11 +704,25 @@ type Stats struct {
 	Submitted  int64
 	Executed   int64
 	TaskNS     int64 // total wall time inside task bodies
-	SubmitNS   int64 // time spent creating tasks/deps
+	SubmitNS   int64 // time spent creating tasks/deps (includes LockWaitNS)
 	CompleteNS int64 // time spent in completion bookkeeping
 	MaxRunning int   // peak concurrently running tasks
-	LocalHits  int64 // tasks served from the submitting worker's local queue
-	Steals     int64 // tasks stolen from peer local queues
+	LocalHits  int64 // tasks served from the popping worker's own deque
+	Steals     int64 // tasks stolen from peer deques
+	StealFails int64 // steal scans that found every peer deque empty
+	LockWaitNS int64 // time blocked acquiring the submission lock
+	// WorkerIdleNS is the per-worker time spent parked with no runnable
+	// task, one entry per worker.
+	WorkerIdleNS []int64
+}
+
+// IdleNS returns total worker idle time across all workers.
+func (s Stats) IdleNS() int64 {
+	var t int64
+	for _, v := range s.WorkerIdleNS {
+		t += v
+	}
+	return t
 }
 
 // OverheadRatio returns (submit+complete time) / task body time; the paper's

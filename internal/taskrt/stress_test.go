@@ -1,0 +1,456 @@
+package taskrt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncSink is a concurrency-safe TraceSink for tests.
+type syncSink struct {
+	mu   sync.Mutex
+	recs []TaskRecord
+}
+
+func (s *syncSink) TaskDone(rec TaskRecord) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+func (s *syncSink) records() []TaskRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TaskRecord(nil), s.recs...)
+}
+
+// stressSpec is one randomly generated task: the keys it touches and, for
+// every key it reads or overwrites, the ID of the writer it must observe.
+type stressSpec struct {
+	id             int
+	in, out, inout []int
+	// expect maps key -> ID of the last preceding writer of that key
+	// (-1 if none), computed by a sequential reference derivation. If the
+	// runtime honors RAW/WAR/WAW edges, the task observes exactly this
+	// writer in the shared state array at execution time.
+	expect map[int]int
+}
+
+// buildStressDAG generates nTasks random tasks over nKeys dependency keys
+// and computes each task's expected observations.
+func buildStressDAG(rng *rand.Rand, nTasks, nKeys int) []*stressSpec {
+	lastWriter := make([]int, nKeys)
+	for k := range lastWriter {
+		lastWriter[k] = -1
+	}
+	specs := make([]*stressSpec, nTasks)
+	for i := 0; i < nTasks; i++ {
+		s := &stressSpec{id: i, expect: map[int]int{}}
+		used := map[int]bool{}
+		pick := func() (int, bool) {
+			k := rng.Intn(nKeys)
+			if used[k] {
+				return 0, false
+			}
+			used[k] = true
+			return k, true
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			if k, ok := pick(); ok {
+				s.in = append(s.in, k)
+				s.expect[k] = lastWriter[k]
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if k, ok := pick(); ok {
+				s.inout = append(s.inout, k)
+				s.expect[k] = lastWriter[k]
+				lastWriter[k] = i
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if k, ok := pick(); ok {
+				s.out = append(s.out, k)
+				s.expect[k] = lastWriter[k]
+				lastWriter[k] = i
+			}
+		}
+		specs[i] = s
+	}
+	return specs
+}
+
+// runStressDAG submits the generated DAG to e and returns the number of
+// dependency violations observed and the number of task bodies executed.
+func runStressDAG(specs []*stressSpec, nKeys int, e Executor) (violations, executed int64) {
+	state := make([]atomic.Int64, nKeys)
+	for k := range state {
+		state[k].Store(-1)
+	}
+	var viol, execd atomic.Int64
+	deps := func(ks []int) []Dep {
+		out := make([]Dep, len(ks))
+		for i, k := range ks {
+			out[i] = k
+		}
+		return out
+	}
+	for _, s := range specs {
+		s := s
+		t := &Task{
+			Label: fmt.Sprintf("stress-%d", s.id),
+			Kind:  "stress",
+			In:    deps(s.in), Out: deps(s.out), InOut: deps(s.inout),
+			Fn: func() {
+				for k, want := range s.expect {
+					if got := state[k].Load(); got != int64(want) {
+						viol.Add(1)
+					}
+				}
+				for _, k := range s.inout {
+					state[k].Store(int64(s.id))
+				}
+				for _, k := range s.out {
+					state[k].Store(int64(s.id))
+				}
+				execd.Add(1)
+			},
+		}
+		e.Submit(t)
+	}
+	if err := e.Wait(); err != nil {
+		viol.Add(1)
+	}
+	return viol.Load(), execd.Load()
+}
+
+// TestStressRandomDAG checks that the parallel runtime executes randomized
+// dependency graphs with exactly the ordering the annotations imply, for
+// both policies across worker counts, against the Inline reference.
+func TestStressRandomDAG(t *testing.T) {
+	const nTasks, nKeys = 250, 24
+	for _, policy := range []Policy{BreadthFirst, LocalityAware} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/w%d/seed%d", policy, workers, seed)
+				t.Run(name, func(t *testing.T) {
+					specs := buildStressDAG(rand.New(rand.NewSource(seed)), nTasks, nKeys)
+
+					inl := NewInline(nil)
+					if v, n := runStressDAG(specs, nKeys, inl); v != 0 || n != nTasks {
+						t.Fatalf("inline reference: %d violations, %d executed", v, n)
+					}
+
+					rt := New(Options{Workers: workers, Policy: policy})
+					defer rt.Shutdown()
+					v, n := runStressDAG(specs, nKeys, rt)
+					if v != 0 {
+						t.Fatalf("%d dependency violations", v)
+					}
+					if n != nTasks {
+						t.Fatalf("executed %d of %d tasks", n, nTasks)
+					}
+					st := rt.Stats()
+					if st.Submitted != nTasks || st.Executed != nTasks {
+						t.Fatalf("stats submitted=%d executed=%d", st.Submitted, st.Executed)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStressRandomDAGBatched runs the same verification through SubmitAll,
+// submitting the graph in chunks.
+func TestStressRandomDAGBatched(t *testing.T) {
+	const nTasks, nKeys = 250, 24
+	specs := buildStressDAG(rand.New(rand.NewSource(7)), nTasks, nKeys)
+	state := make([]atomic.Int64, nKeys)
+	for k := range state {
+		state[k].Store(-1)
+	}
+	var viol, execd atomic.Int64
+	rt := New(Options{Workers: 4, Policy: LocalityAware})
+	defer rt.Shutdown()
+	var batch []*Task
+	for _, s := range specs {
+		s := s
+		in := make([]Dep, len(s.in))
+		for i, k := range s.in {
+			in[i] = k
+		}
+		out := make([]Dep, len(s.out))
+		for i, k := range s.out {
+			out[i] = k
+		}
+		inout := make([]Dep, len(s.inout))
+		for i, k := range s.inout {
+			inout[i] = k
+		}
+		batch = append(batch, &Task{
+			Label: fmt.Sprintf("stress-%d", s.id),
+			In:    in, Out: out, InOut: inout,
+			Fn: func() {
+				for k, want := range s.expect {
+					if got := state[k].Load(); got != int64(want) {
+						viol.Add(1)
+					}
+				}
+				for _, k := range s.inout {
+					state[k].Store(int64(s.id))
+				}
+				for _, k := range s.out {
+					state[k].Store(int64(s.id))
+				}
+				execd.Add(1)
+			},
+		})
+		if len(batch) == 32 {
+			rt.SubmitAll(batch)
+			batch = nil
+		}
+	}
+	rt.SubmitAll(batch)
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if v := viol.Load(); v != 0 {
+		t.Fatalf("%d dependency violations", v)
+	}
+	if n := execd.Load(); n != nTasks {
+		t.Fatalf("executed %d of %d", n, nTasks)
+	}
+}
+
+// TestSubmitAllChain checks that a batch whose tasks depend on each other
+// through a shared InOut key executes in submission order.
+func TestSubmitAllChain(t *testing.T) {
+	rt := New(Options{Workers: 4})
+	defer rt.Shutdown()
+	key := "chain"
+	var mu sync.Mutex
+	var order []int
+	const n = 64
+	tasks := make([]*Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = &Task{
+			Label: fmt.Sprintf("link-%d", i),
+			InOut: []Dep{key},
+			Fn: func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		}
+	}
+	rt.SubmitAll(tasks)
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("ran %d of %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain executed out of order at %d: %v", i, order[:i+1])
+		}
+	}
+	if st := rt.Stats(); st.Submitted != n {
+		t.Fatalf("submitted %d", st.Submitted)
+	}
+}
+
+// TestSubmitBatchFallback checks the helper's per-task fallback for
+// executors without SubmitAll.
+func TestSubmitBatchFallback(t *testing.T) {
+	e := NewInline(nil)
+	sum := 0
+	SubmitBatch(e, []*Task{
+		{Fn: func() { sum += 1 }},
+		{Fn: func() { sum += 2 }},
+	})
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3 || e.Executed() != 2 {
+		t.Fatalf("sum=%d executed=%d", sum, e.Executed())
+	}
+}
+
+// TestConcurrentWaitFor exercises many goroutines blocking on WaitFor
+// while a dependency chain executes; run under -race this also checks the
+// happens-before edge WaitFor is supposed to provide.
+func TestConcurrentWaitFor(t *testing.T) {
+	rt := New(Options{Workers: 4})
+	defer rt.Shutdown()
+	const n = 50
+	vals := make([]int64, n) // written by tasks, read by waiters after WaitFor
+	for i := 0; i < n; i++ {
+		i := i
+		var in []Dep
+		if i > 0 {
+			in = []Dep{i - 1}
+		}
+		rt.Submit(&Task{
+			Label: fmt.Sprintf("w%d", i),
+			In:    in,
+			Out:   []Dep{i},
+			Fn:    func() { vals[i] = int64(i + 1) },
+		})
+	}
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < n; i++ {
+		for dup := 0; dup < 2; dup++ { // two waiters per key
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt.WaitFor(i)
+				if vals[i] != int64(i+1) {
+					bad.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d WaitFor callers saw stale data", bad.Load())
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStealTakesLongestQueue pins the steal policy: the victim must be the
+// peer with the most queued tasks, and the stolen task must be the oldest
+// (head) of that deque.
+func TestStealTakesLongestQueue(t *testing.T) {
+	r := &Runtime{opts: Options{Workers: 3, Policy: LocalityAware}, local: make([]queue, 3)}
+	short := &node{id: 100}
+	r.local[1].push(short)
+	head := &node{id: 200}
+	r.local[2].push(head)
+	r.local[2].push(&node{id: 201})
+	r.local[2].push(&node{id: 202})
+	got := r.steal(0)
+	if got != head {
+		t.Fatalf("stole node %+v, want head of longest queue (id 200)", got)
+	}
+	if r.stats.steals.Load() != 1 {
+		t.Fatalf("steals=%d", r.stats.steals.Load())
+	}
+	// Drain everything; the final scan over empty queues is a steal failure.
+	for r.steal(0) != nil {
+	}
+	if r.stats.stealFails.Load() == 0 {
+		t.Fatal("expected a recorded steal failure on empty queues")
+	}
+}
+
+// TestIdleAndStealCounters checks that the new observability counters are
+// populated: workers blocked with no runnable work accrue idle time (and
+// failed steal attempts under the locality policy) visible mid-run.
+func TestIdleAndStealCounters(t *testing.T) {
+	rt := New(Options{Workers: 3, Policy: LocalityAware})
+	defer rt.Shutdown()
+	release := make(chan struct{})
+	rt.Submit(&Task{Label: "block", Fn: func() { <-release }})
+	time.Sleep(20 * time.Millisecond) // let the other workers park
+	st := rt.Stats()
+	if len(st.WorkerIdleNS) != 3 {
+		t.Fatalf("WorkerIdleNS has %d entries, want 3", len(st.WorkerIdleNS))
+	}
+	if st.IdleNS() <= 0 {
+		t.Fatalf("IdleNS=%d, want > 0 with parked workers", st.IdleNS())
+	}
+	if st.StealFails == 0 {
+		t.Fatal("StealFails=0, want > 0 after idle workers scanned empty peers")
+	}
+	if st.LockWaitNS < 0 {
+		t.Fatalf("LockWaitNS=%d", st.LockWaitNS)
+	}
+	close(release)
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInlineRuntimeRecordEquivalence submits the same labeled graph to the
+// Inline executor and to the parallel runtime and checks both produce the
+// same set of task records with sane, non-zero timestamps.
+func TestInlineRuntimeRecordEquivalence(t *testing.T) {
+	build := func(e Executor) {
+		a, b, c := "a", "b", "c"
+		e.Submit(&Task{Label: "produce-a", Kind: "k", Out: []Dep{a}, Fn: func() {}})
+		e.Submit(&Task{Label: "produce-b", Kind: "k", Out: []Dep{b}, Fn: func() {}})
+		e.Submit(&Task{Label: "merge-ab", Kind: "k", In: []Dep{a, b}, Out: []Dep{c}, Fn: func() {}})
+		e.Submit(&Task{Label: "consume-c", Kind: "k", In: []Dep{c}, Fn: func() {}})
+		e.Submit(&Task{Label: "phantom", Kind: "k", Fn: nil}) // nil body still recorded
+		if err := e.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inlSink := &syncSink{}
+	build(NewInline(inlSink))
+
+	rtSink := &syncSink{}
+	rt := New(Options{Workers: 2, Sink: rtSink})
+	defer rt.Shutdown()
+	build(rt)
+
+	collect := func(recs []TaskRecord) map[string]bool {
+		set := map[string]bool{}
+		for _, r := range recs {
+			set[r.Label] = true
+			if !(0 <= r.SubmitNS && r.SubmitNS <= r.StartNS && r.StartNS <= r.EndNS) {
+				t.Fatalf("record %q has inconsistent timestamps: %+v", r.Label, r)
+			}
+			if r.EndNS == 0 {
+				t.Fatalf("record %q has zero EndNS", r.Label)
+			}
+		}
+		return set
+	}
+	inl, par := collect(inlSink.records()), collect(rtSink.records())
+	if len(inl) != 5 || len(par) != 5 {
+		t.Fatalf("label sets: inline=%d runtime=%d, want 5 each", len(inl), len(par))
+	}
+	for l := range inl {
+		if !par[l] {
+			t.Fatalf("runtime missing record %q", l)
+		}
+	}
+}
+
+// TestWaitJoinsAllErrors checks both executors report every task failure,
+// not just the first, with the same panic label format.
+func TestWaitJoinsAllErrors(t *testing.T) {
+	check := func(name string, err error) {
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		for _, want := range []string{`task "boom1" panicked`, `task "boom2" panicked`} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("%s: error %q missing %q", name, err, want)
+			}
+		}
+	}
+
+	inl := NewInline(nil)
+	inl.Submit(&Task{Label: "boom1", Fn: func() { panic("x") }})
+	inl.Submit(&Task{Label: "boom2", Fn: func() { panic("y") }})
+	check("inline", inl.Wait())
+
+	rt := New(Options{Workers: 2})
+	defer rt.Shutdown()
+	rt.Submit(&Task{Label: "boom1", Fn: func() { panic("x") }})
+	rt.Submit(&Task{Label: "boom2", Fn: func() { panic("y") }})
+	check("runtime", rt.Wait())
+}

@@ -58,8 +58,31 @@ type Executor interface {
 	// record-only executor).
 	Submit(t *Task)
 	// Wait blocks until every submitted task has finished and returns the
-	// first task error, if any.
+	// task errors joined with errors.Join, or nil if none failed.
 	Wait() error
+}
+
+// BatchSubmitter is implemented by executors that can register a whole
+// batch of tasks under a single acquisition of their submission lock.
+// Tasks are processed in slice order, so a batch derives the same
+// dependency edges as the equivalent sequence of Submit calls.
+type BatchSubmitter interface {
+	SubmitAll(ts []*Task)
+}
+
+// SubmitBatch submits the tasks through e.SubmitAll when e supports
+// batching, and falls back to one Submit call per task otherwise. Builders
+// emit per-timestep and per-layer task batches through this helper so the
+// parallel runtime amortizes locking while Inline and Recorder keep their
+// simple per-task paths.
+func SubmitBatch(e Executor, ts []*Task) {
+	if b, ok := e.(BatchSubmitter); ok {
+		b.SubmitAll(ts)
+		return
+	}
+	for _, t := range ts {
+		e.Submit(t)
+	}
 }
 
 // TaskRecord describes one executed task for trace sinks.

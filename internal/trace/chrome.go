@@ -20,16 +20,37 @@ type chromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// idleSliceMinNS is the smallest between-task gap rendered as an idle
+// slice; tinier gaps are scheduler noise that would clutter the trace.
+const idleSliceMinNS = 1000
+
 // WriteChromeTrace renders the collected task records as a Chrome
 // trace-event JSON array: one lane per worker, one slice per task, with
-// flops and working-set size attached as arguments. Load the output in
-// chrome://tracing or Perfetto to see the B-Par schedule — which tasks
-// overlapped, where workers idled, how layers interleaved.
+// flops and working-set size attached as arguments. Gaps of at least 1 µs
+// between consecutive tasks on the same worker are rendered as explicit
+// "idle" slices, so scheduler starvation is directly visible. Load the
+// output in chrome://tracing or Perfetto to see the B-Par schedule — which
+// tasks overlapped, where workers idled, how layers interleaved.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	recs := r.Records()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].StartNS < recs[j].StartNS })
 	events := make([]chromeEvent, 0, len(recs))
+	lastEnd := map[int]int64{} // per-worker end of the previous task
 	for _, rec := range recs {
+		if prev, ok := lastEnd[rec.Worker]; ok && rec.StartNS-prev >= idleSliceMinNS {
+			events = append(events, chromeEvent{
+				Name:  "idle",
+				Cat:   "idle",
+				Phase: "X",
+				TS:    float64(prev) / 1000.0,
+				Dur:   float64(rec.StartNS-prev) / 1000.0,
+				PID:   1,
+				TID:   rec.Worker,
+			})
+		}
+		if rec.EndNS > lastEnd[rec.Worker] {
+			lastEnd[rec.Worker] = rec.EndNS
+		}
 		events = append(events, chromeEvent{
 			Name:  rec.Label,
 			Cat:   rec.Kind,

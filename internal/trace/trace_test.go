@@ -130,3 +130,37 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatal("worker lane lost")
 	}
 }
+
+func TestWriteChromeTraceIdleSlices(t *testing.T) {
+	r := &Recorder{}
+	// Worker 0: tasks at [0,1000] and [5000,6000] — a 4 µs gap → idle slice.
+	// Worker 1: tasks at [0,1000] and [1500,2500] — a 0.5 µs gap → no slice.
+	r.TaskDone(taskrt.TaskRecord{ID: 1, Label: "a", Kind: "k", Worker: 0, StartNS: 0, EndNS: 1000})
+	r.TaskDone(taskrt.TaskRecord{ID: 2, Label: "b", Kind: "k", Worker: 0, StartNS: 5000, EndNS: 6000})
+	r.TaskDone(taskrt.TaskRecord{ID: 3, Label: "c", Kind: "k", Worker: 1, StartNS: 0, EndNS: 1000})
+	r.TaskDone(taskrt.TaskRecord{ID: 4, Label: "d", Kind: "k", Worker: 1, StartNS: 1500, EndNS: 2500})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var idles []map[string]any
+	for _, ev := range events {
+		if ev["cat"] == "idle" {
+			idles = append(idles, ev)
+		}
+	}
+	if len(events) != 5 || len(idles) != 1 {
+		t.Fatalf("want 5 events with 1 idle slice, got %d events, %d idle", len(events), len(idles))
+	}
+	idle := idles[0]
+	if idle["tid"].(float64) != 0 {
+		t.Fatalf("idle slice on wrong lane: %v", idle)
+	}
+	if idle["ts"].(float64) != 1.0 || idle["dur"].(float64) != 4.0 {
+		t.Fatalf("idle slice has wrong extent: %v", idle)
+	}
+}

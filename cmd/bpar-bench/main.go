@@ -17,17 +17,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"bpar/internal/core"
 	"bpar/internal/experiments"
+	"bpar/internal/obs"
+	"bpar/internal/tensor"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency, sched")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
+	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
+
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "bpar-bench:", err)
+		os.Exit(2)
+	}
+	log := obs.Logger("cmd")
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Error("cpu profile", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Error("start cpu profile", "err", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+		log.Info("cpu profiling enabled", "file", *cpuProfile)
+	}
+
+	if *listen != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		tensor.RegisterMetrics(reg)
+		srv, addr, err := obs.Serve(*listen, reg)
+		if err != nil {
+			log.Error("telemetry listen", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Info("telemetry listening", "addr", addr,
+			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
 
 	o := experiments.Opts{SeqLen: *seq}
 	names := strings.Split(*exp, ",")
@@ -37,10 +80,26 @@ func main() {
 	for _, name := range names {
 		start := time.Now()
 		if err := run(strings.TrimSpace(name), o); err != nil {
-			fmt.Fprintf(os.Stderr, "bpar-bench: %s: %v\n", name, err)
+			log.Error("experiment failed", "exp", name, "err", err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		log.Info("experiment completed", "exp", name,
+			"duration", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Error("heap profile", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Error("write heap profile", "err", err)
+			os.Exit(1)
+		}
+		log.Info("heap profile written", "file", *memProfile)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"bpar/internal/core"
 	"bpar/internal/costmodel"
+	"bpar/internal/obs"
 	"bpar/internal/sim"
 	"bpar/internal/taskrt"
 )
@@ -36,10 +37,15 @@ func main() {
 	barrier := flag.Bool("barrier", false, "also simulate with per-layer barriers")
 	infer := flag.Bool("infer", false, "simulate inference (forward only) instead of training")
 	dot := flag.String("dot", "", "also write the task graph in Graphviz DOT format to this file")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 
-	if err := run(*cellName, *arch, *layers, *hidden, *input, *seq, *batch, *mbs, *coreList, *policy, *barrier, *infer, *dot); err != nil {
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "bpar-sim:", err)
+		os.Exit(2)
+	}
+	if err := run(*cellName, *arch, *layers, *hidden, *input, *seq, *batch, *mbs, *coreList, *policy, *barrier, *infer, *dot); err != nil {
+		obs.Logger("cmd").Error("bpar-sim failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -109,7 +115,8 @@ func run(cellName, arch string, layers, hidden, input, seq, batch, mbs int, core
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote DOT graph to %s (render: dot -Tsvg %s -o graph.svg)\n", dotFile, dotFile)
+		obs.Logger("cmd").Info("DOT graph written", "file", dotFile,
+			"render", fmt.Sprintf("dot -Tsvg %s -o graph.svg", dotFile))
 	}
 
 	machine := costmodel.XeonPlatinum8160x2()

@@ -1,12 +1,20 @@
 // Command bpar-train trains a BRNN with the B-Par execution model on the
 // synthetic TIDIGITS (many-to-one speech) or Wikipedia (many-to-many next
 // character) workloads, natively on this machine's cores, and reports loss
-// and accuracy per epoch plus runtime statistics.
+// and accuracy per epoch plus runtime statistics as structured log records.
+//
+// With -listen, a telemetry endpoint serves live scheduler/engine/tensor
+// metrics in Prometheus text format at /metrics, liveness at /healthz, and
+// the standard pprof profiles at /debug/pprof/ for the duration of the run.
+// For headless runs, -cpuprofile and -memprofile write runtime/pprof files
+// directly.
 //
 // Usage:
 //
 //	bpar-train -task speech -cell lstm -layers 2 -hidden 64 -epochs 5
 //	bpar-train -task text -cell gru -layers 2 -hidden 128 -seq 32
+//	bpar-train -task speech -listen :8080          # curl localhost:8080/metrics
+//	bpar-train -task speech -cpuprofile cpu.pprof
 package main
 
 import (
@@ -14,40 +22,90 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"bpar/internal/core"
 	"bpar/internal/data"
+	"bpar/internal/obs"
 	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
 	"bpar/internal/trace"
 )
 
+// options collects every flag so run stays a single-argument call.
+type options struct {
+	task, cell string
+	layers     int
+	hidden     int
+	seq        int
+	batch      int
+	mbs        int
+	epochs     int
+	steps      int
+	lr         float64
+	workers    int
+	locality   bool
+	seed       uint64
+	traceFile  string
+	traceCap   int
+	listen     string
+	cpuProfile string
+	memProfile string
+	logLevel   string
+}
+
 func main() {
-	task := flag.String("task", "speech", "workload: speech (many-to-one) or text (many-to-many)")
-	cellName := flag.String("cell", "lstm", "cell type: lstm, gru, or rnn")
-	layers := flag.Int("layers", 2, "stacked BRNN layers")
-	hidden := flag.Int("hidden", 64, "hidden size")
-	seq := flag.Int("seq", 16, "sequence length")
-	batch := flag.Int("batch", 32, "batch size")
-	mbs := flag.Int("mbs", 2, "data-parallel mini-batches (mbs:N)")
-	epochs := flag.Int("epochs", 5, "training epochs")
-	steps := flag.Int("steps", 20, "batches per epoch")
-	lr := flag.Float64("lr", 0.1, "learning rate")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
-	locality := flag.Bool("locality", true, "locality-aware scheduling")
-	seed := flag.Uint64("seed", 1, "random seed")
-	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the final epoch's schedule to this file")
+	var o options
+	flag.StringVar(&o.task, "task", "speech", "workload: speech (many-to-one) or text (many-to-many)")
+	flag.StringVar(&o.cell, "cell", "lstm", "cell type: lstm, gru, or rnn")
+	flag.IntVar(&o.layers, "layers", 2, "stacked BRNN layers")
+	flag.IntVar(&o.hidden, "hidden", 64, "hidden size")
+	flag.IntVar(&o.seq, "seq", 16, "sequence length")
+	flag.IntVar(&o.batch, "batch", 32, "batch size")
+	flag.IntVar(&o.mbs, "mbs", 2, "data-parallel mini-batches (mbs:N)")
+	flag.IntVar(&o.epochs, "epochs", 5, "training epochs")
+	flag.IntVar(&o.steps, "steps", 20, "batches per epoch")
+	flag.Float64Var(&o.lr, "lr", 0.1, "learning rate")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "worker goroutines")
+	flag.BoolVar(&o.locality, "locality", true, "locality-aware scheduling")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace-event JSON of the run's schedule to this file")
+	flag.IntVar(&o.traceCap, "trace-cap", 0, "max task records retained by -trace (reservoir sampling; 0 = unbounded)")
+	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 
-	if err := run(*task, *cellName, *layers, *hidden, *seq, *batch, *mbs, *epochs, *steps, *lr, *workers, *locality, *seed, *traceFile); err != nil {
+	if err := obs.InitLogging(os.Stderr, o.logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "bpar-train:", err)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
+		obs.Logger("cmd").Error("bpar-train failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(task, cellName string, layers, hidden, seq, batch, mbs, epochs, steps int, lr float64, workers int, locality bool, seed uint64, traceFile string) error {
+func run(o options) error {
+	log := obs.Logger("cmd")
+
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+		log.Info("cpu profiling enabled", "file", o.cpuProfile)
+	}
+
 	var cellKind core.CellKind
-	switch cellName {
+	switch o.cell {
 	case "lstm":
 		cellKind = core.LSTM
 	case "gru":
@@ -55,32 +113,32 @@ func run(task, cellName string, layers, hidden, seq, batch, mbs, epochs, steps i
 	case "rnn":
 		cellKind = core.RNN
 	default:
-		return fmt.Errorf("unknown cell %q", cellName)
+		return fmt.Errorf("unknown cell %q", o.cell)
 	}
 
 	cfg := core.Config{
 		Cell: cellKind, Merge: core.MergeSum,
-		HiddenSize: hidden, Layers: layers, SeqLen: seq,
-		Batch: batch, MiniBatches: mbs, Seed: seed,
+		HiddenSize: o.hidden, Layers: o.layers, SeqLen: o.seq,
+		Batch: o.batch, MiniBatches: o.mbs, Seed: o.seed,
 	}
 
 	var nextBatch func() *core.Batch
-	switch task {
+	switch o.task {
 	case "speech":
 		cfg.Arch = core.ManyToOne
 		cfg.InputSize = 20
 		cfg.Classes = data.NumDigits
-		corpus := data.NewSpeechCorpus(cfg.InputSize, seed)
-		nextBatch = func() *core.Batch { return corpus.Batch(batch, seq) }
+		corpus := data.NewSpeechCorpus(cfg.InputSize, o.seed)
+		nextBatch = func() *core.Batch { return corpus.Batch(o.batch, o.seq) }
 	case "text":
 		cfg.Arch = core.ManyToMany
 		const vocab = 48
 		cfg.InputSize = vocab
 		cfg.Classes = vocab
-		corpus := data.NewTextCorpus(vocab, 200_000, seed)
-		nextBatch = func() *core.Batch { return corpus.Batch(batch, seq) }
+		corpus := data.NewTextCorpus(vocab, 200_000, o.seed)
+		nextBatch = func() *core.Batch { return corpus.Batch(o.batch, o.seq) }
 	default:
-		return fmt.Errorf("unknown task %q", task)
+		return fmt.Errorf("unknown task %q", o.task)
 	}
 
 	model, err := core.NewModel(cfg)
@@ -88,31 +146,51 @@ func run(task, cellName string, layers, hidden, seq, batch, mbs, epochs, steps i
 		return err
 	}
 	pol := taskrt.BreadthFirst
-	if locality {
+	if o.locality {
 		pol = taskrt.LocalityAware
 	}
 	var sink *trace.Recorder
-	if traceFile != "" {
-		sink = &trace.Recorder{}
-	}
 	var tsink taskrt.TraceSink
-	if sink != nil {
+	if o.traceFile != "" {
+		sink = trace.NewBounded(o.traceCap)
 		tsink = sink
 	}
-	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: pol, Sink: tsink})
+	rt := taskrt.New(taskrt.Options{Workers: o.workers, Policy: pol, Sink: tsink})
 	defer rt.Shutdown()
 	eng := core.NewEngine(model, rt)
 	eng.GradClip = 1.0
 
-	fmt.Printf("B-Par training: %s | %v | %d params (+%d head) | %d workers (%v)\n",
-		task, cfg, model.ParamCount(), cfg.HeadParamCount(), workers, pol)
+	// Live telemetry: scheduler, engine, tensor, trace, and process series
+	// on one registry, served for the duration of the run.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	rt.RegisterMetrics(reg)
+	eng.EnableObs(reg)
+	tensor.RegisterMetrics(reg)
+	if sink != nil {
+		sink.RegisterMetrics(reg)
+	}
+	if o.listen != "" {
+		srv, addr, err := obs.Serve(o.listen, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Info("telemetry listening", "addr", addr,
+			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
+
+	log.Info("training started",
+		"task", o.task, "config", cfg.String(),
+		"params", model.ParamCount(), "head_params", cfg.HeadParamCount(),
+		"workers", o.workers, "policy", pol.String())
 
 	evalBatch := nextBatch()
-	for epoch := 1; epoch <= epochs; epoch++ {
+	for epoch := 1; epoch <= o.epochs; epoch++ {
 		start := time.Now()
 		lossSum := 0.0
-		for s := 0; s < steps; s++ {
-			loss, err := eng.TrainStep(nextBatch(), lr)
+		for s := 0; s < o.steps; s++ {
+			loss, err := eng.TrainStep(nextBatch(), o.lr)
 			if err != nil {
 				return err
 			}
@@ -122,19 +200,34 @@ func run(task, cellName string, layers, hidden, seq, batch, mbs, epochs, steps i
 		if err != nil {
 			return err
 		}
-		acc := accuracy(preds, evalBatch, cfg.Arch)
-		fmt.Printf("epoch %2d: train loss %.4f | eval loss %.4f acc %.1f%% | %v\n",
-			epoch, lossSum/float64(steps), evalLoss, acc*100, time.Since(start).Round(time.Millisecond))
+		st := rt.Stats()
+		// The epoch record carries the same counters /metrics exports, so
+		// logs and scrapes cross-reference directly.
+		log.Info("epoch",
+			"epoch", epoch,
+			"train_loss", lossSum/float64(o.steps),
+			"eval_loss", evalLoss,
+			"accuracy", accuracy(preds, evalBatch, cfg.Arch),
+			"duration", time.Since(start).Round(time.Millisecond),
+			"tasks_executed", st.Executed,
+			"overhead_ratio", st.OverheadRatio(),
+			"steals", st.Steals,
+			"gemm_flops", tensor.GEMMFlops())
 	}
 
 	st := rt.Stats()
-	fmt.Printf("runtime: %d tasks executed, overhead ratio %.4f, peak parallel tasks %d, local-queue hits %d, steals %d\n",
-		st.Executed, st.OverheadRatio(), st.MaxRunning, st.LocalHits, st.Steals)
-	fmt.Printf("runtime: submit-lock wait %v, failed steals %d, total worker idle %v\n",
-		time.Duration(st.LockWaitNS), st.StealFails, time.Duration(st.IdleNS()))
+	log.Info("runtime summary",
+		"tasks_executed", st.Executed,
+		"overhead_ratio", st.OverheadRatio(),
+		"peak_parallel_tasks", st.MaxRunning,
+		"local_queue_hits", st.LocalHits,
+		"steals", st.Steals,
+		"steal_fails", st.StealFails,
+		"submit_lock_wait", time.Duration(st.LockWaitNS),
+		"worker_idle", time.Duration(st.IdleNS()))
 
 	if sink != nil {
-		f, err := os.Create(traceFile)
+		f, err := os.Create(o.traceFile)
 		if err != nil {
 			return err
 		}
@@ -142,7 +235,22 @@ func run(task, cellName string, layers, hidden, seq, batch, mbs, epochs, steps i
 		if err := sink.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote Chrome trace (%d tasks) to %s — open in chrome://tracing or ui.perfetto.dev\n", sink.Len(), traceFile)
+		log.Info("chrome trace written", "file", o.traceFile,
+			"tasks", sink.Len(), "seen", sink.Seen(), "dropped", sink.Dropped(),
+			"viewer", "chrome://tracing or ui.perfetto.dev")
+	}
+
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		log.Info("heap profile written", "file", o.memProfile)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"bpar/internal/obs"
 	"bpar/internal/taskrt"
 	"bpar/internal/tensor"
 )
@@ -58,6 +60,7 @@ type Engine struct {
 	wsLRU   []int // cached sequence lengths, most recently used first
 	vel     *velocity
 	adam    *adamState
+	obs     *engineObs // live metrics; nil unless EnableObs was called
 }
 
 // defaultMaxCachedSeqLens is the workspace-cache bound when
@@ -82,8 +85,14 @@ func NewPhantomEngine(m *Model, exec taskrt.Executor) *Engine {
 // MaxCachedSeqLens distinct lengths; the least recently used is evicted.
 func (e *Engine) workspaces(T int) []*workspace {
 	if ws, ok := e.wsByT[T]; ok {
+		if e.obs != nil {
+			e.obs.cacheHits.Inc()
+		}
 		e.touchSeqLen(T)
 		return ws
+	}
+	if e.obs != nil {
+		e.obs.cacheMisses.Inc()
 	}
 	cfg := e.M.Cfg
 	n := cfg.MiniBatches
@@ -104,8 +113,13 @@ func (e *Engine) workspaces(T int) []*workspace {
 			victim := e.wsLRU[len(e.wsLRU)-1]
 			e.wsLRU = e.wsLRU[:len(e.wsLRU)-1]
 			delete(e.wsByT, victim)
+			if e.obs != nil {
+				e.obs.cacheEvicts.Inc()
+			}
+			obs.Logger("core").Debug("workspace evicted", "seq_len", victim, "cached", len(e.wsLRU))
 		}
 	}
+	obs.Logger("core").Debug("workspaces built", "seq_len", T, "mini_batches", n)
 	return ws
 }
 
@@ -204,6 +218,7 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 	if err := e.checkBatch(b, true); err != nil {
 		return 0, err
 	}
+	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
 	for _, ws := range wss {
@@ -229,6 +244,7 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 
 	e.applySGD(wss[0], lr, scale)
 	e.maybeResetDeps()
+	e.recordStep(stepStart, loss, false)
 	return loss, nil
 }
 
@@ -242,6 +258,7 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	if err := e.checkBatch(b, false); err != nil {
 		return nil, 0, err
 	}
+	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
 	for _, ws := range wss {
@@ -273,6 +290,7 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	}
 	loss /= e.lossScale(T)
 	e.maybeResetDeps()
+	e.recordStep(stepStart, loss, true)
 	return preds, loss, nil
 }
 
@@ -288,6 +306,7 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	if err := e.checkBatch(b, false); err != nil {
 		return nil, 0, err
 	}
+	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
 	for _, ws := range wss {
@@ -322,6 +341,7 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	}
 	loss /= e.lossScale(T)
 	e.maybeResetDeps()
+	e.recordStep(stepStart, loss, true)
 	return probs, loss, nil
 }
 

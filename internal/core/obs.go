@@ -1,0 +1,64 @@
+package core
+
+import (
+	"time"
+
+	"bpar/internal/obs"
+)
+
+// engineObs holds the engine's live metric series. All recording happens on
+// the driver goroutine at step granularity (never inside task bodies), so
+// enabling it costs a handful of atomic stores per step.
+type engineObs struct {
+	steps        *obs.Counter
+	trainSeconds *obs.Histogram
+	inferSeconds *obs.Histogram
+	loss         *obs.Gauge
+	seqPerSec    *obs.Gauge
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheEvicts  *obs.Counter
+}
+
+// EnableObs registers the engine's live metrics on reg under bpar_engine_*
+// and turns on per-step recording. Call once per engine; registering two
+// engines on the same registry panics on name collision.
+func (e *Engine) EnableObs(reg *obs.Registry) {
+	e.obs = &engineObs{
+		steps: reg.MustCounter("bpar_engine_steps_total",
+			"Completed engine steps.", "op", "train"),
+		trainSeconds: reg.MustHistogram("bpar_engine_step_seconds",
+			"Wall time of one engine step.", obs.DefSecondsBuckets, 1, "op", "train"),
+		inferSeconds: reg.MustHistogram("bpar_engine_step_seconds",
+			"Wall time of one engine step.", obs.DefSecondsBuckets, 1, "op", "infer"),
+		loss: reg.MustGauge("bpar_engine_loss",
+			"Mean loss of the most recent step."),
+		seqPerSec: reg.MustGauge("bpar_engine_sequences_per_second",
+			"Sequence throughput of the most recent step."),
+		cacheHits: reg.MustCounter("bpar_engine_workspace_cache_hits_total",
+			"Workspace lookups served from the sequence-length cache."),
+		cacheMisses: reg.MustCounter("bpar_engine_workspace_cache_misses_total",
+			"Workspace lookups that had to build new workspaces."),
+		cacheEvicts: reg.MustCounter("bpar_engine_workspace_cache_evictions_total",
+			"Workspace sets evicted from the sequence-length LRU cache."),
+	}
+}
+
+// recordStep publishes the latency, loss, and throughput of one completed
+// step. infer selects the op="infer" histogram lane.
+func (e *Engine) recordStep(start time.Time, loss float64, infer bool) {
+	if e.obs == nil {
+		return
+	}
+	dur := time.Since(start).Seconds()
+	if infer {
+		e.obs.inferSeconds.Observe(dur)
+	} else {
+		e.obs.trainSeconds.Observe(dur)
+		e.obs.steps.Inc()
+	}
+	e.obs.loss.Set(loss)
+	if dur > 0 {
+		e.obs.seqPerSec.Set(float64(e.M.Cfg.Batch) / dur)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"bpar/internal/core"
+	"bpar/internal/obs"
 	"bpar/internal/rng"
 	"bpar/internal/tensor"
 )
@@ -62,6 +63,7 @@ func NewSpeechCorpus(inputSize int, seed uint64) *SpeechCorpus {
 			c.templates[d][a] = v
 		}
 	}
+	obs.Logger("data").Debug("speech corpus built", "input_size", inputSize, "classes", c.Classes, "seed", seed)
 	return c
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"bpar/internal/core"
+	"bpar/internal/obs"
 	"bpar/internal/rng"
 	"bpar/internal/tensor"
 )
@@ -56,6 +57,7 @@ func NewTextCorpus(vocab, length int, seed uint64) *TextCorpus {
 			cur = byte(gen.Intn(vocab))
 		}
 	}
+	obs.Logger("data").Debug("text corpus built", "vocab", vocab, "length", length, "seed", seed)
 	return c
 }
 

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// processStart anchors the uptime reported by /healthz and
+// RegisterProcessMetrics.
+var processStart = time.Now()
+
+// Handler returns the /metrics handler for reg, serving Prometheus text
+// exposition format version 0.0.4.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			Logger("obs").Warn("metrics write failed", "err", err)
+		}
+	})
+}
+
+// NewMux returns an http.ServeMux with the full endpoint catalog:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/healthz          liveness JSON (status + uptime)
+//	/debug/pprof/...  the standard net/http/pprof profile handlers
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.1f}\n", time.Since(processStart).Seconds())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for reg's mux on addr (e.g. ":8080") in a
+// background goroutine and returns the server plus the bound address, so a
+// caller passing ":0" can discover the chosen port. Shut it down with
+// srv.Close or srv.Shutdown.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Logger("obs").Error("telemetry server failed", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
+}
+
+// RegisterProcessMetrics adds process-level series: goroutine count, heap
+// usage, GC cycles, and uptime. ReadMemStats runs only at scrape time.
+func RegisterProcessMetrics(reg *Registry) {
+	reg.MustGaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.MustGaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.MustCounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+	reg.MustGaugeFunc("process_uptime_seconds", "Seconds since process start.", func() float64 {
+		return time.Since(processStart).Seconds()
+	})
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bpar/internal/obs"
 )
 
 // Policy selects the ready-queue scheduling policy.
@@ -257,6 +259,7 @@ func New(opts Options) *Runtime {
 	for w := 0; w < opts.Workers; w++ {
 		go r.worker(w)
 	}
+	obs.Logger("taskrt").Debug("runtime started", "workers", opts.Workers, "policy", opts.Policy.String())
 	return r
 }
 
@@ -650,6 +653,10 @@ func (r *Runtime) Shutdown() {
 	r.idleCond.Broadcast()
 	r.idleMu.Unlock()
 	r.wg.Wait()
+	st := r.Stats()
+	obs.Logger("taskrt").Debug("runtime shut down",
+		"executed", st.Executed, "overhead_ratio", st.OverheadRatio(),
+		"steals", st.Steals, "idle", time.Duration(st.IdleNS()))
 }
 
 // Stats returns a snapshot of runtime counters. Workers currently parked

@@ -29,6 +29,7 @@ func GemmAcc(dst, a, b *Matrix) {
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	m, k, n := a.Rows, a.Cols, b.Cols
+	countGemm(2 * int64(m) * int64(k) * int64(n))
 	for kk := 0; kk < k; kk += blockK {
 		kMax := min(kk+blockK, k)
 		for ii := 0; ii < m; ii += blockM {
@@ -70,6 +71,7 @@ func GemmTAcc(dst, a, bT *Matrix) {
 			dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols))
 	}
 	m, k, n := a.Rows, a.Cols, bT.Rows
+	countGemm(2 * int64(m) * int64(k) * int64(n))
 	for ii := 0; ii < m; ii += blockM {
 		iMax := min(ii+blockM, m)
 		for jj := 0; jj < n; jj += blockN {
@@ -94,6 +96,7 @@ func GemmATAcc(dst, a, b *Matrix) {
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	k, m, n := a.Rows, a.Cols, b.Cols
+	countGemm(2 * int64(m) * int64(k) * int64(n))
 	for p := 0; p < k; p++ {
 		arow := a.Data[p*m : (p+1)*m]
 		brow := b.Data[p*n : (p+1)*n]
@@ -131,6 +134,7 @@ func Gemv(dst []float64, a *Matrix, x []float64) {
 		panic(fmt.Sprintf("tensor: Gemv shape mismatch dst[%d] = a %dx%d * x[%d]",
 			len(dst), a.Rows, a.Cols, len(x)))
 	}
+	countGemm(2 * int64(a.Rows) * int64(a.Cols))
 	for i := 0; i < a.Rows; i++ {
 		dst[i] = dot(a.Data[i*a.Cols:(i+1)*a.Cols], x)
 	}

@@ -1,0 +1,39 @@
+package tensor
+
+import (
+	"sync/atomic"
+
+	"bpar/internal/obs"
+)
+
+// Package-level kernel counters. One atomic add per GEMM/GEMV call — each
+// call performs at least thousands of floating-point operations, so the
+// accounting cost is noise. Counters are process-wide because the kernels
+// are stateless free functions.
+var (
+	gemmCalls atomic.Int64
+	gemmFlops atomic.Int64
+)
+
+// countGemm records one kernel invocation performing the given number of
+// floating-point operations.
+func countGemm(flops int64) {
+	gemmCalls.Add(1)
+	gemmFlops.Add(flops)
+}
+
+// GEMMCalls returns the number of GEMM/GEMV kernel invocations so far.
+func GEMMCalls() int64 { return gemmCalls.Load() }
+
+// GEMMFlops returns the total floating-point operations performed by the
+// GEMM/GEMV kernels so far (2*m*k*n per matrix product).
+func GEMMFlops() int64 { return gemmFlops.Load() }
+
+// RegisterMetrics exposes the kernel counters on reg as bpar_tensor_*.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.MustCounterFunc("bpar_tensor_gemm_calls_total",
+		"GEMM/GEMV kernel invocations.", func() float64 { return float64(gemmCalls.Load()) })
+	reg.MustCounterFunc("bpar_tensor_gemm_flops_total",
+		"Floating-point operations performed by the GEMM/GEMV kernels.",
+		func() float64 { return float64(gemmFlops.Load()) })
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bpar/internal/obs"
+	"bpar/internal/taskrt"
+)
+
+func TestBoundedRecorderCapsMemory(t *testing.T) {
+	r := NewBounded(50)
+	for i := 0; i < 1000; i++ {
+		r.TaskDone(taskrt.TaskRecord{ID: i, Kind: "k", StartNS: int64(i), EndNS: int64(i) + 10})
+	}
+	if r.Len() != 50 {
+		t.Fatalf("len %d, want cap 50", r.Len())
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen %d", r.Seen())
+	}
+	if r.Dropped() != 950 {
+		t.Fatalf("dropped %d", r.Dropped())
+	}
+	// The reservoir must be a sample of the whole stream, not just the first
+	// 50 records: with 1000 offered, the chance that no retained record has
+	// ID >= 500 is astronomically small.
+	var late int
+	for _, rec := range r.Records() {
+		if rec.ID >= 500 {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Fatal("reservoir retained only early records; sampling is not uniform")
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 || r.Dropped() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestUnboundedRecorderKeepsEverything(t *testing.T) {
+	r := &Recorder{} // zero value: unbounded, as before
+	for i := 0; i < 300; i++ {
+		r.TaskDone(taskrt.TaskRecord{ID: i})
+	}
+	if r.Len() != 300 || r.Dropped() != 0 || r.Seen() != 300 {
+		t.Fatalf("len=%d dropped=%d seen=%d", r.Len(), r.Dropped(), r.Seen())
+	}
+}
+
+func TestBoundedRecorderMetrics(t *testing.T) {
+	r := NewBounded(4)
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	for i := 0; i < 10; i++ {
+		r.TaskDone(taskrt.TaskRecord{ID: i})
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"bpar_trace_records 4",
+		"bpar_trace_records_seen_total 10",
+		"bpar_trace_records_dropped_total 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoundedRecorderWithRuntime(t *testing.T) {
+	r := NewBounded(16)
+	rt := taskrt.New(taskrt.Options{Workers: 4, Sink: r})
+	defer rt.Shutdown()
+	for i := 0; i < 200; i++ {
+		rt.Submit(&taskrt.Task{Kind: "w", Fn: func() {}})
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 16 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if r.Seen() != 200 || r.Dropped() != 184 {
+		t.Fatalf("seen=%d dropped=%d", r.Seen(), r.Dropped())
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bpar/internal/taskrt"
+)
+
+// chromeEventShape mirrors the fields WriteChromeTrace emits, for round-trip
+// validation.
+type chromeEventShape struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// TestChromeTraceShapeFromRuntime validates the trace file shape end to end:
+// run a real dependency graph on the parallel runtime, render the Chrome
+// trace, and assert the output is valid JSON whose events all have
+// non-negative ts/dur and worker lanes within the runtime's worker count
+// (len(Stats.WorkerIdleNS)).
+func TestChromeTraceShapeFromRuntime(t *testing.T) {
+	const workers = 3
+	rec := &Recorder{}
+	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.LocalityAware, Sink: rec})
+	defer rt.Shutdown()
+
+	// A few dependent chains plus independent tasks, so multiple workers and
+	// idle gaps both appear.
+	sink := make([]int, 8)
+	for round := 0; round < 5; round++ {
+		for c := 0; c < len(sink); c++ {
+			c := c
+			rt.Submit(&taskrt.Task{
+				Label: "chain", Kind: "tiny", InOut: []taskrt.Dep{&sink[c]},
+				Fn: func() { sink[c]++ },
+			})
+		}
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if len(st.WorkerIdleNS) != workers {
+		t.Fatalf("stats report %d workers, want %d", len(st.WorkerIdleNS), workers)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEventShape
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(events) < rec.Len() {
+		t.Fatalf("trace has %d events for %d records", len(events), rec.Len())
+	}
+	for i, ev := range events {
+		if ev.Phase != "X" {
+			t.Fatalf("event %d: phase %q, want complete event X", i, ev.Phase)
+		}
+		if ev.TS < 0 {
+			t.Fatalf("event %d (%s): negative ts %g", i, ev.Name, ev.TS)
+		}
+		if ev.Dur < 0 {
+			t.Fatalf("event %d (%s): negative dur %g", i, ev.Name, ev.Dur)
+		}
+		if ev.TID < 0 || ev.TID >= workers {
+			t.Fatalf("event %d (%s): worker lane %d outside [0,%d)", i, ev.Name, ev.TID, workers)
+		}
+		if ev.Cat != "idle" {
+			if ev.Name != "chain" || ev.Args["task_id"] == nil {
+				t.Fatalf("event %d: task event missing label/args: %+v", i, ev)
+			}
+		}
+	}
+	// Lanes must cover only real workers, and every task record must appear.
+	var tasks int
+	for _, ev := range events {
+		if ev.Cat != "idle" {
+			tasks++
+		}
+	}
+	if tasks != rec.Len() {
+		t.Fatalf("%d task events for %d records", tasks, rec.Len())
+	}
+}

@@ -8,49 +8,114 @@ package trace
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
 
 	"bpar/internal/metrics"
+	"bpar/internal/obs"
 	"bpar/internal/taskrt"
 )
 
 // Recorder collects task completion records; it implements taskrt.TraceSink
 // and is safe for concurrent use.
+//
+// Limit, when positive, bounds the retained records: once Limit records are
+// held, each further record displaces a uniformly random earlier one with
+// probability Limit/seen (reservoir sampling, Vitter's Algorithm R), so the
+// retained set stays an unbiased sample of the whole run and a long training
+// run with tracing enabled cannot grow memory without bound. Set Limit
+// before recording starts; zero keeps every record.
 type Recorder struct {
-	mu   sync.Mutex
-	recs []taskrt.TaskRecord
+	// Limit is the maximum number of retained records (0 = unbounded).
+	Limit int
+
+	mu      sync.Mutex
+	recs    []taskrt.TaskRecord
+	seen    int64
+	dropped int64
+	rnd     *rand.Rand
 }
 
 var _ taskrt.TraceSink = (*Recorder)(nil)
 
-// TaskDone appends one record.
+// NewBounded returns a recorder retaining at most limit records.
+func NewBounded(limit int) *Recorder {
+	return &Recorder{Limit: limit}
+}
+
+// TaskDone appends one record, or reservoir-samples it when the Limit is
+// reached.
 func (r *Recorder) TaskDone(rec taskrt.TaskRecord) {
 	r.mu.Lock()
-	r.recs = append(r.recs, rec)
+	r.seen++
+	if r.Limit > 0 && len(r.recs) >= r.Limit {
+		if r.rnd == nil {
+			r.rnd = rand.New(rand.NewPCG(uint64(r.seen), 0x6265617273616d70))
+		}
+		// Keep the new record with probability Limit/seen, displacing a
+		// random resident; either way exactly one record is dropped.
+		if j := r.rnd.Int64N(r.seen); j < int64(r.Limit) {
+			r.recs[j] = rec
+		}
+		r.dropped++
+	} else {
+		r.recs = append(r.recs, rec)
+	}
 	r.mu.Unlock()
 }
 
-// Len returns the number of recorded tasks.
+// Len returns the number of retained records.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.recs)
 }
 
-// Records returns a copy of the collected records.
+// Seen returns the number of records offered to the recorder, including
+// those the reservoir dropped.
+func (r *Recorder) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Dropped returns the number of records not retained because of Limit.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Records returns a copy of the retained records.
 func (r *Recorder) Records() []taskrt.TaskRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]taskrt.TaskRecord(nil), r.recs...)
 }
 
-// Reset clears collected records.
+// Reset clears retained records and the seen/dropped counters.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.recs = r.recs[:0]
+	r.seen = 0
+	r.dropped = 0
 	r.mu.Unlock()
+}
+
+// RegisterMetrics exposes the recorder's live counters on reg as
+// bpar_trace_*, so a capped recorder's sampling is visible on /metrics.
+func (r *Recorder) RegisterMetrics(reg *obs.Registry) {
+	reg.MustGaugeFunc("bpar_trace_records",
+		"Task records currently retained by the trace recorder.",
+		func() float64 { return float64(r.Len()) })
+	reg.MustCounterFunc("bpar_trace_records_seen_total",
+		"Task records offered to the trace recorder.",
+		func() float64 { return float64(r.Seen()) })
+	reg.MustCounterFunc("bpar_trace_records_dropped_total",
+		"Task records dropped by the recorder's reservoir cap.",
+		func() float64 { return float64(r.Dropped()) })
 }
 
 // KindStats summarizes the tasks of one kind.

@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency, sched")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency, sched, determinism")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
 	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -196,6 +196,12 @@ func run(name string, o experiments.Opts) error {
 			return err
 		}
 		experiments.PrintScheduler(w, r)
+	case "determinism":
+		r, err := experiments.RunDeterminism(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDeterminism(w, r)
 	case "granularity-ablation":
 		r, err := experiments.RunAblationGranularity(o)
 		if err != nil {

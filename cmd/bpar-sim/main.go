@@ -109,7 +109,7 @@ func run(cellName, arch string, layers, hidden, input, seq, batch, mbs int, core
 			return err
 		}
 		if err := g.WriteDOT(f, cfg.String()); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -46,6 +46,7 @@ type options struct {
 	lr         float64
 	workers    int
 	locality   bool
+	depCheck   bool
 	seed       uint64
 	traceFile  string
 	traceCap   int
@@ -69,6 +70,7 @@ func main() {
 	flag.Float64Var(&o.lr, "lr", 0.1, "learning rate")
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "worker goroutines")
 	flag.BoolVar(&o.locality, "locality", true, "locality-aware scheduling")
+	flag.BoolVar(&o.depCheck, "depcheck", false, "enable the dependency sanitizer: verify every tensor access against declared In/Out/InOut edges (slow; serializes task bodies)")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace-event JSON of the run's schedule to this file")
 	flag.IntVar(&o.traceCap, "trace-cap", 0, "max task records retained by -trace (reservoir sampling; 0 = unbounded)")
@@ -155,8 +157,12 @@ func run(o options) error {
 		sink = trace.NewBounded(o.traceCap)
 		tsink = sink
 	}
-	rt := taskrt.New(taskrt.Options{Workers: o.workers, Policy: pol, Sink: tsink})
+	rt := taskrt.New(taskrt.Options{Workers: o.workers, Policy: pol, Sink: tsink, DepCheck: o.depCheck})
 	defer rt.Shutdown()
+	if o.depCheck {
+		defer tensor.SetAccessHook(nil)
+		obs.Logger("cmd").Info("depcheck enabled: task bodies serialized, every tensor access verified")
+	}
 	eng := core.NewEngine(model, rt)
 	eng.GradClip = 1.0
 

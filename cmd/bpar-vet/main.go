@@ -1,0 +1,77 @@
+// Command bpar-vet is the domain-specific static analyzer for the B-Par
+// task-parallel training engine. On top of what `go vet` sees, it checks the
+// invariants the no-barrier execution model depends on (Paper §IV):
+//
+//	undeclaredwrite  task body writes a tensor whose key is missing from Out/InOut
+//	depkey           value-typed dependency key in a []taskrt.Dep list
+//	lifecycle        Submit/SubmitAll after Shutdown on the same runtime
+//	emitterbarrier   Wait/WaitFor inside a graph-emitter file
+//	errcheck         discarded error result in a command package
+//
+// Usage:
+//
+//	bpar-vet [-strict-wait] [-pass name[,name]] [packages]
+//
+// Packages default to ./... . Exit status is 1 when diagnostics are found,
+// 2 when loading or type-checking fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bpar/internal/analysis"
+)
+
+func main() {
+	strictWait := flag.Bool("strict-wait", false, "treat Wait/WaitFor like Shutdown in the lifecycle pass")
+	passList := flag.String("pass", "", "comma-separated pass names to run (default: all)")
+	list := flag.Bool("list", false, "list available passes and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	passes := analysis.Passes()
+	if *passList != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*passList, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []analysis.Pass
+		for _, p := range passes {
+			if want[p.Name] {
+				sel = append(sel, p)
+				delete(want, p.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "bpar-vet: unknown pass %q (see -list)\n", n)
+			os.Exit(2)
+		}
+		passes = sel
+	}
+
+	patterns := flag.Args()
+	loader := analysis.NewLoader("")
+	prog, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpar-vet: %v\n", err)
+		os.Exit(2)
+	}
+	prog.StrictWait = *strictWait
+
+	diags := prog.Run(passes)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

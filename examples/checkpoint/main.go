@@ -67,7 +67,9 @@ func main() {
 		log.Fatal(err)
 	}
 	restored, err := core.LoadModel(g)
-	g.Close()
+	if cerr := g.Close(); cerr != nil {
+		log.Fatal(cerr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedLoader loads the module once for all fixture subtests: the loader
+// caches export data and type-checked imports across CheckFixture calls.
+var sharedLoader *Loader
+var sharedProg *Program
+
+func loadModule(t *testing.T) (*Loader, *Program) {
+	t.Helper()
+	if sharedLoader == nil {
+		l := NewLoader("../..")
+		prog, err := l.Load("./...")
+		if err != nil {
+			t.Fatalf("load module: %v", err)
+		}
+		sharedLoader, sharedProg = l, prog
+	}
+	return sharedLoader, sharedProg
+}
+
+func passByName(t *testing.T, name string) Pass {
+	t.Helper()
+	for _, p := range Passes() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no pass named %q", name)
+	return Pass{}
+}
+
+// TestFixtures runs each pass over its golden fixture and requires the
+// diagnostics to line up exactly with the `// want "regex"` comments.
+func TestFixtures(t *testing.T) {
+	l, _ := loadModule(t)
+	cases := []struct {
+		file   string
+		pass   string
+		strict bool
+	}{
+		{"undeclaredwrite.go", "undeclaredwrite", false},
+		{"depkey.go", "depkey", false},
+		{"lifecycle.go", "lifecycle", false},
+		{"lifecycle_strict.go", "lifecycle", true},
+		{"emit_forward.go", "emitterbarrier", false},
+		{"errcheck_main.go", "errcheck", false},
+	}
+	for _, c := range cases {
+		t.Run(c.file+"/"+c.pass, func(t *testing.T) {
+			path := filepath.Join("testdata", c.file)
+			u, err := l.CheckFixture(path)
+			if err != nil {
+				t.Fatalf("check fixture: %v", err)
+			}
+			prog := &Program{Units: []*Unit{u}, StrictWait: c.strict}
+			diags := prog.Run([]Pass{passByName(t, c.pass)})
+			compareWants(t, path, diags)
+		})
+	}
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// compareWants checks diagnostics against the fixture's want comments:
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be covered by a want.
+func compareWants(t *testing.T, path string, diags []Diagnostic) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int][]*regexp.Regexp{}
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			pat, err := strconv.Unquote(`"` + m[1] + `"`)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string: %v", path, i+1, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+			}
+			wants[i+1] = append(wants[i+1], re)
+		}
+	}
+
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != filepath.Base(path) {
+			t.Errorf("diagnostic outside fixture: %s", d)
+			continue
+		}
+		rest := wants[d.Pos.Line]
+		idx := -1
+		for i, re := range rest {
+			if re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected diagnostic at line %d: %s", d.Pos.Line, d.Message)
+			continue
+		}
+		wants[d.Pos.Line] = append(rest[:idx], rest[idx+1:]...)
+	}
+	for line, rest := range wants {
+		for _, re := range rest {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", path, line, re)
+		}
+	}
+}
+
+// TestRepoIsClean mirrors the CI gate: every pass over the real module must
+// report nothing. The emitters, runtime, and CLIs are the primary consumers
+// of these checks; a diagnostic here is a regression in either the code or
+// a pass's precision.
+func TestRepoIsClean(t *testing.T) {
+	_, prog := loadModule(t)
+	for _, d := range prog.Run(Passes()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

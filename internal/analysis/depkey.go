@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// passDepKey flags value-typed dependency keys. taskrt matches keys by Go
+// equality, so a key must be stable and unique: a pointer (or other
+// reference) to the protected data. A struct, array, or basic value in a
+// []taskrt.Dep list is almost always a bug — every loop iteration mints a
+// fresh equal-or-unequal value and the scheduler either over-serializes or
+// misses the edge entirely (the int-key variant of this shipped once; see
+// internal/experiments).
+var passDepKey = Pass{
+	Name: "depkey",
+	Doc:  "value-typed dependency key in a []taskrt.Dep list",
+	Run:  runDepKey,
+}
+
+func runDepKey(p *Program, u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	report := func(e ast.Expr) {
+		t := u.Info.TypeOf(e)
+		if t == nil || !isValueKey(t) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     u.Fset.Position(e.Pos()),
+			Pass:    "depkey",
+			Message: fmt.Sprintf("value-typed dependency key (%s): keys are matched by equality, use a pointer to the protected data", t),
+		})
+	}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if isDepSlice(u.Info.TypeOf(x)) {
+					for _, el := range x.Elts {
+						report(el)
+					}
+				}
+			case *ast.CallExpr:
+				// append(deps, k...) growing a []taskrt.Dep.
+				id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" || len(x.Args) < 2 {
+					return true
+				}
+				if _, isBuiltin := u.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if !isDepSlice(u.Info.TypeOf(x.Args[0])) || x.Ellipsis.IsValid() {
+					return true
+				}
+				for _, a := range x.Args[1:] {
+					report(a)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isValueKey reports whether a key expression's static type is a value type
+// that makes a bad dependency key. Pointers, maps, channels, functions, and
+// slices have reference identity; interfaces (including Dep itself) are
+// opaque at this point and stay silent.
+func isValueKey(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Basic, *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}

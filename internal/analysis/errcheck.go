@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// passErrcheck flags statement-level calls that drop an error result, in
+// command packages only (cmd/... and other package mains). Library code has
+// its own conventions; in a CLI a dropped error usually means a training run
+// silently reports success after a failed step. The fmt print family is
+// exempt (stdout errors are conventionally ignored), as are defer and go
+// statements.
+var passErrcheck = Pass{
+	Name: "errcheck",
+	Doc:  "statement-level call in a command package discards an error result",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(p *Program, u *Unit) []Diagnostic {
+	if u.Pkg.Name() != "main" && !strings.Contains(u.ImportPath, "/cmd/") && !strings.HasPrefix(u.ImportPath, "cmd/") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false
+			}
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(u.Info, errType, call) {
+				return true
+			}
+			if fn := calleeFunc(u.Info, call); fn != nil {
+				if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && strings.Contains(fn.Name(), "rint") {
+					return true // Print/Printf/Println/Fprint*...
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     u.Fset.Position(call.Pos()),
+					Pass:    "errcheck",
+					Message: fmt.Sprintf("result of %s contains an error that is discarded", fn.FullName()),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(info *types.Info, errType types.Type, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if types.Identical(rt.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}

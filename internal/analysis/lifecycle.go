@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// passLifecycle flags Submit/SubmitAll calls that appear, in source order
+// within one function, after a Shutdown of the same runtime variable. After
+// Shutdown the worker pool is gone; the runtime panics at run time (see
+// taskrt.Runtime.Submit), but catching it statically turns a crash into a
+// vet diagnostic. With Program.StrictWait, Wait is treated like Shutdown —
+// useful for auditing builders that should emit a whole graph before any
+// synchronization.
+var passLifecycle = Pass{
+	Name: "lifecycle",
+	Doc:  "Submit/SubmitAll after Shutdown (or Wait in strict mode) on the same runtime",
+	Run:  runLifecycle,
+}
+
+func runLifecycle(p *Program, u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, lifecycleInFunc(p, u, fd)...)
+		}
+	}
+	return diags
+}
+
+func lifecycleInFunc(p *Program, u *Unit, fd *ast.FuncDecl) []Diagnostic {
+	// First sweep: the earliest terminating call per runtime object.
+	// Deferred calls don't count — `defer rt.Shutdown()` runs after every
+	// Submit in the function body.
+	ended := map[types.Object]endState{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, obj := taskrtMethodCall(u.Info, call)
+		terminal := name == "Shutdown" || (p.StrictWait && (name == "Wait" || name == "WaitFor"))
+		if !terminal || obj == nil {
+			return true
+		}
+		if prev, seen := ended[obj]; !seen || call.Pos() < prev.pos {
+			ended[obj] = endState{pos: call.Pos(), what: name}
+		}
+		return true
+	})
+	if len(ended) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, obj := taskrtMethodCall(u.Info, call)
+		if name != "Submit" && name != "SubmitAll" {
+			return true
+		}
+		end, seen := ended[obj]
+		if !seen || call.Pos() <= end.pos {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     u.Fset.Position(call.Pos()),
+			Pass:    "lifecycle",
+			Message: fmt.Sprintf("%s after %s on %q (line %d): the worker pool is gone, this panics at run time", name, end.what, obj.Name(), u.Fset.Position(end.pos).Line),
+		})
+		return true
+	})
+	return diags
+}
+
+type endState struct {
+	pos  token.Pos
+	what string
+}
+
+// taskrtMethodCall returns the method name and receiver root object when
+// call is a method call declared in the taskrt package (Runtime methods or
+// the Executor interface); ("", nil) otherwise.
+func taskrtMethodCall(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isTaskrtPkg(fn.Pkg()) {
+		return "", nil
+	}
+	root, ok := rootOf(info, sel.X)
+	if !ok || root.field != "" {
+		// Only track plain variables: field-held runtimes may be shared
+		// across functions, where source order proves nothing.
+		return fn.Name(), nil
+	}
+	return fn.Name(), root.obj
+}

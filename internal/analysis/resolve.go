@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taskrtPkgSuffix identifies the task-runtime package in any checkout.
+const taskrtPkgSuffix = "internal/taskrt"
+
+// isTaskrtPkg reports whether p is the task-runtime package.
+func isTaskrtPkg(p *types.Package) bool {
+	return p != nil && strings.HasSuffix(p.Path(), taskrtPkgSuffix)
+}
+
+// namedFrom unwraps pointers and returns the named type, if any.
+func namedFrom(t types.Type) *types.Named {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isTaskStruct reports whether t is taskrt.Task or *taskrt.Task.
+func isTaskStruct(t types.Type) bool {
+	n := namedFrom(t)
+	return n != nil && n.Obj().Name() == "Task" && isTaskrtPkg(n.Obj().Pkg())
+}
+
+// isDepSlice reports whether t is []taskrt.Dep.
+func isDepSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	n, ok := s.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Dep" && isTaskrtPkg(n.Obj().Pkg())
+}
+
+// calleeFunc returns the *types.Func a call expression statically resolves
+// to (function or method), nil for indirect calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// rootRef is the resolution of an expression to "first-level field of a
+// variable": ws.merged[l][t] resolves to (ws, "merged"); a plain variable
+// resolves to (v, ""). The field level is what the workspace key convention
+// names (buffer field `foo` ↔ key field `kFoo`).
+type rootRef struct {
+	obj   types.Object // the base variable
+	field string       // first-level field selected on it ("" = the var itself)
+}
+
+// rootOf resolves e to its rootRef. ok is false when the expression's base
+// is not a variable (call results, literals, package-qualified names).
+func rootOf(info *types.Info, e ast.Expr) (rootRef, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return rootRef{obj: v}, true
+		}
+		return rootRef{}, false
+	case *ast.SelectorExpr:
+		// Reject package-qualified selectors (pkg.Name).
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return rootRef{}, false
+			}
+		}
+		base, ok := rootOf(info, x.X)
+		if !ok {
+			return rootRef{}, false
+		}
+		if base.field == "" {
+			base.field = x.Sel.Name
+		}
+		return base, true
+	case *ast.IndexExpr:
+		return rootOf(info, x.X)
+	case *ast.StarExpr:
+		return rootOf(info, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return rootOf(info, x.X)
+		}
+	case *ast.SliceExpr:
+		return rootOf(info, x.X)
+	}
+	return rootRef{}, false
+}
+
+// keyFieldName maps a buffer field name to the dependency-key field naming
+// convention: merged → kMerged, dHChainFwd → kDHChainFwd.
+func keyFieldName(field string) string {
+	if field == "" {
+		return ""
+	}
+	return "k" + strings.ToUpper(field[:1]) + field[1:]
+}
+
+// hasField reports whether obj's (pointer-dereferenced) struct type has a
+// field with the given name.
+func hasField(obj types.Object, name string) bool {
+	n := namedFrom(obj.Type())
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// taskLit is one taskrt.Task composite literal with its resolved dependency
+// declarations and body.
+type taskLit struct {
+	lit *ast.CompositeLit
+	fn  *ast.FuncLit // body, from the Fn field or a later task.Fn = assignment
+
+	in, out, inout []ast.Expr // dependency key expressions
+	unresolved     bool       // some declaration list could not be resolved
+}
+
+// collectTaskLits finds every taskrt.Task literal inside decl, resolving
+// In/Out/InOut lists (inline literals, or local slice variables built with
+// := and append) and the Fn body (inline field, or a single `v.Fn = func`
+// assignment on the variable the literal was assigned to).
+func collectTaskLits(u *Unit, decl *ast.FuncDecl) []*taskLit {
+	if decl.Body == nil {
+		return nil
+	}
+	var tasks []*taskLit
+	byVar := map[types.Object]*taskLit{} // task variable -> literal
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isTaskStruct(u.Info.TypeOf(lit)) {
+			return true
+		}
+		t := &taskLit{lit: lit}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			name, _ := kv.Key.(*ast.Ident)
+			if name == nil {
+				continue
+			}
+			switch name.Name {
+			case "In", "Out", "InOut":
+				elems, resolved := depSliceElems(u, decl, kv.Value)
+				if !resolved {
+					t.unresolved = true
+				}
+				switch name.Name {
+				case "In":
+					t.in = elems
+				case "Out":
+					t.out = elems
+				case "InOut":
+					t.inout = elems
+				}
+			case "Fn":
+				if fl, ok := kv.Value.(*ast.FuncLit); ok {
+					t.fn = fl
+				}
+			}
+		}
+		tasks = append(tasks, t)
+		return true
+	})
+
+	// Associate `task := &taskrt.Task{...}` variables with their literal,
+	// then pick up `task.Fn = func() {...}` assignments.
+	litByPos := map[*ast.CompositeLit]*taskLit{}
+	for _, t := range tasks {
+		litByPos[t.lit] = t
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			rhs = ast.Unparen(ue.X)
+		}
+		if cl, ok := rhs.(*ast.CompositeLit); ok {
+			if t := litByPos[cl]; t != nil {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if obj := objOf(u.Info, id); obj != nil {
+						byVar[obj] = t
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Fn" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		t := byVar[objOf(u.Info, id)]
+		if t == nil {
+			return true
+		}
+		if fl, ok := as.Rhs[0].(*ast.FuncLit); ok && t.fn == nil {
+			t.fn = fl
+		}
+		return true
+	})
+	return tasks
+}
+
+// objOf returns the object an identifier uses or defines.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// depSliceElems resolves a []taskrt.Dep-valued expression to its element
+// expressions. Inline composite literals resolve directly; a local variable
+// resolves through its := initializer and any `v = append(v, ...)` growth in
+// the enclosing function. Anything else is unresolved.
+func depSliceElems(u *Unit, decl *ast.FuncDecl, e ast.Expr) ([]ast.Expr, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return x.Elts, true
+	case *ast.Ident:
+		obj := objOf(u.Info, x)
+		if obj == nil {
+			return nil, false
+		}
+		return depSliceVarElems(u, decl, obj)
+	}
+	return nil, false
+}
+
+// depSliceVarElems gathers the elements a local []Dep variable can contain.
+func depSliceVarElems(u *Unit, decl *ast.FuncDecl, obj types.Object) ([]ast.Expr, bool) {
+	var elems []ast.Expr
+	resolved := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || objOf(u.Info, id) != obj {
+				continue
+			}
+			if i >= len(as.Rhs) {
+				resolved = false
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				elems = append(elems, rhs.Elts...)
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "append" && len(rhs.Args) > 0 {
+					if base, ok := ast.Unparen(rhs.Args[0]).(*ast.Ident); ok && objOf(u.Info, base) == obj {
+						elems = append(elems, rhs.Args[1:]...)
+						continue
+					}
+				}
+				resolved = false
+			default:
+				resolved = false
+			}
+		}
+		return true
+	})
+	return elems, resolved
+}

@@ -1,0 +1,20 @@
+// Fixture for the errcheck pass: command packages must not discard errors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func run() error { return nil }
+
+func main() {
+	run()                    // want "result of .*run contains an error"
+	os.Remove("/tmp/absent") // want "result of os.Remove contains an error"
+	fmt.Println("fmt print family is exempt")
+	defer run()
+	go run()
+	if err := run(); err != nil {
+		fmt.Println(err)
+	}
+}

@@ -1,0 +1,27 @@
+// Fixture for the lifecycle pass: no submission after teardown.
+package fixture
+
+import "bpar/internal/taskrt"
+
+func lifecycleBad() {
+	rt := taskrt.New(taskrt.Options{Workers: 1})
+	t := &taskrt.Task{Label: "late"}
+	rt.Shutdown()
+	rt.Submit(t)                    // want "Submit after Shutdown"
+	rt.SubmitAll([]*taskrt.Task{t}) // want "SubmitAll after Shutdown"
+}
+
+func lifecycleDeferIsFine() {
+	rt := taskrt.New(taskrt.Options{Workers: 1})
+	defer rt.Shutdown()
+	rt.Submit(&taskrt.Task{Label: "ok"})
+	_ = rt.Wait()
+}
+
+func lifecycleSeparateRuntimes() {
+	a := taskrt.New(taskrt.Options{Workers: 1})
+	b := taskrt.New(taskrt.Options{Workers: 1})
+	a.Shutdown()
+	b.Submit(&taskrt.Task{Label: "other runtime"}) // different variable: fine
+	b.Shutdown()
+}

@@ -1,0 +1,13 @@
+// Fixture for the lifecycle pass in -strict-wait mode: Wait counts as a
+// full synchronization point.
+package fixture
+
+import "bpar/internal/taskrt"
+
+func strictWaitThenSubmit() {
+	rt := taskrt.New(taskrt.Options{Workers: 1})
+	rt.Submit(&taskrt.Task{Label: "first"})
+	_ = rt.Wait()
+	rt.Submit(&taskrt.Task{Label: "second"}) // want "Submit after Wait"
+	rt.Shutdown()
+}

@@ -1,0 +1,109 @@
+// Fixture for the undeclaredwrite pass. A fixWS mimics the workspace key
+// convention: buffer field foo pairs with key field kFoo.
+package fixture
+
+import (
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+type fixWS struct {
+	merged  *tensor.Matrix
+	dMerged *tensor.Matrix
+	scratch *tensor.Matrix // deliberately no kScratch: not key-mapped
+
+	kMerged  *int
+	kDMerged *int
+}
+
+// scaleInto is a helper whose mutation of dst must be discovered by
+// fixed-point summary propagation from the tensor seed table.
+func scaleInto(dst, src *tensor.Matrix) {
+	tensor.Scale(dst, 0.5, src)
+}
+
+func emitUndeclared(rt *taskrt.Runtime, ws *fixWS, x *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "bad-merge",
+		In:    []taskrt.Dep{ws.kDMerged},
+		Out:   []taskrt.Dep{},
+		Fn: func() {
+			tensor.Add(ws.merged, x, x) // want "task \"bad-merge\" writes ws.merged"
+		},
+	})
+}
+
+func emitDeclared(rt *taskrt.Runtime, ws *fixWS, x *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "good-merge",
+		Out:   []taskrt.Dep{ws.kMerged},
+		Fn: func() {
+			tensor.Add(ws.merged, x, x) // declared: no diagnostic
+		},
+	})
+}
+
+// emitLateFn uses the append-built list and deferred-Fn emitter idiom.
+func emitLateFn(rt *taskrt.Runtime, ws *fixWS) {
+	out := []taskrt.Dep{}
+	out = append(out, ws.kDMerged)
+	t := &taskrt.Task{Label: "late-fn", Out: out}
+	t.Fn = func() {
+		ws.merged.Zero() // want "task \"late-fn\" writes ws.merged"
+		ws.dMerged.Zero()
+	}
+	rt.Submit(t)
+}
+
+// emitViaHelper writes through a local helper two levels above the kernel.
+func emitViaHelper(rt *taskrt.Runtime, ws *fixWS, x *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "helper-write",
+		Out:   []taskrt.Dep{ws.kDMerged},
+		Fn: func() {
+			scaleInto(ws.merged, x) // want "task \"helper-write\" writes ws.merged"
+		},
+	})
+}
+
+// emitScratch writes a buffer with no key convention: silent by design.
+func emitScratch(rt *taskrt.Runtime, ws *fixWS) {
+	rt.Submit(&taskrt.Task{
+		Label: "scratch-write",
+		Out:   []taskrt.Dep{ws.kMerged},
+		Fn: func() {
+			ws.scratch.Zero() // unmapped buffer: no diagnostic
+		},
+	})
+}
+
+// emitAliased writes through a local alias that can only point at
+// undeclared key-mapped buffers.
+func emitAliased(rt *taskrt.Runtime, ws *fixWS, flip bool) {
+	rt.Submit(&taskrt.Task{
+		Label: "alias-write",
+		In:    []taskrt.Dep{ws.kMerged},
+		Out:   []taskrt.Dep{},
+		Fn: func() {
+			dst := ws.merged
+			if flip {
+				dst = ws.dMerged
+			}
+			dst.Zero() // want "task \"alias-write\" writes ws"
+		},
+	})
+}
+
+// emitOpaqueDecl has a declaration list the analyzer cannot resolve:
+// conservatively silent even though the write is real.
+func deps(ws *fixWS) []taskrt.Dep { return []taskrt.Dep{ws.kMerged} }
+
+func emitOpaqueDecl(rt *taskrt.Runtime, ws *fixWS) {
+	rt.Submit(&taskrt.Task{
+		Label: "opaque-decl",
+		Out:   deps(ws),
+		Fn: func() {
+			ws.merged.Zero() // unresolvable declarations: no diagnostic
+		},
+	})
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// depChecker returns the executor's dependency sanitizer when it has one
+// (taskrt.Runtime with Options.DepCheck), nil otherwise. Detected through an
+// interface so Recorder, Inline, and test executors need no stub.
+func (e *Engine) depChecker() *taskrt.DepChecker {
+	if p, ok := e.Exec.(interface{ DepChecker() *taskrt.DepChecker }); ok {
+		return p.DepChecker()
+	}
+	return nil
+}
+
+// installDepCheckHook routes kernel-level tensor accesses into the
+// sanitizer. The hook is process-global; the engine whose executor runs
+// depcheck owns it, so two concurrently training depcheck engines are not
+// supported (sequential engines each re-install on construction).
+func installDepCheckHook(dc *taskrt.DepChecker) {
+	tensor.SetAccessHook(func(w *tensor.Matrix, reads []*tensor.Matrix) {
+		if w != nil {
+			dc.NoteWrite(w)
+		}
+		for _, r := range reads {
+			if r != nil {
+				dc.NoteRead(r)
+			}
+		}
+	})
+}
+
+// registerDeps tells the sanitizer which buffers each dependency key names,
+// so an access to a buffer can be attributed to the key a task should have
+// declared. Scratch buffers private to a single task body (dHSum*, dXScratch*,
+// sinks, zeroH/C) stay unregistered: accesses to them are not attributable
+// and therefore never reported.
+func (w *workspace) registerDeps(dc *taskrt.DepChecker, mbIdx int) {
+	if w.phantom {
+		return
+	}
+	reg := func(k taskrt.Dep, name string, ms ...*tensor.Matrix) {
+		bufs := make([]any, 0, len(ms))
+		for _, m := range ms {
+			if m != nil {
+				bufs = append(bufs, m)
+			}
+		}
+		dc.Register(k, fmt.Sprintf("%s mb%d", name, mbIdx), bufs...)
+	}
+	for l := range w.fwdSt {
+		for t := range w.fwdSt[l] {
+			reg(w.kFwdSt[l][t], fmt.Sprintf("fwdSt L%d t%d", l, t), w.fwdSt[l][t].mats()...)
+			reg(w.kRevSt[l][t], fmt.Sprintf("revSt L%d t%d", l, t), w.revSt[l][t].mats()...)
+			if w.merged[l] != nil {
+				reg(w.kMerged[l][t], fmt.Sprintf("merged L%d t%d", l, t), w.merged[l][t])
+				reg(w.kDMerged[l][t], fmt.Sprintf("dMerged L%d t%d", l, t), w.dMerged[l][t])
+			}
+			reg(w.kDHMergeFwd[l][t], fmt.Sprintf("dHMergeFwd L%d t%d", l, t), w.dHMergeFwd[l][t])
+			reg(w.kDHMergeRev[l][t], fmt.Sprintf("dHMergeRev L%d t%d", l, t), w.dHMergeRev[l][t])
+			reg(w.kDHChainFwd[l][t], fmt.Sprintf("dHChainFwd L%d t%d", l, t), w.dHChainFwd[l][t])
+			reg(w.kDCChainFwd[l][t], fmt.Sprintf("dCChainFwd L%d t%d", l, t), w.dCChainFwd[l][t])
+			reg(w.kDHChainRev[l][t], fmt.Sprintf("dHChainRev L%d t%d", l, t), w.dHChainRev[l][t])
+			reg(w.kDCChainRev[l][t], fmt.Sprintf("dCChainRev L%d t%d", l, t), w.dCChainRev[l][t])
+		}
+		dwF, _ := w.gradsFwd[l].wData()
+		dwR, _ := w.gradsRev[l].wData()
+		reg(w.kGradsFwd[l], fmt.Sprintf("gradsFwd L%d", l), dwF)
+		reg(w.kGradsRev[l], fmt.Sprintf("gradsRev L%d", l), dwR)
+	}
+	reg(w.kFinalMerged, "finalMerged", w.finalMerged)
+	reg(w.kDFinalMerged, "dFinalMerged", w.dFinalMerged)
+	for h := range w.kProbs {
+		reg(w.kProbs[h], fmt.Sprintf("probs h%d", h), w.probs[h], w.logits[h])
+	}
+	reg(w.kHeadGrads, "headGrads", w.headGrads.DW)
+}
+
+// mats enumerates the state's activation matrices — everything the forward
+// cell task writes under the state's dependency key.
+func (s *cellSt) mats() []*tensor.Matrix {
+	switch {
+	case s.lstm != nil:
+		return []*tensor.Matrix{s.lstm.Z, s.lstm.Gates, s.lstm.C, s.lstm.TanhC, s.lstm.H}
+	case s.gru != nil:
+		return []*tensor.Matrix{s.gru.Z1, s.gru.Z2, s.gru.ZR, s.gru.HBar, s.gru.H}
+	default:
+		return []*tensor.Matrix{s.rnn.Z, s.rnn.H}
+	}
+}
+
+// registerStepInputs associates this step's input matrices with the kX keys.
+// Batch views are new each step, so they register transiently and are
+// dropped at the post-step ResetDeps.
+func (e *Engine) registerStepInputs(dc *taskrt.DepChecker, ws *workspace, mb *Batch, mbIdx int) {
+	for t, x := range mb.X {
+		dc.RegisterStep(ws.kX[t], fmt.Sprintf("x t%d mb%d", t, mbIdx), x)
+	}
+}

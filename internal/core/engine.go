@@ -69,7 +69,11 @@ const defaultMaxCachedSeqLens = 8
 
 // NewEngine creates an engine executing real numeric tasks.
 func NewEngine(m *Model, exec taskrt.Executor) *Engine {
-	return &Engine{M: m, Exec: exec, wsByT: make(map[int][]*workspace)}
+	e := &Engine{M: m, Exec: exec, wsByT: make(map[int][]*workspace)}
+	if dc := e.depChecker(); dc != nil {
+		installDepCheckHook(dc)
+	}
+	return e
 }
 
 // NewPhantomEngine creates an engine that emits dependency-and-metadata-only
@@ -105,6 +109,11 @@ func (e *Engine) workspaces(T int) []*workspace {
 			rows++
 		}
 		ws[i] = newWorkspace(e.M, rows, T, e.phantom)
+	}
+	if dc := e.depChecker(); dc != nil {
+		for i, w := range ws {
+			w.registerDeps(dc, i)
+		}
 	}
 	e.wsByT[T] = ws
 	e.touchSeqLen(T)
@@ -224,9 +233,13 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 	for _, ws := range wss {
 		ws.resetForStep()
 	}
+	dc := e.depChecker()
 	for i, ws := range wss {
 		lo, hi := e.mbBounds(i)
 		mb := e.sliceBatch(b, lo, hi)
+		if dc != nil {
+			e.registerStepInputs(dc, ws, mb, i)
+		}
 		e.emitForward(ws, mb, i, true)
 		e.emitBackward(ws, mb, i)
 	}
@@ -264,9 +277,13 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	for _, ws := range wss {
 		ws.resetForStep()
 	}
+	dc := e.depChecker()
 	for i, ws := range wss {
 		lo, hi := e.mbBounds(i)
 		mb := e.sliceBatch(b, lo, hi)
+		if dc != nil {
+			e.registerStepInputs(dc, ws, mb, i)
+		}
 		e.emitForward(ws, mb, i, true)
 	}
 	if err := e.Exec.Wait(); err != nil {
@@ -312,9 +329,13 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	for _, ws := range wss {
 		ws.resetForStep()
 	}
+	dc := e.depChecker()
 	for i, ws := range wss {
 		lo, hi := e.mbBounds(i)
 		mb := e.sliceBatch(b, lo, hi)
+		if dc != nil {
+			e.registerStepInputs(dc, ws, mb, i)
+		}
 		e.emitForward(ws, mb, i, true)
 	}
 	if err := e.Exec.Wait(); err != nil {

@@ -36,6 +36,15 @@ func RunScheduler(o Opts) ([]SchedulerRow, error) {
 	const chains = 64
 	depth := o.seq(100)
 
+	// One stable pointer key per chain. Value-typed keys (the ints this
+	// originally used) are matched by boxed equality: they collide with any
+	// other int key in the graph and allocate on every Submit, and bpar-vet's
+	// depkey pass rejects them.
+	chainKeys := make([]*int, chains)
+	for i := range chainKeys {
+		chainKeys[i] = new(int)
+	}
+
 	var rows []SchedulerRow
 	for _, policy := range []taskrt.Policy{taskrt.BreadthFirst, taskrt.LocalityAware} {
 		for _, batched := range []bool{false, true} {
@@ -46,7 +55,7 @@ func RunScheduler(o Opts) ([]SchedulerRow, error) {
 				for c := 0; c < chains; c++ {
 					t := &taskrt.Task{
 						Kind:  "tiny",
-						InOut: []taskrt.Dep{c},
+						InOut: []taskrt.Dep{chainKeys[c]},
 						Fn:    func() { sum.Add(1) },
 					}
 					if batched {

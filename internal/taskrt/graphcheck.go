@@ -1,0 +1,79 @@
+package taskrt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckAcyclic verifies the graph has no dependency cycle and returns nil,
+// or an error naming the full labeled task chain of the first cycle found
+// ("a" -> "b" -> "a"). Graphs recorded from a topological-order submitter
+// are acyclic by construction (Validate checks the stronger ID-order
+// property); CheckAcyclic exists for manually assembled or transformed
+// graphs, where a cycle means the schedule would deadlock — every task on
+// the chain waits for its predecessor and none can start.
+func (g *Graph) CheckAcyclic() error {
+	const (
+		white = iota // unvisited
+		gray         // on the current DFS path
+		black        // finished, known cycle-free
+	)
+	color := make([]int, len(g.Nodes))
+
+	// Iterative DFS so arbitrarily long chains cannot overflow the stack.
+	// The frame stack holds (node, next-successor-index); path mirrors the
+	// gray chain for cycle reconstruction.
+	type frame struct {
+		id   int
+		next int
+	}
+	for start := range g.Nodes {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{id: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			n := g.Nodes[f.id]
+			if f.next >= len(n.Succs) {
+				color[f.id] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			s := n.Succs[f.next]
+			f.next++
+			if s < 0 || s >= len(g.Nodes) {
+				return fmt.Errorf("taskrt: node %d (%s) has successor %d out of range", n.ID, label(n), s)
+			}
+			switch color[s] {
+			case white:
+				color[s] = gray
+				stack = append(stack, frame{id: s})
+			case gray:
+				// Back edge: the cycle is the gray chain from s to the top
+				// of the stack, closed by the edge back to s.
+				i := 0
+				for stack[i].id != s {
+					i++
+				}
+				var chain []string
+				for _, fr := range stack[i:] {
+					chain = append(chain, label(g.Nodes[fr.id]))
+				}
+				chain = append(chain, label(g.Nodes[s]))
+				return fmt.Errorf("taskrt: dependency cycle: %s", strings.Join(chain, " -> "))
+			}
+		}
+	}
+	return nil
+}
+
+// label renders a node for cycle messages, falling back to the ID when the
+// builder did not label the task.
+func label(n *GraphNode) string {
+	if n.Label != "" {
+		return fmt.Sprintf("%q", n.Label)
+	}
+	return fmt.Sprintf("#%d", n.ID)
+}

@@ -42,6 +42,11 @@ type Options struct {
 	Policy Policy
 	// Sink, when non-nil, receives a record per executed task.
 	Sink TraceSink
+	// DepCheck enables the runtime dependency sanitizer: shadow versions per
+	// key, undeclared-access detection via registered buffers, and
+	// self-dependency rejection. Task bodies are serialized while enabled,
+	// so it is a correctness mode, not a performance mode.
+	DepCheck bool
 }
 
 // node is the runtime-internal representation of a submitted task.
@@ -211,6 +216,9 @@ type Runtime struct {
 	errsMu sync.Mutex
 	errs   []error
 
+	// depc is the dependency sanitizer, non-nil iff Options.DepCheck.
+	depc *DepChecker
+
 	wg sync.WaitGroup
 
 	stats runtimeStats
@@ -251,6 +259,9 @@ func New(opts Options) *Runtime {
 	for i := range r.shards {
 		r.shards[i].m = make(map[Dep]*depEntry)
 	}
+	if opts.DepCheck {
+		r.depc = newDepChecker()
+	}
 	r.idleCond = sync.NewCond(&r.idleMu)
 	r.doneCond = sync.NewCond(&r.doneMu)
 	r.stats.workerIdleNS = make([]atomic.Int64, opts.Workers)
@@ -265,6 +276,11 @@ func New(opts Options) *Runtime {
 
 // Workers reports the configured worker count.
 func (r *Runtime) Workers() int { return r.opts.Workers }
+
+// DepChecker returns the runtime's dependency sanitizer, or nil when
+// Options.DepCheck is off. Callers register buffer-to-key associations on it
+// so undeclared accesses can be attributed.
+func (r *Runtime) DepChecker() *DepChecker { return r.depc }
 
 // shard returns the dependency shard owning key k.
 func (r *Runtime) shard(k Dep) *depShard {
@@ -282,7 +298,7 @@ func (r *Runtime) Submit(t *Task) {
 	}
 	if r.shutdownFlg.Load() {
 		r.submitMu.Unlock()
-		panic("taskrt: Submit after Shutdown")
+		panic(fmt.Sprintf("taskrt: Submit of task %q after Shutdown — the worker pool is gone; create a new Runtime or submit before Shutdown", t.Label))
 	}
 	n := r.submitOne(t, tStart)
 	r.submitMu.Unlock()
@@ -308,7 +324,7 @@ func (r *Runtime) SubmitAll(ts []*Task) {
 	}
 	if r.shutdownFlg.Load() {
 		r.submitMu.Unlock()
-		panic("taskrt: Submit after Shutdown")
+		panic(fmt.Sprintf("taskrt: SubmitAll of %d tasks (first %q) after Shutdown — the worker pool is gone; create a new Runtime or submit before Shutdown", len(ts), ts[0].Label))
 	}
 	var ready []*node
 	for _, t := range ts {
@@ -330,6 +346,9 @@ func (r *Runtime) SubmitAll(ts []*Task) {
 func (r *Runtime) submitOne(t *Task, at time.Time) *node {
 	n := &node{task: t, id: r.nextID, submitNS: at.Sub(r.start).Nanoseconds()}
 	r.nextID++
+	if r.depc != nil {
+		r.depc.onSubmit(t)
+	}
 	n.pending.Store(1) // submission guard, dropped at the end
 
 	// predSeen dedupes multiple edges from the same predecessor so pending
@@ -527,6 +546,11 @@ func (r *Runtime) awaitWork(w int) *node {
 // execute runs a task body, then performs completion bookkeeping: marking
 // successors ready and waking waiters. No global lock is involved.
 func (r *Runtime) execute(n *node, w int) {
+	if r.depc != nil {
+		// begin blocks until no other checked body runs; end always follows,
+		// even when the body panics (the recover below returns normally).
+		r.depc.begin(n.task)
+	}
 	startT := time.Now()
 	var taskErr error
 	if n.task.Fn != nil {
@@ -540,6 +564,9 @@ func (r *Runtime) execute(n *node, w int) {
 		}()
 	}
 	endT := time.Now()
+	if r.depc != nil {
+		r.depc.end(n.task)
+	}
 
 	if r.opts.Sink != nil {
 		r.opts.Sink.TaskDone(TaskRecord{
@@ -639,6 +666,9 @@ func (r *Runtime) Wait() error {
 		r.doneWaiters.Add(-1)
 	}
 	r.errsMu.Lock()
+	if r.depc != nil {
+		r.errs = append(r.errs, r.depc.take()...)
+	}
 	err := errors.Join(r.errs...)
 	r.errsMu.Unlock()
 	return err
@@ -701,6 +731,9 @@ func (r *Runtime) ResetDeps() {
 		sh.mu.Lock()
 		sh.m = make(map[Dep]*depEntry)
 		sh.mu.Unlock()
+	}
+	if r.depc != nil {
+		r.depc.reset()
 	}
 }
 

@@ -15,6 +15,7 @@ func Sigmoid(x float64) float64 {
 
 // SigmoidInPlace applies Sigmoid element-wise.
 func SigmoidInPlace(m *Matrix) {
+	guardW(m)
 	for i, v := range m.Data {
 		m.Data[i] = Sigmoid(v)
 	}
@@ -22,6 +23,7 @@ func SigmoidInPlace(m *Matrix) {
 
 // TanhInPlace applies tanh element-wise.
 func TanhInPlace(m *Matrix) {
+	guardW(m)
 	for i, v := range m.Data {
 		m.Data[i] = math.Tanh(v)
 	}
@@ -53,6 +55,7 @@ func DTanhFromY(y float64) float64 { return 1 - y*y }
 // SoftmaxRows applies a numerically stable softmax to every row of m in
 // place: each row becomes a probability distribution.
 func SoftmaxRows(m *Matrix) {
+	guardW(m)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		max := row[0]
@@ -86,6 +89,7 @@ func CrossEntropyRows(probs *Matrix, targets []int) float64 {
 	if len(targets) != probs.Rows {
 		panic("tensor: CrossEntropyRows targets length mismatch")
 	}
+	guardR(probs)
 	const eps = 1e-12
 	loss := 0.0
 	n := 0
@@ -111,6 +115,7 @@ func SoftmaxCrossEntropyBackward(dst, probs *Matrix, targets []int) {
 	if len(targets) != probs.Rows {
 		panic("tensor: SoftmaxCrossEntropyBackward targets length mismatch")
 	}
+	guardWR(dst, probs)
 	invN := 1 / float64(probs.Rows)
 	for i := 0; i < probs.Rows; i++ {
 		d := dst.Row(i)

@@ -28,6 +28,7 @@ func GemmAcc(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: GemmAcc shape mismatch dst %dx%d += a %dx%d * b %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	guardWRR(dst, a, b)
 	m, k, n := a.Rows, a.Cols, b.Cols
 	countGemm(2 * int64(m) * int64(k) * int64(n))
 	for kk := 0; kk < k; kk += blockK {
@@ -70,6 +71,7 @@ func GemmTAcc(dst, a, bT *Matrix) {
 		panic(fmt.Sprintf("tensor: GemmTAcc shape mismatch dst %dx%d += a %dx%d * (b^T) %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols))
 	}
+	guardWRR(dst, a, bT)
 	m, k, n := a.Rows, a.Cols, bT.Rows
 	countGemm(2 * int64(m) * int64(k) * int64(n))
 	for ii := 0; ii < m; ii += blockM {
@@ -95,6 +97,7 @@ func GemmATAcc(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: GemmATAcc shape mismatch dst %dx%d += (a^T of %dx%d) * b %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	guardWRR(dst, a, b)
 	k, m, n := a.Rows, a.Cols, b.Cols
 	countGemm(2 * int64(m) * int64(k) * int64(n))
 	for p := 0; p < k; p++ {
@@ -116,6 +119,7 @@ func MatMulNaive(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulNaive shape mismatch")
 	}
+	guardWRR(dst, a, b)
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < b.Cols; j++ {
 			s := 0.0

@@ -1,0 +1,59 @@
+package tensor
+
+import "sync/atomic"
+
+// AccessHook observes kernel-level matrix accesses: write is the matrix the
+// kernel mutates (nil for read-only kernels), reads are the matrices it
+// consumes. The taskrt dependency sanitizer installs one to verify that every
+// access a task body performs was declared in the task's In/Out/InOut lists.
+//
+// The hook fires on the goroutine executing the kernel; implementations must
+// be safe for concurrent use. Element-level accessors (At, Set, Row, Data)
+// are not guarded — the sanitizer sees the coarse kernel calls that dominate
+// every task body, which is the granularity dependency annotations describe.
+type AccessHook func(write *Matrix, reads []*Matrix)
+
+// accessHook holds the installed hook; nil means guarding is disabled and
+// each kernel pays only an atomic load and branch.
+var accessHook atomic.Pointer[AccessHook]
+
+// SetAccessHook installs h as the process-wide access hook. Passing nil
+// disables guarding. Only one hook is active at a time; the dependency
+// sanitizer owns it for the duration of a checked run.
+func SetAccessHook(h AccessHook) {
+	if h == nil {
+		accessHook.Store(nil)
+		return
+	}
+	accessHook.Store(&h)
+}
+
+// GuardingEnabled reports whether an access hook is installed.
+func GuardingEnabled() bool { return accessHook.Load() != nil }
+
+// The guard helpers keep the disabled path allocation-free: the reads slice
+// is only materialized after the nil check.
+
+func guardW(w *Matrix) {
+	if h := accessHook.Load(); h != nil {
+		(*h)(w, nil)
+	}
+}
+
+func guardWR(w, a *Matrix) {
+	if h := accessHook.Load(); h != nil {
+		(*h)(w, []*Matrix{a})
+	}
+}
+
+func guardWRR(w, a, b *Matrix) {
+	if h := accessHook.Load(); h != nil {
+		(*h)(w, []*Matrix{a, b})
+	}
+}
+
+func guardR(a *Matrix) {
+	if h := accessHook.Load(); h != nil {
+		(*h)(nil, []*Matrix{a})
+	}
+}

@@ -51,6 +51,7 @@ func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
+	guardR(m)
 	c := New(m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
@@ -61,11 +62,13 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
+	guardWR(m, src)
 	copy(m.Data, src.Data)
 }
 
 // Zero sets every element to zero.
 func (m *Matrix) Zero() {
+	guardW(m)
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
@@ -73,6 +76,7 @@ func (m *Matrix) Zero() {
 
 // Fill sets every element to v.
 func (m *Matrix) Fill(v float64) {
+	guardW(m)
 	for i := range m.Data {
 		m.Data[i] = v
 	}
@@ -167,6 +171,7 @@ func ConcatCols(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: ConcatCols shape mismatch dst %dx%d, a %dx%d, b %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	guardWRR(dst, a, b)
 	for i := 0; i < a.Rows; i++ {
 		d := dst.Row(i)
 		copy(d[:a.Cols], a.Row(i))
@@ -182,6 +187,8 @@ func SplitCols(src, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: SplitCols shape mismatch src %dx%d, a %dx%d, b %dx%d",
 			src.Rows, src.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	guardWR(a, src)
+	guardWR(b, src)
 	for i := 0; i < src.Rows; i++ {
 		s := src.Row(i)
 		copy(a.Row(i), s[:a.Cols])

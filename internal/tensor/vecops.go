@@ -8,6 +8,7 @@ func AddBiasRows(m *Matrix, bias []float64) {
 	if len(bias) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddBiasRows bias[%d] vs %d cols", len(bias), m.Cols))
 	}
+	guardW(m)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, b := range bias {
@@ -19,6 +20,7 @@ func AddBiasRows(m *Matrix, bias []float64) {
 // Add computes dst = a + b element-wise.
 func Add(dst, a, b *Matrix) {
 	checkSameShape3("Add", dst, a, b)
+	guardWRR(dst, a, b)
 	for i, v := range a.Data {
 		dst.Data[i] = v + b.Data[i]
 	}
@@ -27,6 +29,7 @@ func Add(dst, a, b *Matrix) {
 // Sub computes dst = a - b element-wise.
 func Sub(dst, a, b *Matrix) {
 	checkSameShape3("Sub", dst, a, b)
+	guardWRR(dst, a, b)
 	for i, v := range a.Data {
 		dst.Data[i] = v - b.Data[i]
 	}
@@ -36,6 +39,7 @@ func Sub(dst, a, b *Matrix) {
 // and 10.
 func Mul(dst, a, b *Matrix) {
 	checkSameShape3("Mul", dst, a, b)
+	guardWRR(dst, a, b)
 	for i, v := range a.Data {
 		dst.Data[i] = v * b.Data[i]
 	}
@@ -44,6 +48,7 @@ func Mul(dst, a, b *Matrix) {
 // MulAcc computes dst += a ⊙ b.
 func MulAcc(dst, a, b *Matrix) {
 	checkSameShape3("MulAcc", dst, a, b)
+	guardWRR(dst, a, b)
 	for i, v := range a.Data {
 		dst.Data[i] += v * b.Data[i]
 	}
@@ -52,6 +57,7 @@ func MulAcc(dst, a, b *Matrix) {
 // AddAcc computes dst += a.
 func AddAcc(dst, a *Matrix) {
 	checkSameShape2("AddAcc", dst, a)
+	guardWR(dst, a)
 	for i, v := range a.Data {
 		dst.Data[i] += v
 	}
@@ -60,6 +66,7 @@ func AddAcc(dst, a *Matrix) {
 // Scale computes dst = alpha * a.
 func Scale(dst *Matrix, alpha float64, a *Matrix) {
 	checkSameShape2("Scale", dst, a)
+	guardWR(dst, a)
 	for i, v := range a.Data {
 		dst.Data[i] = alpha * v
 	}
@@ -67,6 +74,7 @@ func Scale(dst *Matrix, alpha float64, a *Matrix) {
 
 // ScaleInPlace multiplies every element of m by alpha.
 func ScaleInPlace(m *Matrix, alpha float64) {
+	guardW(m)
 	for i := range m.Data {
 		m.Data[i] *= alpha
 	}
@@ -75,6 +83,7 @@ func ScaleInPlace(m *Matrix, alpha float64) {
 // AxpyMatrix computes dst += alpha * a, the SGD update kernel.
 func AxpyMatrix(dst *Matrix, alpha float64, a *Matrix) {
 	checkSameShape2("AxpyMatrix", dst, a)
+	guardWR(dst, a)
 	axpy(alpha, a.Data, dst.Data)
 }
 
@@ -82,6 +91,7 @@ func AxpyMatrix(dst *Matrix, alpha float64, a *Matrix) {
 // Equation 11.
 func Average(dst, a, b *Matrix) {
 	checkSameShape3("Average", dst, a, b)
+	guardWRR(dst, a, b)
 	for i, v := range a.Data {
 		dst.Data[i] = 0.5 * (v + b.Data[i])
 	}
@@ -111,6 +121,7 @@ func (m *Matrix) SumAbs() float64 {
 
 // ArgmaxRows returns, for each row, the column index of the maximum value.
 func ArgmaxRows(m *Matrix) []int {
+	guardR(m)
 	out := make([]int, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -130,6 +141,7 @@ func ClipInPlace(m *Matrix, limit float64) {
 	if limit <= 0 {
 		panic("tensor: ClipInPlace requires positive limit")
 	}
+	guardW(m)
 	for i, v := range m.Data {
 		if v > limit {
 			m.Data[i] = limit

@@ -10,6 +10,7 @@
 //	bpar-bench -exp granularity       # the task-granularity study
 //	bpar-bench -exp memory            # the memory-consumption study
 //	bpar-bench -exp ablation          # barrier-removal ablation
+//	bpar-bench -exp projection        # fused vs split gate-task ablation
 //	bpar-bench -exp all -seq 40       # reduced sequence length (faster)
 package main
 
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, policy, efficiency, sched, determinism")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, policy, efficiency, sched, determinism")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
 	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -75,7 +76,7 @@ func main() {
 	o := experiments.Opts{SeqLen: *seq}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "policy", "efficiency", "platforms", "crossover", "sched"}
+		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "projection", "policy", "efficiency", "platforms", "crossover", "sched"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -196,6 +197,12 @@ func run(name string, o experiments.Opts) error {
 			return err
 		}
 		experiments.PrintScheduler(w, r)
+	case "projection":
+		r, err := experiments.RunProjection(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintProjection(w, r)
 	case "determinism":
 		r, err := experiments.RunDeterminism(o)
 		if err != nil {

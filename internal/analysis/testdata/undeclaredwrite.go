@@ -10,10 +10,15 @@ import (
 type fixWS struct {
 	merged  *tensor.Matrix
 	dMerged *tensor.Matrix
+	pre     *tensor.Matrix // gate-preload panel of the split decomposition
+	dGates  *tensor.Matrix // gate-gradient panel
+	stackP  *tensor.Matrix // deliberately no kStackP: dw transposition scratch
 	scratch *tensor.Matrix // deliberately no kScratch: not key-mapped
 
 	kMerged  *int
 	kDMerged *int
+	kPre     *int
+	kDGates  *int
 }
 
 // scaleInto is a helper whose mutation of dst must be discovered by
@@ -90,6 +95,44 @@ func emitAliased(rt *taskrt.Runtime, ws *fixWS, flip bool) {
 				dst = ws.dMerged
 			}
 			dst.Zero() // want "task \"alias-write\" writes ws"
+		},
+	})
+}
+
+// emitProjUndeclared mimics a projection task writing its gate-preload panel
+// through the column-window kernels without declaring the panel's key.
+func emitProjUndeclared(rt *taskrt.Runtime, ws *fixWS, x, w *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "bad-proj",
+		In:    []taskrt.Dep{ws.kMerged},
+		Fn: func() {
+			tensor.MatMulTCols(ws.pre, x, w, 0)  // want "task \"bad-proj\" writes ws.pre"
+			tensor.GemmTAccCols(ws.pre, x, w, 0) // want "task \"bad-proj\" writes ws.pre"
+		},
+	})
+}
+
+// emitProjDeclared is the same write with the key declared: silent.
+func emitProjDeclared(rt *taskrt.Runtime, ws *fixWS, x, w *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "good-proj",
+		Out:   []taskrt.Dep{ws.kPre},
+		Fn: func() {
+			tensor.MatMulTCols(ws.pre, x, w, 0) // declared: no diagnostic
+		},
+	})
+}
+
+// emitDWStacked mimics a batched dw task: the stacked dot-form kernels write
+// a key-mapped gradient panel (must be declared) and unmapped transposition
+// scratch (silent by design).
+func emitDWStacked(rt *taskrt.Runtime, ws *fixWS, panels []*tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "bad-dw",
+		In:    []taskrt.Dep{ws.kPre},
+		Fn: func() {
+			tensor.TransposeStackInto(ws.stackP, panels)               // unmapped scratch: no diagnostic
+			tensor.GemmTAccDstCols(ws.dGates, 0, ws.stackP, ws.stackP) // want "task \"bad-dw\" writes ws.dGates"
 		},
 	})
 }

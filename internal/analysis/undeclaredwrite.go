@@ -62,6 +62,14 @@ func seedSummaries() map[string]*mutSummary {
 		"MatMul", "MatMulT", "MatMulNaive", "GemmAcc", "GemmTAcc", "GemmATAcc",
 		"SigmoidInPlace", "TanhInPlace", "SoftmaxRows",
 		"SoftmaxCrossEntropyBackward", "ConcatCols",
+		// Column-window and stacked kernels of the split-gate decomposition.
+		// The batch variants take a []*Matrix destination; their param-0 seed
+		// resolves only when the slice itself roots at a key-mapped field
+		// (append-built locals stay conservatively silent).
+		"MatMulCols", "MatMulTCols", "GemmAccCols", "GemmTAccCols",
+		"GemmATAccCols", "GemmTAccDstCols", "TransposeStackInto",
+		"GemmTAccColsBatch", "GemmAccColsBatch", "GemmATAccColsBatch",
+		"CopyColsInto",
 	}
 	for _, name := range dst0 {
 		seeds[tp+"."+name] = &mutSummary{muts: map[mutKey]bool{{param: 0}: true}}

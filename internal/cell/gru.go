@@ -24,6 +24,28 @@ type GRUWeights struct {
 	InputSize, HiddenSize int
 	W                     *tensor.Matrix
 	B                     []float64
+
+	// Lazily built row views of W: the z/r block (first 2H rows) and the
+	// candidate block (last H rows). Cached so hot cell calls stay alloc-free.
+	zrView, hView *tensor.Matrix
+}
+
+// viewZR returns the [2H x (In+H)] z/r-gate row view of W.
+func (w *GRUWeights) viewZR() *tensor.Matrix {
+	if w.zrView == nil {
+		h := w.HiddenSize
+		w.zrView = &tensor.Matrix{Rows: 2 * h, Cols: w.InputSize + h, Data: w.W.Data[:2*h*(w.InputSize+h)]}
+	}
+	return w.zrView
+}
+
+// viewH returns the [H x (In+H)] candidate-gate row view of W.
+func (w *GRUWeights) viewH() *tensor.Matrix {
+	if w.hView == nil {
+		h := w.HiddenSize
+		w.hView = &tensor.Matrix{Rows: h, Cols: w.InputSize + h, Data: w.W.Data[2*h*(w.InputSize+h):]}
+	}
+	return w.hView
 }
 
 // NewGRUWeights allocates zeroed weights.
@@ -64,6 +86,9 @@ type GRUState struct {
 	HBar *tensor.Matrix
 	// H is the output H_t of Equation 10, [batch x H].
 	H *tensor.Matrix
+	// RH caches R_t ⊙ H_{t-1} on the split path, where Z2 is never
+	// materialized; the backward candidate GEMM runs against it directly.
+	RH *tensor.Matrix
 }
 
 // NewGRUState allocates the per-cell activation buffers for a batch.
@@ -74,6 +99,7 @@ func NewGRUState(batch, inputSize, hiddenSize int) *GRUState {
 		ZR:   tensor.New(batch, 2*hiddenSize),
 		HBar: tensor.New(batch, hiddenSize),
 		H:    tensor.New(batch, hiddenSize),
+		RH:   tensor.New(batch, hiddenSize),
 	}
 }
 
@@ -93,7 +119,7 @@ func GRUForward(w *GRUWeights, x, hPrev *tensor.Matrix, st *GRUState) {
 	tensor.ConcatCols(st.Z1, x, hPrev)
 
 	// z and r gates: first 2H rows of W against Z1.
-	wZR := &tensor.Matrix{Rows: 2 * H, Cols: In + H, Data: w.W.Data[:2*H*(In+H)]}
+	wZR := w.viewZR()
 	tensor.MatMulT(st.ZR, st.Z1, wZR)
 	tensor.AddBiasRows(st.ZR, w.B[:2*H])
 	tensor.SigmoidInPlace(st.ZR)
@@ -108,7 +134,7 @@ func GRUForward(w *GRUWeights, x, hPrev *tensor.Matrix, st *GRUState) {
 			z2[In+j] = r[j] * hp[j]
 		}
 	}
-	wH := &tensor.Matrix{Rows: H, Cols: In + H, Data: w.W.Data[2*H*(In+H):]}
+	wH := w.viewH()
 	tensor.MatMulT(st.HBar, st.Z2, wH)
 	tensor.AddBiasRows(st.HBar, w.B[2*H:])
 	tensor.TanhInPlace(st.HBar)
@@ -128,6 +154,51 @@ func GRUForward(w *GRUWeights, x, hPrev *tensor.Matrix, st *GRUState) {
 type GRUGrads struct {
 	DW *tensor.Matrix
 	DB []float64
+
+	// Reusable backward scratch, lazily sized to the batch so a steady-state
+	// training step performs no heap allocations. Safe because gradient
+	// accumulation is serialized per (layer, direction) by the inout edge.
+	dZR, dPreH, dRH, dZ1 *tensor.Matrix // fused path
+	dRHh                 *tensor.Matrix // split path: grad of r⊙hPrev
+
+	// Lazily built row views of DW, mirroring GRUWeights.viewZR/viewH.
+	dzrView, dhView *tensor.Matrix
+}
+
+// viewDZR returns the [2H x (In+H)] z/r-gate row view of DW.
+func (g *GRUGrads) viewDZR() *tensor.Matrix {
+	if g.dzrView == nil {
+		h := g.DW.Rows / gruGates
+		g.dzrView = &tensor.Matrix{Rows: 2 * h, Cols: g.DW.Cols, Data: g.DW.Data[:2*h*g.DW.Cols]}
+	}
+	return g.dzrView
+}
+
+// viewDH returns the [H x (In+H)] candidate-gate row view of DW.
+func (g *GRUGrads) viewDH() *tensor.Matrix {
+	if g.dhView == nil {
+		h := g.DW.Rows / gruGates
+		g.dhView = &tensor.Matrix{Rows: h, Cols: g.DW.Cols, Data: g.DW.Data[2*h*g.DW.Cols:]}
+	}
+	return g.dhView
+}
+
+// ensureScratch (re)allocates the fused-path scratch when the batch changes.
+func (g *GRUGrads) ensureScratch(batch int) {
+	if g.dZR == nil || g.dZR.Rows != batch {
+		h := g.DW.Rows / gruGates
+		g.dZR = tensor.New(batch, 2*h)
+		g.dPreH = tensor.New(batch, h)
+		g.dRH = tensor.New(batch, g.DW.Cols)
+		g.dZ1 = tensor.New(batch, g.DW.Cols)
+	}
+}
+
+// ensureSplitScratch (re)allocates the split-path scratch.
+func (g *GRUGrads) ensureSplitScratch(batch int) {
+	if g.dRHh == nil || g.dRHh.Rows != batch {
+		g.dRHh = tensor.New(batch, g.DW.Rows/gruGates)
+	}
 }
 
 // NewGRUGrads allocates zeroed gradients matching w.
@@ -152,10 +223,11 @@ func GRUBackward(w *GRUWeights, st *GRUState, hPrev, dH, dX, dHPrev *tensor.Matr
 	In := w.InputSize
 	batch := dH.Rows
 
-	dZR := tensor.New(batch, 2*H)  // pre-activation gate grads (z, r)
-	dPreH := tensor.New(batch, H)  // pre-activation candidate grad
-	dRH := tensor.New(batch, In+H) // grad of [x, r⊙hPrev]
-	dZ1 := tensor.New(batch, In+H) // grad of [x, hPrev] via z,r gates
+	grads.ensureScratch(batch)
+	dZR := grads.dZR     // pre-activation gate grads (z, r)
+	dPreH := grads.dPreH // pre-activation candidate grad
+	dRH := grads.dRH     // grad of [x, r⊙hPrev]
+	dZ1 := grads.dZ1     // grad of [x, hPrev] via z,r gates
 	dHPrev.Zero()
 
 	// Candidate path first: dhbar = dh ⊙ z ; dPreH = dhbar ⊙ (1 - hbar²).
@@ -168,8 +240,8 @@ func GRUBackward(w *GRUWeights, st *GRUState, hPrev, dH, dX, dHPrev *tensor.Matr
 			dph[j] = dh[j] * z[j] * tensor.DTanhFromY(hb[j])
 		}
 	}
-	wH := &tensor.Matrix{Rows: H, Cols: In + H, Data: w.W.Data[2*H*(In+H):]}
-	dWH := &tensor.Matrix{Rows: H, Cols: In + H, Data: grads.DW.Data[2*H*(In+H):]}
+	wH := w.viewH()
+	dWH := grads.viewDH()
 	tensor.GemmATAcc(dWH, dPreH, st.Z2)
 	for rI := 0; rI < batch; rI++ {
 		row := dPreH.Row(rI)
@@ -199,8 +271,8 @@ func GRUBackward(w *GRUWeights, st *GRUState, hPrev, dH, dX, dHPrev *tensor.Matr
 		}
 	}
 
-	wZR := &tensor.Matrix{Rows: 2 * H, Cols: In + H, Data: w.W.Data[:2*H*(In+H)]}
-	dWZR := &tensor.Matrix{Rows: 2 * H, Cols: In + H, Data: grads.DW.Data[:2*H*(In+H)]}
+	wZR := w.viewZR()
+	dWZR := grads.viewDZR()
 	tensor.GemmATAcc(dWZR, dZR, st.Z1)
 	for rI := 0; rI < batch; rI++ {
 		row := dZR.Row(rI)

@@ -103,13 +103,19 @@ func (s *LSTMState) WorkingSetBytes() int64 {
 // x is [batch x In]; hPrev and cPrev are [batch x H] (zeros at t=0).
 // Results and caches land in st.
 func LSTMForward(w *LSTMWeights, x, hPrev, cPrev *tensor.Matrix, st *LSTMState) {
-	H := w.HiddenSize
 	tensor.ConcatCols(st.Z, x, hPrev)
 	// Fused gate GEMM: Gates = Z * W^T + B.
 	tensor.MatMulT(st.Gates, st.Z, w.W)
 	tensor.AddBiasRows(st.Gates, w.B)
+	lstmPointwise(w, cPrev, st)
+}
 
-	batch := x.Rows
+// lstmPointwise applies the gate activations and the c/h update (Equations
+// 5-6) to the pre-activation gate buffer. Shared by the fused and split
+// forward paths.
+func lstmPointwise(w *LSTMWeights, cPrev *tensor.Matrix, st *LSTMState) {
+	H := w.HiddenSize
+	batch := st.Gates.Rows
 	for r := 0; r < batch; r++ {
 		row := st.Gates.Row(r)
 		tensor.SigmoidSlice(row[lstmGateF*H : (lstmGateF+1)*H])
@@ -139,6 +145,19 @@ func LSTMForward(w *LSTMWeights, x, hPrev, cPrev *tensor.Matrix, st *LSTMState) 
 type LSTMGrads struct {
 	DW *tensor.Matrix
 	DB []float64
+
+	// Reusable backward scratch, lazily sized to the batch so a steady-state
+	// training step performs no heap allocations. Safe because gradient
+	// accumulation is serialized per (layer, direction) by the inout edge.
+	dGates, dZ *tensor.Matrix
+}
+
+// ensureScratch (re)allocates the backward scratch when the batch changes.
+func (g *LSTMGrads) ensureScratch(batch int) {
+	if g.dGates == nil || g.dGates.Rows != batch {
+		g.dGates = tensor.New(batch, g.DW.Rows)
+		g.dZ = tensor.New(batch, g.DW.Cols)
+	}
 }
 
 // NewLSTMGrads allocates zeroed gradients matching w.
@@ -165,10 +184,32 @@ func (g *LSTMGrads) Zero() {
 // (gradients to the t-1 cell), written into the provided matrices; weight
 // gradients accumulate into grads.
 func LSTMBackward(w *LSTMWeights, st *LSTMState, cPrev, dH, dC, dX, dHPrev, dCPrev *tensor.Matrix, grads *LSTMGrads) {
+	batch := dH.Rows
+	grads.ensureScratch(batch)
+	dGates := grads.dGates
+	lstmGateGrads(w, st, cPrev, dH, dC, dGates, dCPrev)
+
+	// dW += dGates^T * Z ; dB += column sums of dGates.
+	tensor.GemmATAcc(grads.DW, dGates, st.Z)
+	for r := 0; r < batch; r++ {
+		row := dGates.Row(r)
+		for j, v := range row {
+			grads.DB[j] += v
+		}
+	}
+
+	// dZ = dGates * W, then split into dX and dHPrev.
+	dZ := grads.dZ
+	tensor.MatMul(dZ, dGates, w.W)
+	tensor.SplitCols(dZ, dX, dHPrev)
+}
+
+// lstmGateGrads computes the pre-activation gate gradients and dCPrev from
+// the forward cache — the elementwise half of the backward cell, shared by
+// the fused and split paths.
+func lstmGateGrads(w *LSTMWeights, st *LSTMState, cPrev, dH, dC, dGates, dCPrev *tensor.Matrix) {
 	H := w.HiddenSize
 	batch := dH.Rows
-	dGates := tensor.New(batch, lstmGates*H)
-
 	for r := 0; r < batch; r++ {
 		row := st.Gates.Row(r)
 		f := row[lstmGateF*H : (lstmGateF+1)*H]
@@ -197,20 +238,6 @@ func LSTMBackward(w *LSTMWeights, st *LSTMState, cPrev, dH, dC, dX, dHPrev, dCPr
 			dcp[j] = dc * f[j]
 		}
 	}
-
-	// dW += dGates^T * Z ; dB += column sums of dGates.
-	tensor.GemmATAcc(grads.DW, dGates, st.Z)
-	for r := 0; r < batch; r++ {
-		row := dGates.Row(r)
-		for j, v := range row {
-			grads.DB[j] += v
-		}
-	}
-
-	// dZ = dGates * W, then split into dX and dHPrev.
-	dZ := tensor.New(batch, w.InputSize+H)
-	tensor.MatMul(dZ, dGates, w.W)
-	tensor.SplitCols(dZ, dX, dHPrev)
 }
 
 // LSTMForwardFlops estimates the floating-point operations of one forward

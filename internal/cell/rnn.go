@@ -75,6 +75,19 @@ func RNNForward(w *RNNWeights, x, hPrev *tensor.Matrix, st *RNNState) {
 type RNNGrads struct {
 	DW *tensor.Matrix
 	DB []float64
+
+	// Reusable backward scratch, lazily sized to the batch so a steady-state
+	// training step performs no heap allocations. Safe because gradient
+	// accumulation is serialized per (layer, direction) by the inout edge.
+	dPre, dZ *tensor.Matrix
+}
+
+// ensureScratch (re)allocates the backward scratch when the batch changes.
+func (g *RNNGrads) ensureScratch(batch int) {
+	if g.dPre == nil || g.dPre.Rows != batch {
+		g.dPre = tensor.New(batch, g.DW.Rows)
+		g.dZ = tensor.New(batch, g.DW.Cols)
+	}
 }
 
 // NewRNNGrads allocates zeroed gradients matching w.
@@ -95,16 +108,9 @@ func (g *RNNGrads) Zero() {
 // accumulate into grads.
 func RNNBackward(w *RNNWeights, st *RNNState, dH, dX, dHPrev *tensor.Matrix, grads *RNNGrads) {
 	batch := dH.Rows
-	H := w.HiddenSize
-	dPre := tensor.New(batch, H)
-	for r := 0; r < batch; r++ {
-		h := st.H.Row(r)
-		dh := dH.Row(r)
-		dp := dPre.Row(r)
-		for j := 0; j < H; j++ {
-			dp[j] = dh[j] * tensor.DTanhFromY(h[j])
-		}
-	}
+	grads.ensureScratch(batch)
+	dPre := grads.dPre
+	rnnPreGrads(st, dH, dPre)
 	tensor.GemmATAcc(grads.DW, dPre, st.Z)
 	for r := 0; r < batch; r++ {
 		row := dPre.Row(r)
@@ -112,7 +118,7 @@ func RNNBackward(w *RNNWeights, st *RNNState, dH, dX, dHPrev *tensor.Matrix, gra
 			grads.DB[j] += v
 		}
 	}
-	dZ := tensor.New(batch, w.InputSize+H)
+	dZ := grads.dZ
 	tensor.MatMul(dZ, dPre, w.W)
 	tensor.SplitCols(dZ, dX, dHPrev)
 }

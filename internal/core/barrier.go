@@ -119,13 +119,13 @@ func (e *Engine) emitBarrierGraph(wss []*workspace, mbs []*Batch) error {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitFwdCellBackward(ws, l, i)
+			e.emitFwdCellBackward(ws, mbs[i], l, i)
 		}
 		if err := e.barrier(); err != nil {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitRevCellBackward(ws, l, i)
+			e.emitRevCellBackward(ws, mbs[i], l, i)
 		}
 		if err := e.barrier(); err != nil {
 			return err

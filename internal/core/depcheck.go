@@ -66,6 +66,12 @@ func (w *workspace) registerDeps(dc *taskrt.DepChecker, mbIdx int) {
 			reg(w.kDCChainFwd[l][t], fmt.Sprintf("dCChainFwd L%d t%d", l, t), w.dCChainFwd[l][t])
 			reg(w.kDHChainRev[l][t], fmt.Sprintf("dHChainRev L%d t%d", l, t), w.dHChainRev[l][t])
 			reg(w.kDCChainRev[l][t], fmt.Sprintf("dCChainRev L%d t%d", l, t), w.dCChainRev[l][t])
+			if w.split {
+				reg(w.kPreFwd[l][t], fmt.Sprintf("preFwd L%d t%d", l, t), w.preFwd[l][t])
+				reg(w.kPreRev[l][t], fmt.Sprintf("preRev L%d t%d", l, t), w.preRev[l][t])
+				reg(w.kDGatesFwd[l][t], fmt.Sprintf("dGatesFwd L%d t%d", l, t), w.dGatesFwd[l][t])
+				reg(w.kDGatesRev[l][t], fmt.Sprintf("dGatesRev L%d t%d", l, t), w.dGatesRev[l][t])
+			}
 		}
 		dwF, _ := w.gradsFwd[l].wData()
 		dwR, _ := w.gradsRev[l].wData()
@@ -87,7 +93,7 @@ func (s *cellSt) mats() []*tensor.Matrix {
 	case s.lstm != nil:
 		return []*tensor.Matrix{s.lstm.Z, s.lstm.Gates, s.lstm.C, s.lstm.TanhC, s.lstm.H}
 	case s.gru != nil:
-		return []*tensor.Matrix{s.gru.Z1, s.gru.Z2, s.gru.ZR, s.gru.HBar, s.gru.H}
+		return []*tensor.Matrix{s.gru.Z1, s.gru.Z2, s.gru.ZR, s.gru.RH, s.gru.HBar, s.gru.H}
 	default:
 		return []*tensor.Matrix{s.rnn.Z, s.rnn.H}
 	}

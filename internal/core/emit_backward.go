@@ -29,7 +29,7 @@ func (e *Engine) emitBackward(ws *workspace, mb *Batch, mbIdx int) {
 			// Last layer of a many-to-one model: single final merge.
 			e.emitFinalMergeBackward(ws, mbIdx)
 		}
-		e.emitCellBackward(ws, l, mbIdx)
+		e.emitCellBackward(ws, mb, l, mbIdx)
 	}
 }
 
@@ -97,7 +97,10 @@ func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
 // headBackward computes, for head slot h: dLogits = probs - onehot(targets),
 // accumulates head weight gradients, and writes dInput = dLogits * HeadW.
 func (e *Engine) headBackward(ws *workspace, h int, input *tensor.Matrix, targets []int, dInput *tensor.Matrix) {
-	dLogits := ws.probs[h].Clone()
+	// ws.dLogits is shared across head slots; safe because every head-bwd
+	// task is serialized by the inout dependency on kHeadGrads.
+	dLogits := ws.dLogits
+	dLogits.CopyFrom(ws.probs[h])
 	for i, tgt := range targets {
 		if tgt == tensor.IgnoreLabel {
 			// Padding rows of variable-length sequences carry no gradient.
@@ -183,21 +186,142 @@ func (e *Engine) emitMergeBackward(ws *workspace, l, mbIdx int) {
 //
 //   - sums its merge gradient and chain gradient into the total dH,
 //   - runs the cell's BPTT kernel,
-//   - accumulates its dX into the merge-gradient buffer of the layer below
-//     (inout — two directions may target the same buffer), and
-//   - accumulates weight gradients (inout on the layer's grads).
-func (e *Engine) emitCellBackward(ws *workspace, l, mbIdx int) {
-	e.emitFwdCellBackward(ws, l, mbIdx)
-	e.emitRevCellBackward(ws, l, mbIdx)
+//   - in fused mode, accumulates its dX into the merge-gradient buffer of
+//     the layer below (inout — two directions may target the same buffer)
+//     and the weight gradients (inout on the layer's grads); in split mode
+//     both are hoisted off the chain into the batched dx tile tasks and the
+//     per-direction dw task, leaving only gate gradients and dHPrev here.
+func (e *Engine) emitCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
+	e.emitFwdCellBackward(ws, mb, l, mbIdx)
+	e.emitRevCellBackward(ws, mb, l, mbIdx)
+}
+
+// emitDW emits the single batched weight-gradient task of layer l's given
+// direction: DW += stack(dGates)^T · [stack(X) ‖ stack(HPrev)] and DB += Σ_t
+// dGates_t, hoisted out of the recurrence so the per-timestep backward tasks
+// compute only gate gradients and dHPrev. Transposing the sequences into
+// contiguous stacks turns both weight halves into dot-form GEMMs that
+// accumulate in registers over K = T·rows instead of read-modify-writing the
+// gradient panel once per timestep. Serializing on the inout gradient key
+// pins the task after every chain task and fixes the summation order (t
+// ascending), keeping parallel training bitwise identical to sequential.
+func (e *Engine) emitDW(ws *workspace, mb *Batch, mbIdx, l int, rev bool) {
+	T := ws.T
+	p, kDG, kGrads, kSt, dir := e.M.fwd[l], ws.kDGatesFwd, ws.kGradsFwd, ws.kFwdSt, "fwd"
+	if rev {
+		p, kDG, kGrads, kSt, dir = e.M.rev[l], ws.kDGatesRev, ws.kGradsRev, ws.kRevSt, "rev"
+	}
+	in, gw := p.dims()
+	hs := p.hiddenSize()
+	deps := make([]taskrt.Dep, 0, 3*T)
+	for t := 0; t < T; t++ {
+		deps = append(deps, kDG[l][t], e.inputKey(ws, l, t), kSt[l][t])
+	}
+	task := &taskrt.Task{
+		Label:      fmt.Sprintf("dw-%s L%d mb%d", dir, l, mbIdx),
+		Kind:       "dw",
+		In:         deps,
+		InOut:      []taskrt.Dep{kGrads[l]},
+		Flops:      p.dwFlops(T, ws.rows),
+		WorkingSet: int64(8 * (gw*(in+hs) + T*ws.rows*(in+hs+gw))),
+	}
+	if !ws.phantom {
+		panels, grads := ws.dGatesFwd[l], ws.gradsFwd[l]
+		sts := ws.fwdSt[l]
+		stackP, stackB := ws.stackPFwd[l], ws.stackBFwd[l]
+		if rev {
+			panels, grads = ws.dGatesRev[l], ws.gradsRev[l]
+			sts = ws.revSt[l]
+			stackP, stackB = ws.stackPRev[l], ws.stackBRev[l]
+		}
+		xs := make([]*tensor.Matrix, T)
+		hPrevs := make([]*tensor.Matrix, T)
+		var rhs []*tensor.Matrix
+		if e.M.Cfg.Cell == GRU {
+			rhs = make([]*tensor.Matrix, T)
+		}
+		for t := 0; t < T; t++ {
+			xs[t] = e.inputMat(ws, mb, l, t)
+			// The cell at t consumed the neighbor state in processing order;
+			// the boundary cell consumed the zero state.
+			hPrevs[t] = ws.zeroH
+			if rev && t < T-1 {
+				hPrevs[t] = sts[t+1].H()
+			} else if !rev && t > 0 {
+				hPrevs[t] = sts[t-1].H()
+			}
+			if rhs != nil {
+				rhs[t] = sts[t].gru.RH
+			}
+		}
+		task.Fn = func() {
+			p.dwBatch(grads, panels, xs, hPrevs, rhs, stackP, stackB)
+		}
+	}
+	e.Exec.Submit(task)
+}
+
+// emitDX emits the batched input-gradient tasks of layer l's given
+// direction: per timestep tile, dMerged[l-1][t] += dGates_t * Wx. Like the
+// forward projection, dX has no recurrence dependency — it only feeds the
+// layer below — so it streams the Wx panel once per tile instead of once per
+// chain step. Layer 0 has no consumer for its input gradient, so the split
+// path skips it entirely there (the fused kernel cannot: its dZ product
+// computes the dX and dHPrev halves in one GEMM). The inout dependencies on
+// the merge-gradient buffers serialize the two directions' accumulations in
+// submission order, keeping parallel training bitwise deterministic.
+func (e *Engine) emitDX(ws *workspace, mbIdx, l int, rev bool) {
+	T := ws.T
+	p, kDG, dir := e.M.fwd[l], ws.kDGatesFwd, "fwd"
+	if rev {
+		p, kDG, dir = e.M.rev[l], ws.kDGatesRev, "rev"
+	}
+	in, gw := p.dims()
+	step := p.dxFlops(ws.rows)
+	for t0 := 0; t0 < T; t0 += projTileT {
+		t1 := min(t0+projTileT, T)
+		deps := make([]taskrt.Dep, 0, t1-t0)
+		inout := make([]taskrt.Dep, 0, t1-t0)
+		for t := t0; t < t1; t++ {
+			deps = append(deps, kDG[l][t])
+			inout = append(inout, ws.kDMerged[l-1][t])
+		}
+		task := &taskrt.Task{
+			Label:      fmt.Sprintf("dx-%s L%d t%d:%d mb%d", dir, l, t0, t1, mbIdx),
+			Kind:       "dx",
+			In:         deps,
+			InOut:      inout,
+			Flops:      step * float64(t1-t0),
+			WorkingSet: int64(8 * (gw*in + (t1-t0)*ws.rows*(in+gw))),
+		}
+		if !ws.phantom {
+			panels := ws.dGatesFwd[l]
+			if rev {
+				panels = ws.dGatesRev[l]
+			}
+			dsts := make([]*tensor.Matrix, 0, t1-t0)
+			as := make([]*tensor.Matrix, 0, t1-t0)
+			for t := t0; t < t1; t++ {
+				dsts = append(dsts, ws.dMerged[l-1][t])
+				as = append(as, panels[t])
+			}
+			task.Fn = func() { p.dxBatch(dsts, as) }
+		}
+		e.Exec.Submit(task)
+	}
 }
 
 // emitFwdCellBackward emits the forward direction's backward chain of layer
-// l: t = T-1 down to 0.
-func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
+// l: t = T-1 down to 0, followed in split mode by the batched dw task and
+// the dx tile tasks.
+func (e *Engine) emitFwdCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
 	cfg := e.M.Cfg
 	T := ws.T
 	lF := e.M.fwd[l]
 	bFlops := lF.bwdFlops(ws.rows)
+	if ws.split {
+		bFlops = lF.chainBwdFlops(ws.rows)
+	}
 	cellWS := lF.taskWorkingSet(ws.rows)
 	kind := e.kindBwdCell()
 	isLSTM := cfg.Cell == LSTM
@@ -212,10 +336,14 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 			in = append(in, ws.kFwdSt[l][t-1])
 		}
 		inout := []taskrt.Dep{ws.kGradsFwd[l]}
-		if l > 0 {
+		if l > 0 && !ws.split {
+			// Split mode hoists the dX accumulation into the dx tile tasks.
 			inout = append(inout, ws.kDMerged[l-1][t])
 		}
 		var out []taskrt.Dep
+		if ws.split {
+			out = append(out, ws.kDGatesFwd[l][t])
+		}
 		if t > 0 {
 			out = append(out, ws.kDHChainFwd[l][t-1])
 			if isLSTM {
@@ -242,28 +370,43 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 					dHPrev = ws.dHChainFwd[l][t-1]
 					dCPrev = ws.dCChainFwd[l][t-1]
 				}
-				lF.backward(ws.fwdSt[l][t], hPrev, cPrev,
-					ws.dHSumFwd[l], ws.dCChainFwd[l][t],
-					ws.dXScratchFwd[l], dHPrev, dCPrev, ws.gradsFwd[l])
-				if l > 0 {
-					tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchFwd[l])
+				if ws.split {
+					lF.backwardPre(ws.fwdSt[l][t], hPrev, cPrev,
+						ws.dHSumFwd[l], ws.dCChainFwd[l][t], ws.dGatesFwd[l][t],
+						nil, dHPrev, dCPrev, ws.gradsFwd[l])
+				} else {
+					lF.backward(ws.fwdSt[l][t], hPrev, cPrev,
+						ws.dHSumFwd[l], ws.dCChainFwd[l][t],
+						ws.dXScratchFwd[l], dHPrev, dCPrev, ws.gradsFwd[l])
+					if l > 0 {
+						tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchFwd[l])
+					}
 				}
 			}
 		}
 		batch = append(batch, task)
 	}
 	taskrt.SubmitBatch(e.Exec, batch)
+	if ws.split {
+		e.emitDW(ws, mb, mbIdx, l, false)
+		if l > 0 {
+			e.emitDX(ws, mbIdx, l, false)
+		}
+	}
 }
 
 // emitRevCellBackward emits the reverse direction's backward chain of layer
 // l: t = 0 up to T-1. The reverse RNN processed t = T-1 first, so its BPTT
 // starts at t = 0; the cell's "previous" state in processing order lives at
 // t+1.
-func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
+func (e *Engine) emitRevCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
 	cfg := e.M.Cfg
 	T := ws.T
 	lR := e.M.rev[l]
 	bFlops := lR.bwdFlops(ws.rows)
+	if ws.split {
+		bFlops = lR.chainBwdFlops(ws.rows)
+	}
 	cellWS := lR.taskWorkingSet(ws.rows)
 	kind := e.kindBwdCell()
 	isLSTM := cfg.Cell == LSTM
@@ -278,10 +421,14 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 			in = append(in, ws.kRevSt[l][t+1])
 		}
 		inout := []taskrt.Dep{ws.kGradsRev[l]}
-		if l > 0 {
+		if l > 0 && !ws.split {
+			// Split mode hoists the dX accumulation into the dx tile tasks.
 			inout = append(inout, ws.kDMerged[l-1][t])
 		}
 		var out []taskrt.Dep
+		if ws.split {
+			out = append(out, ws.kDGatesRev[l][t])
+		}
 		if t < T-1 {
 			out = append(out, ws.kDHChainRev[l][t+1])
 			if isLSTM {
@@ -308,17 +455,29 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 					dHPrev = ws.dHChainRev[l][t+1]
 					dCPrev = ws.dCChainRev[l][t+1]
 				}
-				lR.backward(ws.revSt[l][t], hPrev, cPrev,
-					ws.dHSumRev[l], ws.dCChainRev[l][t],
-					ws.dXScratchRev[l], dHPrev, dCPrev, ws.gradsRev[l])
-				if l > 0 {
-					tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchRev[l])
+				if ws.split {
+					lR.backwardPre(ws.revSt[l][t], hPrev, cPrev,
+						ws.dHSumRev[l], ws.dCChainRev[l][t], ws.dGatesRev[l][t],
+						nil, dHPrev, dCPrev, ws.gradsRev[l])
+				} else {
+					lR.backward(ws.revSt[l][t], hPrev, cPrev,
+						ws.dHSumRev[l], ws.dCChainRev[l][t],
+						ws.dXScratchRev[l], dHPrev, dCPrev, ws.gradsRev[l])
+					if l > 0 {
+						tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchRev[l])
+					}
 				}
 			}
 		}
 		batch = append(batch, task)
 	}
 	taskrt.SubmitBatch(e.Exec, batch)
+	if ws.split {
+		e.emitDW(ws, mb, mbIdx, l, true)
+		if l > 0 {
+			e.emitDX(ws, mbIdx, l, true)
+		}
+	}
 }
 
 // emitReduce emits the mini-batch gradient reduction tasks: one task per

@@ -47,32 +47,118 @@ func (e *Engine) emitForwardLayer(ws *workspace, mb *Batch, mbIdx, l int) {
 	e.emitMergeCells(ws, mbIdx, l)
 }
 
+// projTileT is the timestep-tile width of one input-projection task. Tiling
+// amortizes the Wx panel's memory traffic across several timesteps while
+// keeping enough projection tasks in flight to overlap with the recurrence.
+const projTileT = 8
+
+// emitProjection emits layer l's blocked input-projection tasks for one
+// direction: Pre_t = X_t*Wx^T + B for every timestep of a tile. These tasks
+// depend only on the layer input — never on the recurrence — so they are the
+// off-critical-path half of the split-gate decomposition. Tiles of the
+// reverse direction are submitted high-t first, matching the order its chain
+// consumes them.
+func (e *Engine) emitProjection(ws *workspace, mb *Batch, mbIdx, l int, rev bool) {
+	T := ws.T
+	p, kPre, dir := e.M.fwd[l], ws.kPreFwd, "fwd"
+	if rev {
+		p, kPre, dir = e.M.rev[l], ws.kPreRev, "rev"
+	}
+	in, gw := p.dims()
+	stepFlops := p.projFlops(ws.rows)
+
+	tiles := make([][2]int, 0, (T+projTileT-1)/projTileT)
+	for t0 := 0; t0 < T; t0 += projTileT {
+		tiles = append(tiles, [2]int{t0, min(t0+projTileT, T)})
+	}
+	if rev {
+		for i, j := 0, len(tiles)-1; i < j; i, j = i+1, j-1 {
+			tiles[i], tiles[j] = tiles[j], tiles[i]
+		}
+	}
+
+	batch := make([]*taskrt.Task, 0, len(tiles))
+	for _, tile := range tiles {
+		t0, t1 := tile[0], tile[1]
+		deps := make([]taskrt.Dep, 0, t1-t0)
+		outs := make([]taskrt.Dep, 0, t1-t0)
+		for t := t0; t < t1; t++ {
+			deps = append(deps, e.inputKey(ws, l, t))
+			outs = append(outs, kPre[l][t])
+		}
+		task := &taskrt.Task{
+			Label:      fmt.Sprintf("proj-%s L%d t%d:%d mb%d", dir, l, t0, t1, mbIdx),
+			Kind:       "proj",
+			In:         deps,
+			Out:        outs,
+			Flops:      stepFlops * float64(t1-t0),
+			WorkingSet: int64(8 * (gw*(in+1) + (t1-t0)*ws.rows*(in+gw))),
+		}
+		if !ws.phantom {
+			pres := ws.preFwd
+			if rev {
+				pres = ws.preRev
+			}
+			xs := make([]*tensor.Matrix, 0, t1-t0)
+			ps := make([]*tensor.Matrix, 0, t1-t0)
+			for t := t0; t < t1; t++ {
+				xs = append(xs, e.inputMat(ws, mb, l, t))
+				ps = append(ps, pres[l][t])
+			}
+			task.Fn = func() { p.preGatesBatch(xs, ps) }
+		}
+		batch = append(batch, task)
+	}
+	taskrt.SubmitBatch(e.Exec, batch)
+}
+
 // emitRevCells emits layer l's reverse-order cells, processed T-1 → 0
-// (Algorithm 3).
+// (Algorithm 3). In split mode the chain task consumes the gate preload
+// instead of the raw input, so its only serial dependency is the previous
+// state.
 func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
-	{
-		lR := e.M.rev[l]
-		fwdFlops := lR.fwdFlops(ws.rows)
-		cellWS := lR.taskWorkingSet(ws.rows)
+	lR := e.M.rev[l]
+	fwdFlops := lR.fwdFlops(ws.rows)
+	cellWS := lR.taskWorkingSet(ws.rows)
+	if ws.split {
+		e.emitProjection(ws, mb, mbIdx, l, true)
+		fwdFlops = lR.chainFwdFlops(ws.rows)
+	}
 
-		batch := make([]*taskrt.Task, 0, T)
-		for u := 0; u < T; u++ {
-			t := T - 1 - u
-			in := []taskrt.Dep{e.inputKey(ws, l, t)}
-			if t < T-1 {
-				in = append(in, ws.kRevSt[l][t+1])
-			}
-			task := &taskrt.Task{
-				Label: fmt.Sprintf("rev L%d t%d mb%d", l, t, mbIdx),
-				Kind:  cellKind,
-				In:    in,
-				Out:   []taskrt.Dep{ws.kRevSt[l][t]},
-				Flops: fwdFlops, WorkingSet: cellWS,
-			}
-			if !ws.phantom {
-				l, t := l, t
+	batch := make([]*taskrt.Task, 0, T)
+	for u := 0; u < T; u++ {
+		t := T - 1 - u
+		var in []taskrt.Dep
+		if ws.split {
+			in = []taskrt.Dep{ws.kPreRev[l][t]}
+		} else {
+			in = []taskrt.Dep{e.inputKey(ws, l, t)}
+		}
+		if t < T-1 {
+			in = append(in, ws.kRevSt[l][t+1])
+		}
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("rev L%d t%d mb%d", l, t, mbIdx),
+			Kind:  cellKind,
+			In:    in,
+			Out:   []taskrt.Dep{ws.kRevSt[l][t]},
+			Flops: fwdFlops, WorkingSet: cellWS,
+		}
+		if !ws.phantom {
+			l, t := l, t
+			if ws.split {
+				pre := ws.preRev[l][t]
+				task.Fn = func() {
+					hPrev, cPrev := ws.zeroH, ws.zeroC
+					if t < T-1 {
+						hPrev = ws.revSt[l][t+1].H()
+						cPrev = ws.revSt[l][t+1].C()
+					}
+					lR.forwardPre(pre, hPrev, cPrev, ws.revSt[l][t])
+				}
+			} else {
 				x := e.inputMat(ws, mb, l, t)
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
@@ -83,37 +169,56 @@ func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
 					lR.forward(x, hPrev, cPrev, ws.revSt[l][t])
 				}
 			}
-			batch = append(batch, task)
 		}
-		taskrt.SubmitBatch(e.Exec, batch)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // emitFwdCells emits layer l's forward-order cells, processed 0 → T-1
-// (Algorithm 2).
+// (Algorithm 2). See emitRevCells for the split-mode dependency shape.
 func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
-	{
-		lF := e.M.fwd[l]
-		fwdFlops := lF.fwdFlops(ws.rows)
-		cellWS := lF.taskWorkingSet(ws.rows)
+	lF := e.M.fwd[l]
+	fwdFlops := lF.fwdFlops(ws.rows)
+	cellWS := lF.taskWorkingSet(ws.rows)
+	if ws.split {
+		e.emitProjection(ws, mb, mbIdx, l, false)
+		fwdFlops = lF.chainFwdFlops(ws.rows)
+	}
 
-		batch := make([]*taskrt.Task, 0, T)
-		for t := 0; t < T; t++ {
-			in := []taskrt.Dep{e.inputKey(ws, l, t)}
-			if t > 0 {
-				in = append(in, ws.kFwdSt[l][t-1])
-			}
-			task := &taskrt.Task{
-				Label: fmt.Sprintf("fwd L%d t%d mb%d", l, t, mbIdx),
-				Kind:  cellKind,
-				In:    in,
-				Out:   []taskrt.Dep{ws.kFwdSt[l][t]},
-				Flops: fwdFlops, WorkingSet: cellWS,
-			}
-			if !ws.phantom {
-				l, t := l, t
+	batch := make([]*taskrt.Task, 0, T)
+	for t := 0; t < T; t++ {
+		var in []taskrt.Dep
+		if ws.split {
+			in = []taskrt.Dep{ws.kPreFwd[l][t]}
+		} else {
+			in = []taskrt.Dep{e.inputKey(ws, l, t)}
+		}
+		if t > 0 {
+			in = append(in, ws.kFwdSt[l][t-1])
+		}
+		task := &taskrt.Task{
+			Label: fmt.Sprintf("fwd L%d t%d mb%d", l, t, mbIdx),
+			Kind:  cellKind,
+			In:    in,
+			Out:   []taskrt.Dep{ws.kFwdSt[l][t]},
+			Flops: fwdFlops, WorkingSet: cellWS,
+		}
+		if !ws.phantom {
+			l, t := l, t
+			if ws.split {
+				pre := ws.preFwd[l][t]
+				task.Fn = func() {
+					hPrev, cPrev := ws.zeroH, ws.zeroC
+					if t > 0 {
+						hPrev = ws.fwdSt[l][t-1].H()
+						cPrev = ws.fwdSt[l][t-1].C()
+					}
+					lF.forwardPre(pre, hPrev, cPrev, ws.fwdSt[l][t])
+				}
+			} else {
 				x := e.inputMat(ws, mb, l, t)
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
@@ -124,10 +229,10 @@ func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
 					lF.forward(x, hPrev, cPrev, ws.fwdSt[l][t])
 				}
 			}
-			batch = append(batch, task)
 		}
-		taskrt.SubmitBatch(e.Exec, batch)
+		batch = append(batch, task)
 	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // emitMergeCells emits layer l's merge cells. Merges are kept as separate

@@ -49,6 +49,18 @@ type Engine struct {
 	// before each update: w *= (1 - lr*WeightDecay).
 	WeightDecay float64
 
+	// FusedGates, when true, emits the legacy fused-gate cell tasks (one
+	// task computes Gates = [X_t, H_{t-1}]*W^T + B in full). The default
+	// (false) uses the split-gate decomposition: batched off-critical-path
+	// input-projection tasks compute Pre_t = X_t*Wx^T + B, the recurrence
+	// chain only adds H_{t-1}*Wh^T, and backward defers dWx to one batched
+	// task per layer and direction. Both modes are bitwise deterministic
+	// across worker counts and schedule policies, but they order the gate
+	// summation differently, so they agree only to rounding (~1e-9), not
+	// bitwise. Set before the first step; workspaces are built per mode.
+	// Phantom engines default to fused so recorded graph shapes stay stable.
+	FusedGates bool
+
 	// MaxCachedSeqLens bounds how many distinct sequence lengths keep live
 	// workspaces in the cache (LRU eviction). Zero means the default of 8;
 	// negative means unbounded. Variable-length serving workloads would
@@ -80,7 +92,7 @@ func NewEngine(m *Model, exec taskrt.Executor) *Engine {
 // task graphs (no numeric buffers, no task bodies); used with
 // taskrt.Recorder to capture graphs for the discrete-event simulator.
 func NewPhantomEngine(m *Model, exec taskrt.Executor) *Engine {
-	return &Engine{M: m, Exec: exec, phantom: true, wsByT: make(map[int][]*workspace)}
+	return &Engine{M: m, Exec: exec, phantom: true, FusedGates: true, wsByT: make(map[int][]*workspace)}
 }
 
 // workspaces returns (building if needed) the per-mini-batch workspaces for
@@ -108,7 +120,7 @@ func (e *Engine) workspaces(T int) []*workspace {
 		if i < rem {
 			rows++
 		}
-		ws[i] = newWorkspace(e.M, rows, T, e.phantom)
+		ws[i] = newWorkspace(e.M, rows, T, e.phantom, !e.FusedGates)
 	}
 	if dc := e.depChecker(); dc != nil {
 		for i, w := range ws {

@@ -115,6 +115,148 @@ func (p *dirParams) backward(st *cellSt, hPrev, cPrev, dH, dC, dX, dHPrev, dCPre
 	}
 }
 
+// dims returns the direction's input size and gate-panel width G*H — the
+// shape [batch x gw] of one preload/gradient panel.
+func (p *dirParams) dims() (in, gw int) {
+	switch p.kind {
+	case LSTM:
+		return p.lstm.InputSize, p.lstm.W.Rows
+	case GRU:
+		return p.gru.InputSize, p.gru.W.Rows
+	default:
+		return p.rnn.InputSize, p.rnn.W.Rows
+	}
+}
+
+// preGates computes the input projection pre = x*Wx^T + B for one timestep.
+func (p *dirParams) preGates(x, pre *tensor.Matrix) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMPreGates(p.lstm, x, pre)
+	case GRU:
+		cell.GRUPreGates(p.gru, x, pre)
+	default:
+		cell.RNNPreGates(p.rnn, x, pre)
+	}
+}
+
+// preGatesBatch computes pres[s] = xs[s]*Wx^T + B for a tile of timesteps
+// with one batched kernel call, so the Wx panel is streamed from memory once
+// per tile instead of once per timestep.
+func (p *dirParams) preGatesBatch(xs, pres []*tensor.Matrix) {
+	w, b := p.wParams()
+	for _, pre := range pres {
+		pre.Zero()
+		tensor.AddBiasRows(pre, b)
+	}
+	tensor.GemmTAccColsBatch(pres, xs, w, 0)
+}
+
+// dxBatch accumulates the hoisted input gradients of one timestep tile into
+// the layer-below merge-gradient buffers: dsts[s] += panels[s] * Wx.
+func (p *dirParams) dxBatch(dsts, panels []*tensor.Matrix) {
+	w, _ := p.wParams()
+	_, gw := p.dims()
+	tensor.GemmAccColsBatch(dsts, panels, 0, gw, w, 0)
+}
+
+// dwBatch folds the direction's whole-sequence gate-gradient panels into the
+// weight and bias gradients — the body of the batched off-chain dw task. rhs
+// is the GRU candidate path's cached r⊙hPrev sequence and ignored for the
+// other cells; stackP/stackB are the workspace's transposition scratch.
+func (p *dirParams) dwBatch(g *dirGrads, panels, xs, hPrevs, rhs []*tensor.Matrix, stackP, stackB *tensor.Matrix) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMDWBatch(p.lstm, g.lstm, panels, xs, hPrevs, stackP, stackB)
+	case GRU:
+		cell.GRUDWBatch(p.gru, g.gru, panels, xs, hPrevs, rhs, stackP, stackB)
+	default:
+		cell.RNNDWBatch(p.rnn, g.rnn, panels, xs, hPrevs, stackP, stackB)
+	}
+}
+
+// hiddenSize returns the direction's hidden width.
+func (p *dirParams) hiddenSize() int {
+	switch p.kind {
+	case LSTM:
+		return p.lstm.HiddenSize
+	case GRU:
+		return p.gru.HiddenSize
+	default:
+		return p.rnn.HiddenSize
+	}
+}
+
+// forwardPre runs the chain-resident split forward remainder. cPrev is
+// ignored for GRU and RNN.
+func (p *dirParams) forwardPre(pre, hPrev, cPrev *tensor.Matrix, st *cellSt) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMForwardPre(p.lstm, pre, hPrev, cPrev, st.lstm)
+	case GRU:
+		cell.GRUForwardPre(p.gru, pre, hPrev, st.gru)
+	default:
+		cell.RNNForwardPre(p.rnn, pre, hPrev, st.rnn)
+	}
+}
+
+// backwardPre runs the chain-resident split backward remainder, leaving the
+// pre-activation gate gradients in dGates for the batched dWx task.
+// dC/dCPrev are ignored for GRU and RNN.
+func (p *dirParams) backwardPre(st *cellSt, hPrev, cPrev, dH, dC, dGates, dX, dHPrev, dCPrev *tensor.Matrix, g *dirGrads) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMBackwardPre(p.lstm, st.lstm, hPrev, cPrev, dH, dC, dGates, dX, dHPrev, dCPrev, g.lstm)
+	case GRU:
+		cell.GRUBackwardPre(p.gru, st.gru, hPrev, dH, dGates, dX, dHPrev, g.gru)
+	default:
+		cell.RNNBackwardPre(p.rnn, st.rnn, hPrev, dH, dGates, dX, dHPrev, g.rnn)
+	}
+}
+
+// projFlops estimates one timestep's input-projection task cost.
+func (p *dirParams) projFlops(batch int) float64 {
+	in, gw := p.dims()
+	return cell.ProjFlops(batch, in, gw)
+}
+
+// chainFwdFlops estimates the chain-resident split forward cell cost.
+func (p *dirParams) chainFwdFlops(batch int) float64 {
+	switch p.kind {
+	case LSTM:
+		return cell.LSTMChainForwardFlops(batch, p.lstm.HiddenSize)
+	case GRU:
+		return cell.GRUChainForwardFlops(batch, p.gru.HiddenSize)
+	default:
+		return cell.RNNChainForwardFlops(batch, p.rnn.HiddenSize)
+	}
+}
+
+// chainBwdFlops estimates the chain-resident split backward cell cost (dX
+// and dWx excluded — both are hoisted into batched off-chain tasks).
+func (p *dirParams) chainBwdFlops(batch int) float64 {
+	switch p.kind {
+	case LSTM:
+		return cell.LSTMChainBackwardFlops(batch, p.lstm.HiddenSize)
+	case GRU:
+		return cell.GRUChainBackwardFlops(batch, p.gru.HiddenSize)
+	default:
+		return cell.RNNChainBackwardFlops(batch, p.rnn.HiddenSize)
+	}
+}
+
+// dxFlops estimates one timestep's hoisted input-gradient task cost.
+func (p *dirParams) dxFlops(batch int) float64 {
+	in, gw := p.dims()
+	return cell.DXFlops(batch, in, gw)
+}
+
+// dwFlops estimates the whole-sequence batched weight-gradient task cost.
+func (p *dirParams) dwFlops(seq, batch int) float64 {
+	in, gw := p.dims()
+	return cell.DWFlops(seq, batch, in, p.hiddenSize(), gw)
+}
+
 func (p *dirParams) fwdFlops(batch int) float64 {
 	switch p.kind {
 	case LSTM:

@@ -28,8 +28,9 @@ func (g *headGrads) zero() {
 // large to execute on the host (e.g. hidden 1024, batch 256, 48 cores).
 type workspace struct {
 	phantom bool
-	rows    int // sequences in this mini-batch
-	T       int // sequence length
+	split   bool // split-gate decomposition: projection + chain tasks
+	rows    int  // sequences in this mini-batch
+	T       int  // sequence length
 	cfg     Config
 
 	// Dependency keys, always present. Indexing: [layer][timestep].
@@ -56,6 +57,16 @@ type workspace struct {
 	kGradsRev     []taskrt.Dep
 	kHeadGrads    taskrt.Dep
 
+	// Split-gate decomposition keys, always present so phantom graphs can be
+	// emitted in either mode. kPre*[l][t] names the gate-preload panel
+	// Pre_t = X_t*Wx^T + B written by the projection task; kDGates*[l][t]
+	// names the pre-activation gate-gradient panel left behind by the split
+	// backward chain for the batched dWx task.
+	kPreFwd    [][]taskrt.Dep
+	kPreRev    [][]taskrt.Dep
+	kDGatesFwd [][]taskrt.Dep
+	kDGatesRev [][]taskrt.Dep
+
 	// Real buffers; nil in phantom mode.
 	fwdSt, revSt             [][]*cellSt
 	merged                   [][]*tensor.Matrix
@@ -75,6 +86,20 @@ type workspace struct {
 	zeroH, zeroC, zeroChainH *tensor.Matrix
 	gradsFwd, gradsRev       []*dirGrads
 	headGrads                *headGrads
+	dLogits                  *tensor.Matrix // head-backward scratch (serialized by kHeadGrads)
+
+	// Pooled split-gate panels, allocated only when split && !phantom.
+	// Indexing: [layer][timestep], each [rows x G*H].
+	preFwd, preRev       [][]*tensor.Matrix
+	dGatesFwd, dGatesRev [][]*tensor.Matrix
+
+	// Per-(layer, direction) transposition scratch of the batched dw tasks:
+	// stackP* holds the [G*H x T·rows] gate-gradient stack, stackB* the
+	// [max(in,H) x T·rows] input/state stack. Private to one task each (the
+	// dw tasks of a layer's two directions serialize on different grad keys),
+	// so they stay unregistered with the dependency sanitizer.
+	stackPFwd, stackPRev []*tensor.Matrix
+	stackBFwd, stackBRev []*tensor.Matrix
 }
 
 // token is a unique comparable dependency key for phantom buffers.
@@ -90,10 +115,12 @@ func (c Config) hasMergePerTimestep(l int) bool {
 }
 
 // newWorkspace builds a workspace for one mini-batch of `rows` sequences of
-// length T. When phantom is true, only dependency keys are created.
-func newWorkspace(m *Model, rows, T int, phantom bool) *workspace {
+// length T. When phantom is true, only dependency keys are created. When
+// split is true, the workspace additionally pools the gate-preload and
+// gate-gradient panels of the split-gate decomposition.
+func newWorkspace(m *Model, rows, T int, phantom, split bool) *workspace {
 	cfg := m.Cfg
-	w := &workspace{phantom: phantom, rows: rows, T: T, cfg: cfg}
+	w := &workspace{phantom: phantom, split: split, rows: rows, T: T, cfg: cfg}
 	L := cfg.Layers
 	H := cfg.HiddenSize
 	D := cfg.MergeDim()
@@ -114,6 +141,8 @@ func newWorkspace(m *Model, rows, T int, phantom bool) *workspace {
 		w.kX[t] = newToken()
 	}
 	w.kFwdSt, w.kRevSt = grid(), grid()
+	w.kPreFwd, w.kPreRev = grid(), grid()
+	w.kDGatesFwd, w.kDGatesRev = grid(), grid()
 	w.kMerged, w.kDMerged = grid(), grid()
 	w.kDHMergeFwd, w.kDHMergeRev = grid(), grid()
 	w.kDHChainFwd, w.kDCChainFwd = grid(), grid()
@@ -206,6 +235,31 @@ func newWorkspace(m *Model, rows, T int, phantom bool) *workspace {
 		w.gradsRev[l] = m.rev[l].newGrads()
 	}
 	w.headGrads = &headGrads{DW: tensor.New(cfg.Classes, D), DB: make([]float64, cfg.Classes)}
+	w.dLogits = tensor.New(rows, cfg.Classes)
+
+	if split {
+		w.preFwd = make([][]*tensor.Matrix, L)
+		w.preRev = make([][]*tensor.Matrix, L)
+		w.dGatesFwd = make([][]*tensor.Matrix, L)
+		w.dGatesRev = make([][]*tensor.Matrix, L)
+		w.stackPFwd = make([]*tensor.Matrix, L)
+		w.stackPRev = make([]*tensor.Matrix, L)
+		w.stackBFwd = make([]*tensor.Matrix, L)
+		w.stackBRev = make([]*tensor.Matrix, L)
+		K := T * rows
+		for l := 0; l < L; l++ {
+			inF, gwF := m.fwd[l].dims()
+			inR, gwR := m.rev[l].dims()
+			w.preFwd[l] = matRow(T, rows, gwF)
+			w.dGatesFwd[l] = matRow(T, rows, gwF)
+			w.preRev[l] = matRow(T, rows, gwR)
+			w.dGatesRev[l] = matRow(T, rows, gwR)
+			w.stackPFwd[l] = tensor.New(gwF, K)
+			w.stackPRev[l] = tensor.New(gwR, K)
+			w.stackBFwd[l] = tensor.New(max(inF, H), K)
+			w.stackBRev[l] = tensor.New(max(inR, H), K)
+		}
+	}
 	return w
 }
 
@@ -245,7 +299,9 @@ func (w *workspace) resetForStep() {
 // workingSetBytes estimates the resident bytes of all live activation and
 // gradient buffers of this workspace — the quantity the paper's memory
 // study reports (75.36 MB without per-layer sync vs 28.26 MB with, for an
-// 8-layer BLSTM at mbs:6).
+// 8-layer BLSTM at mbs:6). The split-gate preload/gradient panels are
+// deliberately excluded so the fused-vs-split memory comparison (and the
+// phantom analytic formula) measure the same activation footprint.
 func (w *workspace) workingSetBytes() int64 {
 	if w.phantom {
 		return w.phantomWorkingSetBytes()

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/taskrt"
+)
+
+// ProjectionRow is one worker count of the projection ablation: native
+// training steps/sec with fused gate tasks versus the split-gate
+// decomposition (batched input projections + chain-resident Wh kernels +
+// one deferred dWx task per layer and direction).
+type ProjectionRow struct {
+	Workers       int
+	FusedStepsSec float64 // steps per second, fused gates
+	SplitStepsSec float64 // steps per second, split gates
+	Speedup       float64 // split over fused
+}
+
+// ProjectionResult describes the measured configuration alongside its rows.
+type ProjectionResult struct {
+	Input, Hidden, Batch, Seq int
+	Rows                      []ProjectionRow
+}
+
+// RunProjection measures the critical-path decomposition on the native
+// runtime at the Table III row {256, 256, batch 1, seq 100} — the
+// weight-bandwidth-bound serving configuration where the recurrence chain
+// dominates. The split path wins there twice over: the off-critical-path
+// projections stream Wx once per timestep tile instead of once per step,
+// and the chain tasks touch only the Wh columns (and skip the [X, H]
+// concatenation copies entirely).
+func RunProjection(o Opts) (*ProjectionResult, error) {
+	cfg := tableConfig(core.LSTM, [4]int{256, 256, 1, 100}, o.SeqLen)
+	const warmup, timed = 1, 3
+	batches := make([]*core.Batch, warmup+timed)
+	for i := range batches {
+		batches[i] = synthTrainBatch(cfg, uint64(i)+1)
+	}
+	res := &ProjectionResult{
+		Input: cfg.InputSize, Hidden: cfg.HiddenSize, Batch: cfg.Batch, Seq: cfg.SeqLen,
+	}
+	for _, workers := range []int{1, 2, 4} {
+		fused, err := timeTrainSteps(cfg, true, workers, warmup, batches)
+		if err != nil {
+			return nil, fmt.Errorf("fused workers=%d: %w", workers, err)
+		}
+		split, err := timeTrainSteps(cfg, false, workers, warmup, batches)
+		if err != nil {
+			return nil, fmt.Errorf("split workers=%d: %w", workers, err)
+		}
+		res.Rows = append(res.Rows, ProjectionRow{
+			Workers:       workers,
+			FusedStepsSec: fused,
+			SplitStepsSec: split,
+			Speedup:       split / fused,
+		})
+	}
+	return res, nil
+}
+
+// timeTrainSteps trains through batches (the first `warmup` untimed) and
+// returns timed steps per second.
+func timeTrainSteps(cfg core.Config, fused bool, workers, warmup int, batches []*core.Batch) (float64, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return 0, err
+	}
+	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.BreadthFirst})
+	defer rt.Shutdown()
+	eng := core.NewEngine(m, rt)
+	eng.FusedGates = fused
+	var start time.Time
+	for i, b := range batches {
+		if i == warmup {
+			start = time.Now()
+		}
+		if _, err := eng.TrainStep(b, 0.01); err != nil {
+			return 0, fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("projection: degenerate timing")
+	}
+	return float64(len(batches)-warmup) / elapsed, nil
+}
+
+// PrintProjection renders the ablation.
+func PrintProjection(w io.Writer, r *ProjectionResult) {
+	fprintf(w, "Projection ablation — fused vs split gate tasks, native runtime\n")
+	fprintf(w, "BLSTM 6 layers, input %d, hidden %d, batch %d, seq %d\n",
+		r.Input, r.Hidden, r.Batch, r.Seq)
+	fprintf(w, "%-10s %-16s %-16s %s\n", "workers", "fused steps/s", "split steps/s", "speedup")
+	for _, row := range r.Rows {
+		fprintf(w, "%-10d %-16.3f %-16.3f %.2fx\n",
+			row.Workers, row.FusedStepsSec, row.SplitStepsSec, row.Speedup)
+	}
+}

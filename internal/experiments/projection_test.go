@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestDeterminismBothModes: the depcheck determinism harness must report
+// bitwise-identical weights for every (mode, workers, policy) cell — the
+// split-gate decomposition included.
+func TestDeterminismBothModes(t *testing.T) {
+	rows, err := RunDeterminism(Opts{SeqLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("want 12 rows (2 modes x 3 worker counts x 2 policies), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("mode=%s workers=%d policy=%v diverged from its reference",
+				r.Mode, r.Workers, r.Policy)
+		}
+	}
+}
+
+// TestProjectionShape: the ablation produces sane steps/sec for both modes
+// at every worker count. The >=1.25x split-over-fused claim is asserted by
+// BenchmarkProjectionAblation at the full Table III configuration; at the
+// reduced test sequence length we only check structure. Skipped under race:
+// the native-runtime concurrency it exercises is already race-covered by
+// the core engine tests, and the 6-layer model is slow instrumented.
+func TestProjectionShape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := RunProjection(Opts{SeqLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 worker counts, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.FusedStepsSec <= 0 || r.SplitStepsSec <= 0 {
+			t.Errorf("workers=%d: non-positive steps/sec (fused %.3f, split %.3f)",
+				r.Workers, r.FusedStepsSec, r.SplitStepsSec)
+		}
+		if r.Speedup < 0.5 {
+			t.Errorf("workers=%d: split slower than half of fused (%.2fx) — decomposition regressed",
+				r.Workers, r.Speedup)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	bpar-bench -exp memory            # the memory-consumption study
 //	bpar-bench -exp ablation          # barrier-removal ablation
 //	bpar-bench -exp projection        # fused vs split gate-task ablation
+//	bpar-bench -exp replay            # fresh emission vs graph capture & replay
 //	bpar-bench -exp all -seq 40       # reduced sequence length (faster)
 package main
 
@@ -30,8 +31,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, policy, efficiency, sched, determinism")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, replay, policy, efficiency, sched, determinism")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
+	replay := flag.Bool("replay", true, "use graph capture & replay in native-engine experiments")
+	noReplay := flag.Bool("no-replay", false, "force fresh task-graph emission every step (overrides -replay)")
 	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -73,10 +76,10 @@ func main() {
 			"endpoints", "/metrics /healthz /debug/pprof/")
 	}
 
-	o := experiments.Opts{SeqLen: *seq}
+	o := experiments.Opts{SeqLen: *seq, NoReplay: *noReplay || !*replay}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "projection", "policy", "efficiency", "platforms", "crossover", "sched"}
+		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "projection", "replay", "policy", "efficiency", "platforms", "crossover", "sched"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -203,6 +206,12 @@ func run(name string, o experiments.Opts) error {
 			return err
 		}
 		experiments.PrintProjection(w, r)
+	case "replay":
+		r, err := experiments.RunReplay(o)
+		if err != nil {
+			return err
+		}
+		experiments.PrintReplay(w, r)
 	case "determinism":
 		r, err := experiments.RunDeterminism(o)
 		if err != nil {

@@ -47,6 +47,8 @@ type options struct {
 	workers    int
 	locality   bool
 	depCheck   bool
+	replay     bool
+	noReplay   bool
 	seed       uint64
 	traceFile  string
 	traceCap   int
@@ -71,6 +73,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "worker goroutines")
 	flag.BoolVar(&o.locality, "locality", true, "locality-aware scheduling")
 	flag.BoolVar(&o.depCheck, "depcheck", false, "enable the dependency sanitizer: verify every tensor access against declared In/Out/InOut edges (slow; serializes task bodies)")
+	flag.BoolVar(&o.replay, "replay", true, "capture each step's task graph once and replay it every step")
+	flag.BoolVar(&o.noReplay, "no-replay", false, "force fresh task-graph emission every step (overrides -replay)")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace-event JSON of the run's schedule to this file")
 	flag.IntVar(&o.traceCap, "trace-cap", 0, "max task records retained by -trace (reservoir sampling; 0 = unbounded)")
@@ -165,6 +169,7 @@ func run(o options) error {
 	}
 	eng := core.NewEngine(model, rt)
 	eng.GradClip = 1.0
+	eng.NoReplay = o.noReplay || !o.replay
 
 	// Live telemetry: scheduler, engine, tensor, trace, and process series
 	// on one registry, served for the duration of the run.

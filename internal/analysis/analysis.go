@@ -69,6 +69,7 @@ func Passes() []Pass {
 		passDepKey,
 		passLifecycle,
 		passEmitterBarrier,
+		passStaleCapture,
 		passErrcheck,
 	}
 }

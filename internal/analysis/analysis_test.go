@@ -52,6 +52,7 @@ func TestFixtures(t *testing.T) {
 		{"lifecycle.go", "lifecycle", false},
 		{"lifecycle_strict.go", "lifecycle", true},
 		{"emit_forward.go", "emitterbarrier", false},
+		{"emit_backward.go", "stalecapture", false},
 		{"errcheck_main.go", "errcheck", false},
 	}
 	for _, c := range cases {

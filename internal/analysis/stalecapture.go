@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// passStaleCapture guards the graph capture & replay contract: an emitter
+// runs once per (step kind, sequence length) — at capture — while its task
+// bodies run on every replayed step. Per-step state is therefore only safe to
+// read *inside* a task body, through the workspace step binding swapped in
+// before each replay. Two mistakes break this silently (the first step is
+// right, every later step reuses the capture step's data):
+//
+//   - reading the step binding (`ws.bind`) at emission time, outside any task
+//     closure — the value is baked into the captured graph;
+//   - a task closure capturing a per-step *Batch variable — the closure is
+//     frozen into the template and replays the capture step's batch views.
+var passStaleCapture = Pass{
+	Name: "stalecapture",
+	Doc:  "per-step state frozen into a captured task graph (emission-time binding read, or a closure capturing a Batch)",
+	Run:  runStaleCapture,
+}
+
+func runStaleCapture(p *Program, u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	reported := map[token.Pos]bool{}
+	for _, f := range u.Files {
+		base := filepath.Base(u.Fset.Position(f.Pos()).Filename)
+		if !emitterFiles[base] {
+			continue
+		}
+
+		// Rule A: `.bind` field selections lexically outside every FuncLit
+		// execute at emission (capture) time.
+		var litDepth int
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if _, ok := top.(*ast.FuncLit); ok {
+					litDepth--
+				}
+				return true
+			}
+			stack = append(stack, n)
+			if _, ok := n.(*ast.FuncLit); ok {
+				litDepth++
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && litDepth == 0 && sel.Sel.Name == "bind" {
+				if s := u.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal && !reported[sel.Pos()] {
+					reported[sel.Pos()] = true
+					diags = append(diags, Diagnostic{
+						Pos:     u.Fset.Position(sel.Pos()),
+						Pass:    "stalecapture",
+						Message: fmt.Sprintf("per-step binding read at emission time in %s: a captured template freezes this value; read it inside the task body instead", base),
+					})
+				}
+			}
+			return true
+		})
+
+		// Rule B: free Batch-typed variables inside task closures.
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := u.Info.Uses[id].(*types.Var)
+				if !ok || v.IsField() {
+					return true
+				}
+				if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+					return true // declared inside the closure: rebuilt per run
+				}
+				named := namedFrom(v.Type())
+				if named == nil || named.Obj().Name() != "Batch" {
+					return true
+				}
+				if !reported[id.Pos()] {
+					reported[id.Pos()] = true
+					diags = append(diags, Diagnostic{
+						Pos:     u.Fset.Position(id.Pos()),
+						Pass:    "stalecapture",
+						Message: fmt.Sprintf("task closure captures per-step batch %q: a replayed template would reuse the capture step's batch; read per-step data through the workspace step binding", id.Name),
+					})
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -33,15 +33,10 @@ func (e *Engine) TrainStepBarrier(b *Batch, lr float64) (float64, error) {
 	}
 	T := b.SeqLen()
 	wss := e.workspaces(T)
-	for _, ws := range wss {
-		ws.resetForStep()
-	}
-	mbs := make([]*Batch, len(wss))
-	for i := range wss {
-		lo, hi := e.mbBounds(i)
-		mbs[i] = e.sliceBatch(b, lo, hi)
-	}
-	if err := e.emitBarrierGraph(wss, mbs); err != nil {
+	// The barrier ablation always emits fresh (replay has no sync points to
+	// model), so the post-step ResetDeps below handles the sanitizer state.
+	e.bindWorkspaces(wss, b)
+	if err := e.emitBarrierGraph(wss); err != nil {
 		return 0, err
 	}
 	if err := e.Exec.Wait(); err != nil {
@@ -64,12 +59,14 @@ func (e *Engine) TrainStepBarrier(b *Batch, lr float64) (float64, error) {
 // it against the barrier-free graph for the memory and scalability studies.
 func (e *Engine) EmitTrainGraphBarrier(T int) {
 	wss := e.workspaces(T)
-	mbs := make([]*Batch, len(wss))
-	_ = e.emitBarrierGraph(wss, mbs)
+	_ = e.emitBarrierGraph(wss)
 }
 
 // emitBarrierGraph emits forward and backward with a barrier between layers.
-func (e *Engine) emitBarrierGraph(wss []*workspace, mbs []*Batch) error {
+// Like the barrier-free emitters, all per-step data is read through the
+// workspace step bindings, which the caller set up via bindWorkspaces
+// (phantom emission has no bodies and needs no binding).
+func (e *Engine) emitBarrierGraph(wss []*workspace) error {
 	cfg := e.M.Cfg
 	L := cfg.Layers
 	for l := 0; l < L; l++ {
@@ -79,13 +76,13 @@ func (e *Engine) emitBarrierGraph(wss []*workspace, mbs []*Batch) error {
 		// order RNNs computations for each timestamp, and then merge"
 		// (Section II).
 		for i, ws := range wss {
-			e.emitFwdCells(ws, mbs[i], i, l)
+			e.emitFwdCells(ws, i, l)
 		}
 		if err := e.barrier(); err != nil {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitRevCells(ws, mbs[i], i, l)
+			e.emitRevCells(ws, i, l)
 		}
 		if err := e.barrier(); err != nil {
 			return err
@@ -99,7 +96,7 @@ func (e *Engine) emitBarrierGraph(wss []*workspace, mbs []*Batch) error {
 	}
 	for i, ws := range wss {
 		e.emitFinalMerge(ws, i)
-		e.emitHeadForward(ws, mbs[i], i)
+		e.emitHeadForward(ws, i)
 	}
 	if err := e.barrier(); err != nil {
 		return err
@@ -107,7 +104,7 @@ func (e *Engine) emitBarrierGraph(wss []*workspace, mbs []*Batch) error {
 	for l := L - 1; l >= 0; l-- {
 		for i, ws := range wss {
 			if l == L-1 {
-				e.emitHeadBackward(ws, mbs[i], i)
+				e.emitHeadBackward(ws, i)
 			}
 			if cfg.hasMergePerTimestep(l) {
 				e.emitMergeBackward(ws, l, i)
@@ -119,13 +116,13 @@ func (e *Engine) emitBarrierGraph(wss []*workspace, mbs []*Batch) error {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitFwdCellBackward(ws, mbs[i], l, i)
+			e.emitFwdCellBackward(ws, l, i)
 		}
 		if err := e.barrier(); err != nil {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitRevCellBackward(ws, mbs[i], l, i)
+			e.emitRevCellBackward(ws, l, i)
 		}
 		if err := e.barrier(); err != nil {
 			return err

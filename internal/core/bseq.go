@@ -95,8 +95,9 @@ func (s *BSeq) TrainStep(b *Batch, lr float64) (float64, error) {
 			Fn: func() {
 				wss := sub.workspaces(T)
 				wss[0].resetForStep()
-				sub.emitForward(wss[0], mb, i, true)
-				sub.emitBackward(wss[0], mb, i)
+				wss[0].bindStep(mb)
+				sub.emitForward(wss[0], i, true)
+				sub.emitBackward(wss[0], i)
 			},
 		})
 	}

@@ -101,7 +101,8 @@ func (s *cellSt) mats() []*tensor.Matrix {
 
 // registerStepInputs associates this step's input matrices with the kX keys.
 // Batch views are new each step, so they register transiently and are
-// dropped at the post-step ResetDeps.
+// dropped after the step — by ResetDeps on the fresh-emission path, by
+// DepChecker.ResetStepOwners on the replay path.
 func (e *Engine) registerStepInputs(dc *taskrt.DepChecker, ws *workspace, mb *Batch, mbIdx int) {
 	for t, x := range mb.X {
 		dc.RegisterStep(ws.kX[t], fmt.Sprintf("x t%d mb%d", t, mbIdx), x)

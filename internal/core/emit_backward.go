@@ -15,13 +15,13 @@ import (
 // gradients is serialized by an inout dependency, which both removes data
 // races and fixes the floating-point summation order, so parallel training
 // is bitwise identical to sequential training.
-func (e *Engine) emitBackward(ws *workspace, mb *Batch, mbIdx int) {
+func (e *Engine) emitBackward(ws *workspace, mbIdx int) {
 	cfg := e.M.Cfg
 	L := cfg.Layers
 
 	for l := L - 1; l >= 0; l-- {
 		if l == L-1 {
-			e.emitHeadBackward(ws, mb, mbIdx)
+			e.emitHeadBackward(ws, mbIdx)
 		}
 		if cfg.hasMergePerTimestep(l) {
 			e.emitMergeBackward(ws, l, mbIdx)
@@ -29,7 +29,7 @@ func (e *Engine) emitBackward(ws *workspace, mb *Batch, mbIdx int) {
 			// Last layer of a many-to-one model: single final merge.
 			e.emitFinalMergeBackward(ws, mbIdx)
 		}
-		e.emitCellBackward(ws, mb, l, mbIdx)
+		e.emitCellBackward(ws, l, mbIdx)
 	}
 }
 
@@ -48,7 +48,7 @@ func (e *Engine) kindBwdCell() string {
 // emitHeadBackward emits the head gradient tasks: dLogits = probs - onehot
 // (sum convention), head weight gradients, and the gradient flowing into the
 // final merge (many-to-one) or each timestep's merge slot (many-to-many).
-func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
+func (e *Engine) emitHeadBackward(ws *workspace, mbIdx int) {
 	cfg := e.M.Cfg
 	D := cfg.MergeDim()
 	hFlops := 4 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
@@ -65,7 +65,7 @@ func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
 		}
 		if !ws.phantom {
 			task.Fn = func() {
-				e.headBackward(ws, 0, ws.finalMerged, mb.Targets, ws.dFinalMerged)
+				e.headBackward(ws, 0, ws.finalMerged, ws.bind.targets, ws.dFinalMerged)
 			}
 		}
 		e.Exec.Submit(task)
@@ -86,7 +86,7 @@ func (e *Engine) emitHeadBackward(ws *workspace, mb *Batch, mbIdx int) {
 		if !ws.phantom {
 			t := t
 			task.Fn = func() {
-				e.headBackward(ws, t, ws.merged[L-1][t], mb.StepTargets[t], ws.dMerged[L-1][t])
+				e.headBackward(ws, t, ws.merged[L-1][t], ws.bind.stepTargets[t], ws.dMerged[L-1][t])
 			}
 		}
 		batch = append(batch, task)
@@ -191,9 +191,9 @@ func (e *Engine) emitMergeBackward(ws *workspace, l, mbIdx int) {
 //     and the weight gradients (inout on the layer's grads); in split mode
 //     both are hoisted off the chain into the batched dx tile tasks and the
 //     per-direction dw task, leaving only gate gradients and dHPrev here.
-func (e *Engine) emitCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
-	e.emitFwdCellBackward(ws, mb, l, mbIdx)
-	e.emitRevCellBackward(ws, mb, l, mbIdx)
+func (e *Engine) emitCellBackward(ws *workspace, l, mbIdx int) {
+	e.emitFwdCellBackward(ws, l, mbIdx)
+	e.emitRevCellBackward(ws, l, mbIdx)
 }
 
 // emitDW emits the single batched weight-gradient task of layer l's given
@@ -205,7 +205,7 @@ func (e *Engine) emitCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
 // gradient panel once per timestep. Serializing on the inout gradient key
 // pins the task after every chain task and fixes the summation order (t
 // ascending), keeping parallel training bitwise identical to sequential.
-func (e *Engine) emitDW(ws *workspace, mb *Batch, mbIdx, l int, rev bool) {
+func (e *Engine) emitDW(ws *workspace, mbIdx, l int, rev bool) {
 	T := ws.T
 	p, kDG, kGrads, kSt, dir := e.M.fwd[l], ws.kDGatesFwd, ws.kGradsFwd, ws.kFwdSt, "fwd"
 	if rev {
@@ -241,7 +241,6 @@ func (e *Engine) emitDW(ws *workspace, mb *Batch, mbIdx, l int, rev bool) {
 			rhs = make([]*tensor.Matrix, T)
 		}
 		for t := 0; t < T; t++ {
-			xs[t] = e.inputMat(ws, mb, l, t)
 			// The cell at t consumed the neighbor state in processing order;
 			// the boundary cell consumed the zero state.
 			hPrevs[t] = ws.zeroH
@@ -255,6 +254,9 @@ func (e *Engine) emitDW(ws *workspace, mb *Batch, mbIdx, l int, rev bool) {
 			}
 		}
 		task.Fn = func() {
+			for t := range xs {
+				xs[t] = ws.input(l, t)
+			}
 			p.dwBatch(grads, panels, xs, hPrevs, rhs, stackP, stackB)
 		}
 	}
@@ -314,7 +316,7 @@ func (e *Engine) emitDX(ws *workspace, mbIdx, l int, rev bool) {
 // emitFwdCellBackward emits the forward direction's backward chain of layer
 // l: t = T-1 down to 0, followed in split mode by the batched dw task and
 // the dx tile tasks.
-func (e *Engine) emitFwdCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
+func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 	cfg := e.M.Cfg
 	T := ws.T
 	lF := e.M.fwd[l]
@@ -388,7 +390,7 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
 	}
 	taskrt.SubmitBatch(e.Exec, batch)
 	if ws.split {
-		e.emitDW(ws, mb, mbIdx, l, false)
+		e.emitDW(ws, mbIdx, l, false)
 		if l > 0 {
 			e.emitDX(ws, mbIdx, l, false)
 		}
@@ -399,7 +401,7 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
 // l: t = 0 up to T-1. The reverse RNN processed t = T-1 first, so its BPTT
 // starts at t = 0; the cell's "previous" state in processing order lives at
 // t+1.
-func (e *Engine) emitRevCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
+func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 	cfg := e.M.Cfg
 	T := ws.T
 	lR := e.M.rev[l]
@@ -473,7 +475,7 @@ func (e *Engine) emitRevCellBackward(ws *workspace, mb *Batch, l, mbIdx int) {
 	}
 	taskrt.SubmitBatch(e.Exec, batch)
 	if ws.split {
-		e.emitDW(ws, mb, mbIdx, l, true)
+		e.emitDW(ws, mbIdx, l, true)
 		if l > 0 {
 			e.emitDX(ws, mbIdx, l, true)
 		}

@@ -27,23 +27,27 @@ func (e *Engine) kindFwdCell() string {
 // in topological order; the run-time system overlaps their execution across
 // layers and directions with no barrier.
 //
-// mb carries the real mini-batch data; it is nil for phantom emission.
+// Per-step data (the mini-batch's input views and labels) is never captured
+// by task closures: bodies read it through the workspace's step binding
+// (ws.bind, set by bindStep), so one emission can be captured into a
+// taskrt.Template and replayed for every later batch of the same shape.
+// Phantom workspaces emit metadata-only tasks with no bodies.
 // withHead controls whether classifier-head tasks are emitted.
-func (e *Engine) emitForward(ws *workspace, mb *Batch, mbIdx int, withHead bool) {
+func (e *Engine) emitForward(ws *workspace, mbIdx int, withHead bool) {
 	for l := 0; l < e.M.Cfg.Layers; l++ {
-		e.emitForwardLayer(ws, mb, mbIdx, l)
+		e.emitForwardLayer(ws, mbIdx, l)
 	}
 	e.emitFinalMerge(ws, mbIdx)
 	if withHead {
-		e.emitHeadForward(ws, mb, mbIdx)
+		e.emitHeadForward(ws, mbIdx)
 	}
 }
 
 // emitForwardLayer emits the forward-propagation tasks of one layer:
 // reverse-order cells, forward-order cells, and merge cells.
-func (e *Engine) emitForwardLayer(ws *workspace, mb *Batch, mbIdx, l int) {
-	e.emitRevCells(ws, mb, mbIdx, l)
-	e.emitFwdCells(ws, mb, mbIdx, l)
+func (e *Engine) emitForwardLayer(ws *workspace, mbIdx, l int) {
+	e.emitRevCells(ws, mbIdx, l)
+	e.emitFwdCells(ws, mbIdx, l)
 	e.emitMergeCells(ws, mbIdx, l)
 }
 
@@ -58,7 +62,7 @@ const projTileT = 8
 // off-critical-path half of the split-gate decomposition. Tiles of the
 // reverse direction are submitted high-t first, matching the order its chain
 // consumes them.
-func (e *Engine) emitProjection(ws *workspace, mb *Batch, mbIdx, l int, rev bool) {
+func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev bool) {
 	T := ws.T
 	p, kPre, dir := e.M.fwd[l], ws.kPreFwd, "fwd"
 	if rev {
@@ -99,13 +103,17 @@ func (e *Engine) emitProjection(ws *workspace, mb *Batch, mbIdx, l int, rev bool
 			if rev {
 				pres = ws.preRev
 			}
-			xs := make([]*tensor.Matrix, 0, t1-t0)
+			xs := make([]*tensor.Matrix, t1-t0)
 			ps := make([]*tensor.Matrix, 0, t1-t0)
 			for t := t0; t < t1; t++ {
-				xs = append(xs, e.inputMat(ws, mb, l, t))
 				ps = append(ps, pres[l][t])
 			}
-			task.Fn = func() { p.preGatesBatch(xs, ps) }
+			task.Fn = func() {
+				for i := range xs {
+					xs[i] = ws.input(l, t0+i)
+				}
+				p.preGatesBatch(xs, ps)
+			}
 		}
 		batch = append(batch, task)
 	}
@@ -116,14 +124,14 @@ func (e *Engine) emitProjection(ws *workspace, mb *Batch, mbIdx, l int, rev bool
 // (Algorithm 3). In split mode the chain task consumes the gate preload
 // instead of the raw input, so its only serial dependency is the previous
 // state.
-func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
+func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
 	lR := e.M.rev[l]
 	fwdFlops := lR.fwdFlops(ws.rows)
 	cellWS := lR.taskWorkingSet(ws.rows)
 	if ws.split {
-		e.emitProjection(ws, mb, mbIdx, l, true)
+		e.emitProjection(ws, mbIdx, l, true)
 		fwdFlops = lR.chainFwdFlops(ws.rows)
 	}
 
@@ -159,14 +167,13 @@ func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
 					lR.forwardPre(pre, hPrev, cPrev, ws.revSt[l][t])
 				}
 			} else {
-				x := e.inputMat(ws, mb, l, t)
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
 					if t < T-1 {
 						hPrev = ws.revSt[l][t+1].H()
 						cPrev = ws.revSt[l][t+1].C()
 					}
-					lR.forward(x, hPrev, cPrev, ws.revSt[l][t])
+					lR.forward(ws.input(l, t), hPrev, cPrev, ws.revSt[l][t])
 				}
 			}
 		}
@@ -177,14 +184,14 @@ func (e *Engine) emitRevCells(ws *workspace, mb *Batch, mbIdx, l int) {
 
 // emitFwdCells emits layer l's forward-order cells, processed 0 → T-1
 // (Algorithm 2). See emitRevCells for the split-mode dependency shape.
-func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
+func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
 	lF := e.M.fwd[l]
 	fwdFlops := lF.fwdFlops(ws.rows)
 	cellWS := lF.taskWorkingSet(ws.rows)
 	if ws.split {
-		e.emitProjection(ws, mb, mbIdx, l, false)
+		e.emitProjection(ws, mbIdx, l, false)
 		fwdFlops = lF.chainFwdFlops(ws.rows)
 	}
 
@@ -219,14 +226,13 @@ func (e *Engine) emitFwdCells(ws *workspace, mb *Batch, mbIdx, l int) {
 					lF.forwardPre(pre, hPrev, cPrev, ws.fwdSt[l][t])
 				}
 			} else {
-				x := e.inputMat(ws, mb, l, t)
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
 					if t > 0 {
 						hPrev = ws.fwdSt[l][t-1].H()
 						cPrev = ws.fwdSt[l][t-1].C()
 					}
-					lF.forward(x, hPrev, cPrev, ws.fwdSt[l][t])
+					lF.forward(ws.input(l, t), hPrev, cPrev, ws.fwdSt[l][t])
 				}
 			}
 		}
@@ -302,18 +308,11 @@ func (e *Engine) inputKey(ws *workspace, l, t int) taskrt.Dep {
 	return ws.kMerged[l-1][t]
 }
 
-// inputMat returns the matrix behind inputKey (real mode only).
-func (e *Engine) inputMat(ws *workspace, mb *Batch, l, t int) *tensor.Matrix {
-	if l == 0 {
-		return mb.X[t]
-	}
-	return ws.merged[l-1][t]
-}
-
 // emitHeadForward emits classifier-head tasks: logits, softmax and summed
 // cross-entropy for the final merge (many-to-one) or every timestep's merge
-// (many-to-many).
-func (e *Engine) emitHeadForward(ws *workspace, mb *Batch, mbIdx int) {
+// (many-to-many). Labels are read from the step binding at run time, so the
+// same task serves labeled and unlabeled batches across replays.
+func (e *Engine) emitHeadForward(ws *workspace, mbIdx int) {
 	cfg := e.M.Cfg
 	D := cfg.MergeDim()
 	hFlops := 2 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
@@ -328,11 +327,7 @@ func (e *Engine) emitHeadForward(ws *workspace, mb *Batch, mbIdx int) {
 			Flops: hFlops, WorkingSet: hWS,
 		}
 		if !ws.phantom {
-			var targets []int
-			if mb != nil {
-				targets = mb.Targets
-			}
-			task.Fn = func() { e.headForward(ws, 0, ws.finalMerged, targets) }
+			task.Fn = func() { e.headForward(ws, 0, ws.finalMerged, ws.bind.targets) }
 		}
 		e.Exec.Submit(task)
 		return
@@ -350,11 +345,7 @@ func (e *Engine) emitHeadForward(ws *workspace, mb *Batch, mbIdx int) {
 		}
 		if !ws.phantom {
 			t := t
-			var targets []int
-			if mb != nil && mb.StepTargets != nil {
-				targets = mb.StepTargets[t]
-			}
-			task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], targets) }
+			task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], ws.stepTargetsAt(t)) }
 		}
 		batch = append(batch, task)
 	}

@@ -67,12 +67,31 @@ type Engine struct {
 	// otherwise accumulate one workspace set per length seen.
 	MaxCachedSeqLens int
 
+	// NoReplay disables graph capture & replay: every step re-emits the task
+	// graph through the executor's dependency table. Replay is the default
+	// whenever the executor can replay a frozen template (taskrt.Replayer);
+	// fresh emission remains both the fallback for executors without the
+	// capability and the equivalence oracle replay is tested against.
+	NoReplay bool
+
 	phantom bool
 	wsByT   map[int][]*workspace
 	wsLRU   []int // cached sequence lengths, most recently used first
-	vel     *velocity
-	adam    *adamState
-	obs     *engineObs // live metrics; nil unless EnableObs was called
+	// tpls caches one frozen task graph per (step kind, sequence length).
+	// Template closures reference the workspaces of their T, so the two
+	// caches live and die together: evicting a T's workspaces evicts its
+	// templates in the same breath.
+	tpls map[tplKey]*taskrt.Template
+	vel  *velocity
+	adam *adamState
+	obs  *engineObs // live metrics; nil unless EnableObs was called
+}
+
+// tplKey identifies one cached step template: training (forward + backward +
+// reduce) or forward-only, at one sequence length.
+type tplKey struct {
+	train bool
+	T     int
 }
 
 // defaultMaxCachedSeqLens is the workspace-cache bound when
@@ -81,7 +100,7 @@ const defaultMaxCachedSeqLens = 8
 
 // NewEngine creates an engine executing real numeric tasks.
 func NewEngine(m *Model, exec taskrt.Executor) *Engine {
-	e := &Engine{M: m, Exec: exec, wsByT: make(map[int][]*workspace)}
+	e := &Engine{M: m, Exec: exec, wsByT: make(map[int][]*workspace), tpls: make(map[tplKey]*taskrt.Template)}
 	if dc := e.depChecker(); dc != nil {
 		installDepCheckHook(dc)
 	}
@@ -92,7 +111,7 @@ func NewEngine(m *Model, exec taskrt.Executor) *Engine {
 // task graphs (no numeric buffers, no task bodies); used with
 // taskrt.Recorder to capture graphs for the discrete-event simulator.
 func NewPhantomEngine(m *Model, exec taskrt.Executor) *Engine {
-	return &Engine{M: m, Exec: exec, phantom: true, FusedGates: true, wsByT: make(map[int][]*workspace)}
+	return &Engine{M: m, Exec: exec, phantom: true, FusedGates: true, wsByT: make(map[int][]*workspace), tpls: make(map[tplKey]*taskrt.Template)}
 }
 
 // workspaces returns (building if needed) the per-mini-batch workspaces for
@@ -134,6 +153,10 @@ func (e *Engine) workspaces(T int) []*workspace {
 			victim := e.wsLRU[len(e.wsLRU)-1]
 			e.wsLRU = e.wsLRU[:len(e.wsLRU)-1]
 			delete(e.wsByT, victim)
+			// Captured templates close over the victim's workspace buffers;
+			// they must not outlive them.
+			delete(e.tpls, tplKey{train: true, T: victim})
+			delete(e.tpls, tplKey{train: false, T: victim})
 			if e.obs != nil {
 				e.obs.cacheEvicts.Inc()
 			}
@@ -242,20 +265,16 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
-	for _, ws := range wss {
-		ws.resetForStep()
-	}
-	dc := e.depChecker()
-	for i, ws := range wss {
-		lo, hi := e.mbBounds(i)
-		mb := e.sliceBatch(b, lo, hi)
-		if dc != nil {
-			e.registerStepInputs(dc, ws, mb, i)
+	dc := e.bindWorkspaces(wss, b)
+	if rp := e.replayer(); rp != nil {
+		rp.Replay(e.template(true, T))
+	} else {
+		for i, ws := range wss {
+			e.emitForward(ws, i, true)
+			e.emitBackward(ws, i)
 		}
-		e.emitForward(ws, mb, i, true)
-		e.emitBackward(ws, mb, i)
+		e.emitReduce(wss)
 	}
-	e.emitReduce(wss)
 	if err := e.Exec.Wait(); err != nil {
 		return 0, err
 	}
@@ -268,9 +287,96 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 	loss /= scale
 
 	e.applySGD(wss[0], lr, scale)
-	e.maybeResetDeps()
+	e.finishStep(dc)
 	e.recordStep(stepStart, loss, false)
 	return loss, nil
+}
+
+// bindWorkspaces prepares every workspace for one step over batch b: reset
+// the step accumulators, bind the per-step batch views, and (under depcheck)
+// register this step's input matrices. Returns the sanitizer for finishStep.
+func (e *Engine) bindWorkspaces(wss []*workspace, b *Batch) *taskrt.DepChecker {
+	dc := e.depChecker()
+	for i, ws := range wss {
+		ws.resetForStep()
+		lo, hi := e.mbBounds(i)
+		mb := e.sliceBatch(b, lo, hi)
+		ws.bindStep(mb)
+		if dc != nil {
+			e.registerStepInputs(dc, ws, mb, i)
+		}
+	}
+	return dc
+}
+
+// replayer returns the executor's replay capability when graph replay is in
+// effect for this engine, nil when fresh emission should run instead
+// (phantom engines, NoReplay, or executors without the capability).
+func (e *Engine) replayer() taskrt.Replayer {
+	if e.phantom || e.NoReplay {
+		return nil
+	}
+	rp, _ := e.Exec.(taskrt.Replayer)
+	return rp
+}
+
+// template returns (capturing on a miss) the frozen task graph of one step
+// kind at sequence length T. Capture swaps the engine's executor for a
+// taskrt.Capture, runs the ordinary emitters once, and freezes the recorded
+// sequence; because the emitters' closures read only stable workspace
+// buffers and the step binding, the resulting template stays valid for every
+// later batch of the same shape, for exactly as long as T's workspaces live.
+func (e *Engine) template(train bool, T int) *taskrt.Template {
+	key := tplKey{train: train, T: T}
+	if tpl, ok := e.tpls[key]; ok {
+		if e.obs != nil {
+			e.obs.tplHits.Inc()
+		}
+		return tpl
+	}
+	if e.obs != nil {
+		e.obs.tplMisses.Inc()
+	}
+	start := time.Now()
+	wss := e.wsByT[T]
+	rec := taskrt.NewCapture()
+	saved := e.Exec
+	e.Exec = rec
+	func() {
+		defer func() { e.Exec = saved }()
+		for i, ws := range wss {
+			e.emitForward(ws, i, true)
+			if train {
+				e.emitBackward(ws, i)
+			}
+		}
+		if train {
+			e.emitReduce(wss)
+		}
+	}()
+	tpl := rec.Freeze()
+	e.tpls[key] = tpl
+	if e.obs != nil {
+		e.obs.tplCaptureNS.Add(time.Since(start).Nanoseconds())
+	}
+	obs.Logger("core").Debug("task graph captured",
+		"train", train, "seq_len", T, "tasks", tpl.Len(), "edges", tpl.Edges())
+	return tpl
+}
+
+// finishStep performs the between-steps dependency hygiene of the path just
+// taken. Fresh emission populated the executor's dependency table, so it is
+// cleared (along with the sanitizer's shadow state). Replay never touched
+// the table: only the sanitizer's per-step buffer registrations are dropped,
+// and no ResetDeps churn happens at all.
+func (e *Engine) finishStep(dc *taskrt.DepChecker) {
+	if e.replayer() == nil {
+		e.maybeResetDeps()
+		return
+	}
+	if dc != nil {
+		dc.ResetStepOwners()
+	}
 }
 
 // Infer runs forward propagation only and returns, per head, the predicted
@@ -286,17 +392,13 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
-	for _, ws := range wss {
-		ws.resetForStep()
-	}
-	dc := e.depChecker()
-	for i, ws := range wss {
-		lo, hi := e.mbBounds(i)
-		mb := e.sliceBatch(b, lo, hi)
-		if dc != nil {
-			e.registerStepInputs(dc, ws, mb, i)
+	dc := e.bindWorkspaces(wss, b)
+	if rp := e.replayer(); rp != nil {
+		rp.Replay(e.template(false, T))
+	} else {
+		for i, ws := range wss {
+			e.emitForward(ws, i, true)
 		}
-		e.emitForward(ws, mb, i, true)
 	}
 	if err := e.Exec.Wait(); err != nil {
 		return nil, 0, err
@@ -318,7 +420,7 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 		loss += ws.sumLosses()
 	}
 	loss /= e.lossScale(T)
-	e.maybeResetDeps()
+	e.finishStep(dc)
 	e.recordStep(stepStart, loss, true)
 	return preds, loss, nil
 }
@@ -338,17 +440,13 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
-	for _, ws := range wss {
-		ws.resetForStep()
-	}
-	dc := e.depChecker()
-	for i, ws := range wss {
-		lo, hi := e.mbBounds(i)
-		mb := e.sliceBatch(b, lo, hi)
-		if dc != nil {
-			e.registerStepInputs(dc, ws, mb, i)
+	dc := e.bindWorkspaces(wss, b)
+	if rp := e.replayer(); rp != nil {
+		rp.Replay(e.template(false, T))
+	} else {
+		for i, ws := range wss {
+			e.emitForward(ws, i, true)
 		}
-		e.emitForward(ws, mb, i, true)
 	}
 	if err := e.Exec.Wait(); err != nil {
 		return nil, 0, err
@@ -373,7 +471,7 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 		loss += ws.sumLosses()
 	}
 	loss /= e.lossScale(T)
-	e.maybeResetDeps()
+	e.finishStep(dc)
 	e.recordStep(stepStart, loss, true)
 	return probs, loss, nil
 }
@@ -384,8 +482,8 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 func (e *Engine) EmitTrainGraph(T int) {
 	wss := e.workspaces(T)
 	for i, ws := range wss {
-		e.emitForward(ws, nil, i, true)
-		e.emitBackward(ws, nil, i)
+		e.emitForward(ws, i, true)
+		e.emitBackward(ws, i)
 	}
 	e.emitReduce(wss)
 }
@@ -394,7 +492,7 @@ func (e *Engine) EmitTrainGraph(T int) {
 func (e *Engine) EmitInferGraph(T int) {
 	wss := e.workspaces(T)
 	for i, ws := range wss {
-		e.emitForward(ws, nil, i, true)
+		e.emitForward(ws, i, true)
 	}
 }
 
@@ -511,9 +609,10 @@ func scaleDirGrads(g *dirGrads, alpha float64) {
 }
 
 // maybeResetDeps clears the executor's dependency table between steps when
-// supported, so per-step input tensors do not accumulate entries.
+// supported, so per-step input tensors do not accumulate entries. Only the
+// fresh-emission path needs it; replays never populate the table.
 func (e *Engine) maybeResetDeps() {
-	if rd, ok := e.Exec.(interface{ ResetDeps() }); ok {
+	if rd, ok := e.Exec.(taskrt.DepResetter); ok {
 		rd.ResetDeps()
 	}
 }

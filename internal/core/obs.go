@@ -18,6 +18,9 @@ type engineObs struct {
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
 	cacheEvicts  *obs.Counter
+	tplHits      *obs.Counter
+	tplMisses    *obs.Counter
+	tplCaptureNS *obs.Counter
 }
 
 // EnableObs registers the engine's live metrics on reg under bpar_engine_*
@@ -41,6 +44,12 @@ func (e *Engine) EnableObs(reg *obs.Registry) {
 			"Workspace lookups that had to build new workspaces."),
 		cacheEvicts: reg.MustCounter("bpar_engine_workspace_cache_evictions_total",
 			"Workspace sets evicted from the sequence-length LRU cache."),
+		tplHits: reg.MustCounter("bpar_engine_template_hits_total",
+			"Steps served by replaying a cached task-graph template."),
+		tplMisses: reg.MustCounter("bpar_engine_template_misses_total",
+			"Steps that had to capture a new task-graph template."),
+		tplCaptureNS: reg.MustCounter("bpar_engine_template_capture_ns_total",
+			"Cumulative wall time spent capturing and freezing task-graph templates, in nanoseconds."),
 	}
 }
 

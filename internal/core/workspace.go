@@ -18,6 +18,19 @@ func (g *headGrads) zero() {
 	}
 }
 
+// stepBinding is the per-step data a task graph reads at run time: the
+// current batch's input-matrix views and labels. Emitter task closures must
+// never capture these values structurally — they read them through ws.bind,
+// swapped by bindStep before each emission or replay, which is what lets a
+// frozen taskrt.Template be replayed for any batch of the same shape. The
+// learning rate and loss scale stay host-side: applySGD consumes them after
+// Wait, outside the task graph.
+type stepBinding struct {
+	x           []*tensor.Matrix // layer-0 input views, one per timestep
+	targets     []int            // many-to-one labels; nil for unlabeled inference
+	stepTargets [][]int          // many-to-many labels, [timestep][sequence]
+}
+
 // workspace holds the unrolled activations, caches and gradient buffers for
 // one mini-batch, plus the dependency keys that name them in task
 // annotations.
@@ -32,6 +45,9 @@ type workspace struct {
 	rows    int  // sequences in this mini-batch
 	T       int  // sequence length
 	cfg     Config
+
+	// bind is the current step's batch view; see stepBinding.
+	bind stepBinding
 
 	// Dependency keys, always present. Indexing: [layer][timestep].
 	// Chain-buffer conventions:
@@ -269,6 +285,33 @@ func matRow(n, rows, cols int) []*tensor.Matrix {
 		out[i] = tensor.New(rows, cols)
 	}
 	return out
+}
+
+// bindStep points the workspace's per-step binding at mb's views. It must
+// run before emitting or replaying any non-phantom graph over this workspace.
+func (w *workspace) bindStep(mb *Batch) {
+	w.bind.x = mb.X
+	w.bind.targets = mb.Targets
+	w.bind.stepTargets = mb.StepTargets
+}
+
+// input returns the matrix feeding layer l at timestep t: the bound batch
+// view for layer 0, the merge output of the layer below otherwise. Task
+// bodies call it at run time so replayed closures see the current binding.
+func (w *workspace) input(l, t int) *tensor.Matrix {
+	if l == 0 {
+		return w.bind.x[t]
+	}
+	return w.merged[l-1][t]
+}
+
+// stepTargetsAt returns the bound many-to-many labels of timestep t, nil
+// when the current batch is unlabeled.
+func (w *workspace) stepTargetsAt(t int) []int {
+	if w.bind.stepTargets == nil {
+		return nil
+	}
+	return w.bind.stepTargets[t]
 }
 
 // resetForStep zeroes the buffers that accumulate across tasks within one

@@ -42,13 +42,13 @@ func RunDeterminism(o Opts) ([]DeterminismRow, error) {
 		name  string
 		fused bool
 	}{{"fused", true}, {"split", false}} {
-		ref, err := trainDeterministic(cfg, mode.fused, 1, taskrt.BreadthFirst, batches)
+		ref, err := trainDeterministic(cfg, mode.fused, o.NoReplay, 1, taskrt.BreadthFirst, batches)
 		if err != nil {
 			return nil, err
 		}
 		for _, workers := range []int{1, 2, 4} {
 			for _, pol := range []taskrt.Policy{taskrt.BreadthFirst, taskrt.LocalityAware} {
-				m, err := trainDeterministic(cfg, mode.fused, workers, pol, batches)
+				m, err := trainDeterministic(cfg, mode.fused, o.NoReplay, workers, pol, batches)
 				if err != nil {
 					return nil, fmt.Errorf("mode=%s workers=%d policy=%v: %w", mode.name, workers, pol, err)
 				}
@@ -64,7 +64,7 @@ func RunDeterminism(o Opts) ([]DeterminismRow, error) {
 
 // trainDeterministic runs `len(batches)` training steps under the sanitizer
 // and returns the trained model.
-func trainDeterministic(cfg core.Config, fused bool, workers int, pol taskrt.Policy, batches []*core.Batch) (*core.Model, error) {
+func trainDeterministic(cfg core.Config, fused, noReplay bool, workers int, pol taskrt.Policy, batches []*core.Batch) (*core.Model, error) {
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		return nil, err
@@ -74,6 +74,7 @@ func trainDeterministic(cfg core.Config, fused bool, workers int, pol taskrt.Pol
 	defer tensor.SetAccessHook(nil)
 	eng := core.NewEngine(m, rt)
 	eng.FusedGates = fused
+	eng.NoReplay = noReplay
 	eng.GradClip = 1.0
 	for i, b := range batches {
 		if _, err := eng.TrainStep(b, 0.05); err != nil {

@@ -31,6 +31,10 @@ type Opts struct {
 	SeqLen int
 	// CoreCounts overrides the core sweep.
 	CoreCounts []int
+	// NoReplay disables graph capture & replay in the native-engine
+	// experiments, forcing fresh task-graph emission every step (the
+	// engine's default is replay; the replay experiment contrasts both).
+	NoReplay bool
 	// Machine overrides the simulated platform.
 	Machine *costmodel.Machine
 }

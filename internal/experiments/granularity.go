@@ -52,6 +52,7 @@ func RunGranularity(o Opts) (*GranularityResult, error) {
 		return nil, err
 	}
 	eng := core.NewEngine(m, rt)
+	eng.NoReplay = o.NoReplay
 	corpus := data.NewSpeechCorpus(hostCfg.InputSize, 7)
 	for i := 0; i < 3; i++ {
 		b := corpus.Batch(hostCfg.Batch, hostCfg.SeqLen)

@@ -44,11 +44,11 @@ func RunProjection(o Opts) (*ProjectionResult, error) {
 		Input: cfg.InputSize, Hidden: cfg.HiddenSize, Batch: cfg.Batch, Seq: cfg.SeqLen,
 	}
 	for _, workers := range []int{1, 2, 4} {
-		fused, err := timeTrainSteps(cfg, true, workers, warmup, batches)
+		fused, err := timeTrainSteps(cfg, true, o.NoReplay, workers, warmup, batches)
 		if err != nil {
 			return nil, fmt.Errorf("fused workers=%d: %w", workers, err)
 		}
-		split, err := timeTrainSteps(cfg, false, workers, warmup, batches)
+		split, err := timeTrainSteps(cfg, false, o.NoReplay, workers, warmup, batches)
 		if err != nil {
 			return nil, fmt.Errorf("split workers=%d: %w", workers, err)
 		}
@@ -64,7 +64,7 @@ func RunProjection(o Opts) (*ProjectionResult, error) {
 
 // timeTrainSteps trains through batches (the first `warmup` untimed) and
 // returns timed steps per second.
-func timeTrainSteps(cfg core.Config, fused bool, workers, warmup int, batches []*core.Batch) (float64, error) {
+func timeTrainSteps(cfg core.Config, fused, noReplay bool, workers, warmup int, batches []*core.Batch) (float64, error) {
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		return 0, err
@@ -73,6 +73,7 @@ func timeTrainSteps(cfg core.Config, fused bool, workers, warmup int, batches []
 	defer rt.Shutdown()
 	eng := core.NewEngine(m, rt)
 	eng.FusedGates = fused
+	eng.NoReplay = noReplay
 	var start time.Time
 	for i, b := range batches {
 		if i == warmup {

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/taskrt"
+)
+
+// ReplayRow is one worker count of the graph-replay ablation: native
+// training steps/sec and per-step submission overhead with fresh per-step
+// graph emission versus capture-once/replay-every-step.
+type ReplayRow struct {
+	Workers        int
+	FreshStepsSec  float64 // steps per second, fresh emission every step
+	ReplayStepsSec float64 // steps per second, template replay
+	Speedup        float64 // replay over fresh, end-to-end
+	FreshSubmitUS  float64 // per-step submission time (µs), fresh emission
+	ReplaySubmitUS float64 // per-step submission time (µs), replay
+	SubmitRatio    float64 // fresh over replay submission overhead
+}
+
+// ReplayResult describes the measured configuration alongside its rows.
+type ReplayResult struct {
+	Input, Hidden, Batch, Seq int
+	Rows                      []ReplayRow
+}
+
+// RunReplay measures graph capture & replay at the Table III serving row
+// {256, 256, batch 1, seq 100}, where per-step scheduling overhead is
+// largest relative to the small kernel bodies. Fresh emission pays key
+// hashing, node allocation, and dependency-table maintenance for every task
+// of every step; replay derives the edges once at capture and then only
+// resets counters and pushes roots, so the submission lane all but vanishes
+// from the step.
+func RunReplay(o Opts) (*ReplayResult, error) {
+	cfg := tableConfig(core.LSTM, [4]int{256, 256, 1, 100}, o.SeqLen)
+	const warmup, timed = 1, 3
+	batches := make([]*core.Batch, warmup+timed)
+	for i := range batches {
+		batches[i] = synthTrainBatch(cfg, uint64(i)+1)
+	}
+	res := &ReplayResult{
+		Input: cfg.InputSize, Hidden: cfg.HiddenSize, Batch: cfg.Batch, Seq: cfg.SeqLen,
+	}
+	for _, workers := range []int{1, 2, 4} {
+		fresh, freshSub, err := timeReplaySteps(cfg, true, workers, warmup, batches)
+		if err != nil {
+			return nil, fmt.Errorf("fresh workers=%d: %w", workers, err)
+		}
+		replay, replaySub, err := timeReplaySteps(cfg, false, workers, warmup, batches)
+		if err != nil {
+			return nil, fmt.Errorf("replay workers=%d: %w", workers, err)
+		}
+		row := ReplayRow{
+			Workers:        workers,
+			FreshStepsSec:  fresh,
+			ReplayStepsSec: replay,
+			Speedup:        replay / fresh,
+			FreshSubmitUS:  freshSub / 1e3,
+			ReplaySubmitUS: replaySub / 1e3,
+		}
+		if replaySub > 0 {
+			row.SubmitRatio = freshSub / replaySub
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// timeReplaySteps trains through batches (the first `warmup` untimed,
+// which also absorbs the one-time template capture on the replay path) and
+// returns timed steps per second plus mean per-step submission nanoseconds.
+func timeReplaySteps(cfg core.Config, noReplay bool, workers, warmup int, batches []*core.Batch) (stepsSec, submitNS float64, err error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.BreadthFirst})
+	defer rt.Shutdown()
+	eng := core.NewEngine(m, rt)
+	eng.NoReplay = noReplay
+	var start time.Time
+	var submitBase int64
+	for i, b := range batches {
+		if i == warmup {
+			start = time.Now()
+			submitBase = rt.Stats().SubmitNS
+		}
+		if _, err := eng.TrainStep(b, 0.01); err != nil {
+			return 0, 0, fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, 0, fmt.Errorf("replay: degenerate timing")
+	}
+	timed := len(batches) - warmup
+	return float64(timed) / elapsed, float64(rt.Stats().SubmitNS-submitBase) / float64(timed), nil
+}
+
+// PrintReplay renders the ablation.
+func PrintReplay(w io.Writer, r *ReplayResult) {
+	fprintf(w, "Graph-replay ablation — fresh per-step emission vs capture & replay\n")
+	fprintf(w, "BLSTM 6 layers, input %d, hidden %d, batch %d, seq %d\n",
+		r.Input, r.Hidden, r.Batch, r.Seq)
+	fprintf(w, "%-10s %-16s %-16s %-10s %-16s %-16s %s\n",
+		"workers", "fresh steps/s", "replay steps/s", "speedup", "fresh submit µs", "replay submit µs", "submit ratio")
+	for _, row := range r.Rows {
+		fprintf(w, "%-10d %-16.3f %-16.3f %-10.2f %-16.1f %-16.1f %.1fx\n",
+			row.Workers, row.FreshStepsSec, row.ReplayStepsSec, row.Speedup,
+			row.FreshSubmitUS, row.ReplaySubmitUS, row.SubmitRatio)
+	}
+}

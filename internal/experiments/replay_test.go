@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestReplayShape: the replay ablation produces sane steps/sec and submit
+// timings for both paths at every worker count. The >=1.3x submission-
+// overhead claim is asserted by BenchmarkGraphReplay at the full Table III
+// configuration; at the reduced test sequence length we only check structure.
+// Skipped under race for the same reason as TestProjectionShape.
+func TestReplayShape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := RunReplay(Opts{SeqLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 worker counts, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.FreshStepsSec <= 0 || r.ReplayStepsSec <= 0 {
+			t.Errorf("workers=%d: non-positive steps/sec (fresh %.3f, replay %.3f)",
+				r.Workers, r.FreshStepsSec, r.ReplayStepsSec)
+		}
+		if r.FreshSubmitUS <= 0 {
+			t.Errorf("workers=%d: fresh path recorded no submission time", r.Workers)
+		}
+		if r.Speedup < 0.5 {
+			t.Errorf("workers=%d: replay slower than half of fresh (%.2fx) — replay path regressed",
+				r.Workers, r.Speedup)
+		}
+	}
+}

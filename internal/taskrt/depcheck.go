@@ -277,6 +277,16 @@ func (dc *DepChecker) take() []error {
 	return errs
 }
 
+// ResetStepOwners drops per-step buffer registrations (RegisterStep) while
+// keeping shadow versions intact. The replay path calls it between steps:
+// replays bypass the dependency table, so ResetDeps — and with it reset() —
+// never runs, yet each step registers a fresh batch's input views.
+func (dc *DepChecker) ResetStepOwners() {
+	dc.mu.Lock()
+	dc.stepOwners = make(map[any]Dep)
+	dc.mu.Unlock()
+}
+
 // reset clears shadow versions and per-step buffer registrations, mirroring
 // Runtime.ResetDeps. Persistent Register associations survive.
 func (dc *DepChecker) reset() {

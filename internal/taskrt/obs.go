@@ -38,6 +38,8 @@ func (r *Runtime) RegisterMetrics(reg *obs.Registry) {
 		"Steal scans that found every peer deque empty.", func() float64 { return float64(s.stealFails.Load()) })
 	reg.MustCounterFunc("bpar_sched_local_queue_hits_total",
 		"Tasks served from the popping worker's own deque.", func() float64 { return float64(s.localHits.Load()) })
+	reg.MustCounterFunc("bpar_sched_replays_total",
+		"Frozen task-graph templates replayed (their tasks count as submitted).", func() float64 { return float64(s.replays.Load()) })
 	reg.MustCounterFunc("bpar_sched_lock_wait_seconds_total",
 		"Time blocked acquiring the submission lock.", func() float64 { return float64(s.lockWaitNS.Load()) / 1e9 })
 	reg.MustCounterFunc("bpar_sched_submit_seconds_total",

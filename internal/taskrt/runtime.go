@@ -65,6 +65,14 @@ type node struct {
 	mu       sync.Mutex // guards finished and succs
 	finished bool
 	succs    []*node
+
+	// Template-owned nodes carry their successor list precomputed at capture
+	// (tplSuccs) and a pointer to the owning template's live counter
+	// (tplLive, non-nil iff the node belongs to a Template). They bypass the
+	// mutex-guarded succs/finished protocol entirely: the edge set is frozen,
+	// so no submitter ever appends to it concurrently.
+	tplSuccs []*node
+	tplLive  *atomic.Int64
 }
 
 // done reports whether the node's task has completed.
@@ -235,6 +243,7 @@ type runtimeStats struct {
 	localHits  atomic.Int64
 	steals     atomic.Int64
 	stealFails atomic.Int64
+	replays    atomic.Int64
 	running    atomic.Int32
 	maxRunning atomic.Int32
 
@@ -591,11 +600,19 @@ func (r *Runtime) execute(n *node, w int) {
 		r.errsMu.Unlock()
 	}
 
-	n.mu.Lock()
-	n.finished = true
-	succs := n.succs
-	n.succs = nil
-	n.mu.Unlock()
+	var succs []*node
+	if n.tplLive != nil {
+		// Replayed node: the frozen successor list needs no lock, and the
+		// finished flag stays false on purpose — template nodes are reused
+		// across replays and are invisible to WaitFor's done() protocol.
+		succs = n.tplSuccs
+	} else {
+		n.mu.Lock()
+		n.finished = true
+		succs = n.succs
+		n.succs = nil
+		n.mu.Unlock()
+	}
 
 	var readied []*node
 	for _, s := range succs {
@@ -613,6 +630,9 @@ func (r *Runtime) execute(n *node, w int) {
 		}
 		// This worker loops and picks one task itself; wake peers for the rest.
 		r.wake(len(readied) - 1)
+	}
+	if n.tplLive != nil {
+		n.tplLive.Add(-1)
 	}
 	r.outstanding.Add(-1)
 	// Every completion may satisfy a WaitFor; a full drain satisfies Wait.
@@ -704,6 +724,7 @@ func (r *Runtime) Stats() Stats {
 		Steals:     r.stats.steals.Load(),
 		StealFails: r.stats.stealFails.Load(),
 		LockWaitNS: r.stats.lockWaitNS.Load(),
+		Replays:    r.stats.replays.Load(),
 	}
 	nowNS := time.Since(r.start).Nanoseconds()
 	s.WorkerIdleNS = make([]int64, len(r.stats.workerIdleNS))
@@ -751,6 +772,7 @@ type Stats struct {
 	Steals     int64 // tasks stolen from peer deques
 	StealFails int64 // steal scans that found every peer deque empty
 	LockWaitNS int64 // time blocked acquiring the submission lock
+	Replays    int64 // template replays executed (Submitted counts their tasks)
 	// WorkerIdleNS is the per-worker time spent parked with no runnable
 	// task, one entry per worker.
 	WorkerIdleNS []int64

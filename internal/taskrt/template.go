@@ -1,0 +1,265 @@
+package taskrt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DepResetter is the executor capability of clearing the dependency table
+// between steps that reuse the same buffers. The parallel Runtime implements
+// it; Inline and Capture have no table, so callers feature-test instead of
+// type-asserting concrete executor types.
+type DepResetter interface {
+	ResetDeps()
+}
+
+// Replayer is the executor capability of executing a frozen Template. Both
+// Runtime and Inline implement it, so an engine can capture its step graph
+// once and replay it regardless of which executor backs it.
+type Replayer interface {
+	Replay(tpl *Template)
+}
+
+// capEntry mirrors depEntry for capture: last writer and readers-since-last-
+// write of one key, as task indices into the capture's submission sequence.
+type capEntry struct {
+	lastWriter int
+	readers    []int
+}
+
+// Capture is an Executor/BatchSubmitter that records a submission sequence
+// instead of executing it. It derives RAW/WAR/WAW edges with exactly the
+// rules Runtime.submitOne applies to an empty dependency table, so a graph
+// captured here and frozen into a Template executes with the same edge set —
+// and therefore the same floating-point summation order — as fresh emission
+// after a ResetDeps.
+//
+// Capture is not safe for concurrent use; builders submit from one goroutine.
+type Capture struct {
+	tasks   []*Task
+	preds   [][]int
+	entries map[Dep]*capEntry
+	frozen  bool
+}
+
+// NewCapture returns an empty capture with a fresh (empty) dependency view,
+// matching the table state a fresh-emission step starts from.
+func NewCapture() *Capture {
+	return &Capture{entries: make(map[Dep]*capEntry)}
+}
+
+func (c *Capture) entry(k Dep) *capEntry {
+	e := c.entries[k]
+	if e == nil {
+		e = &capEntry{lastWriter: -1}
+		c.entries[k] = e
+	}
+	return e
+}
+
+// Submit records the task and derives its dependency edges.
+func (c *Capture) Submit(t *Task) {
+	if c.frozen {
+		panic(fmt.Sprintf("taskrt: Submit of task %q on a frozen Capture", t.Label))
+	}
+	id := len(c.tasks)
+	c.tasks = append(c.tasks, t)
+
+	var preds []int
+	var predSeen map[int]bool
+	addPred := func(p int) {
+		if p < 0 || p == id || predSeen[p] {
+			return
+		}
+		if predSeen == nil {
+			predSeen = make(map[int]bool)
+		}
+		predSeen[p] = true
+		preds = append(preds, p)
+	}
+	for _, k := range t.In {
+		e := c.entry(k)
+		addPred(e.lastWriter) // RAW
+		e.readers = append(e.readers, id)
+	}
+	for _, k := range t.InOut {
+		e := c.entry(k)
+		addPred(e.lastWriter) // RAW + WAW
+		for _, rd := range e.readers {
+			addPred(rd) // WAR
+		}
+		e.lastWriter = id
+		e.readers = e.readers[:0]
+	}
+	for _, k := range t.Out {
+		e := c.entry(k)
+		addPred(e.lastWriter) // WAW
+		for _, rd := range e.readers {
+			addPred(rd) // WAR
+		}
+		e.lastWriter = id
+		e.readers = e.readers[:0]
+	}
+	c.preds = append(c.preds, preds)
+}
+
+// SubmitAll records a batch in order, like Runtime.SubmitAll.
+func (c *Capture) SubmitAll(ts []*Task) {
+	for _, t := range ts {
+		c.Submit(t)
+	}
+}
+
+// Wait is a no-op: captured tasks are recorded, not executed.
+func (c *Capture) Wait() error { return nil }
+
+// Len reports how many tasks have been captured.
+func (c *Capture) Len() int { return len(c.tasks) }
+
+// Freeze converts the captured sequence into an immutable Template and
+// invalidates the capture for further submissions. Node storage is one flat
+// slice and all successor lists live in a single shared arena, so a replay
+// touches contiguous memory and allocates nothing.
+func (c *Capture) Freeze() *Template {
+	c.frozen = true
+	n := len(c.tasks)
+	tpl := &Template{
+		tasks:       c.tasks,
+		initPending: make([]int32, n),
+		nodes:       make([]node, n),
+	}
+
+	counts := make([]int, n)
+	total := 0
+	for _, preds := range c.preds {
+		for _, p := range preds {
+			counts[p]++
+			total++
+		}
+	}
+	arena := make([]*node, total)
+	succs := make([][]*node, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		succs[i] = arena[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for id, preds := range c.preds {
+		tpl.initPending[id] = int32(len(preds))
+		for _, p := range preds {
+			succs[p] = append(succs[p], &tpl.nodes[id])
+		}
+	}
+	for i := range tpl.nodes {
+		nd := &tpl.nodes[i]
+		nd.task = c.tasks[i]
+		nd.tplSuccs = succs[i]
+		nd.tplLive = &tpl.live
+		if tpl.initPending[i] == 0 {
+			tpl.roots = append(tpl.roots, nd)
+		}
+	}
+	return tpl
+}
+
+// Template is a frozen task DAG: one submission sequence with precomputed
+// successor edge lists, initial in-degree counts, and flat reusable node
+// storage. Replaying it re-executes the identical graph without touching the
+// dependency table — zero key hashing, zero node allocation, and no
+// ResetDeps between steps. Task bodies must therefore read any per-step data
+// through stable indirection (the closures themselves are reused verbatim).
+//
+// A template may be replayed any number of times, but replays of the same
+// template must not overlap: the caller must drain one replay (Wait) before
+// starting the next, because the nodes' in-degree counters are reused.
+type Template struct {
+	tasks       []*Task
+	initPending []int32
+	nodes       []node
+	roots       []*node
+
+	// live counts this template's nodes still in flight; Replay refuses to
+	// reset the counters of a template whose previous replay has not drained.
+	live atomic.Int64
+}
+
+// Len reports the number of tasks in the template.
+func (tpl *Template) Len() int { return len(tpl.nodes) }
+
+// Roots reports how many tasks start with no unsatisfied dependencies.
+func (tpl *Template) Roots() int { return len(tpl.roots) }
+
+// Edges reports the total number of dependency edges in the frozen DAG.
+func (tpl *Template) Edges() int {
+	e := 0
+	for i := range tpl.initPending {
+		e += int(tpl.initPending[i])
+	}
+	return e
+}
+
+// Replay executes a frozen template on the worker pool: it resets every
+// node's in-degree counter in one pass over the flat node slice, then
+// publishes the roots. No dependency-table work happens — the edges were
+// derived once at capture. The dependency table itself is left untouched, so
+// replayed writes are invisible to WaitFor; a replay is synchronized with
+// Wait, like a whole-step fresh emission.
+//
+// The dependency sanitizer, when enabled, re-validates every replay: the
+// capture-ordered submission sequence is re-announced to it (shadow versions
+// keep advancing monotonically across replays), and each body start checks
+// its keys' versions as usual.
+func (r *Runtime) Replay(tpl *Template) {
+	if len(tpl.nodes) == 0 {
+		return
+	}
+	tStart := time.Now()
+	if !r.submitMu.TryLock() {
+		r.submitMu.Lock()
+		r.stats.lockWaitNS.Add(time.Since(tStart).Nanoseconds())
+	}
+	if r.shutdownFlg.Load() {
+		r.submitMu.Unlock()
+		panic(fmt.Sprintf("taskrt: Replay of %d-task template after Shutdown — the worker pool is gone; create a new Runtime or replay before Shutdown", len(tpl.nodes)))
+	}
+	if !tpl.live.CompareAndSwap(0, int64(len(tpl.nodes))) {
+		r.submitMu.Unlock()
+		panic("taskrt: Replay of a template whose previous replay has not drained; Wait before replaying it again")
+	}
+	base := r.nextID
+	r.nextID += len(tpl.nodes)
+	if r.depc != nil {
+		for _, t := range tpl.tasks {
+			r.depc.onSubmit(t)
+		}
+	}
+	r.submitMu.Unlock()
+
+	// Reset every counter before publishing any root: a root finishing while
+	// a successor's counter still holds the previous replay's zero would
+	// double-release it.
+	nowNS := tStart.Sub(r.start).Nanoseconds()
+	for i := range tpl.nodes {
+		nd := &tpl.nodes[i]
+		nd.id = base + i
+		nd.submitNS = nowNS
+		nd.pending.Store(tpl.initPending[i])
+	}
+	r.outstanding.Add(int64(len(tpl.nodes)))
+	r.stats.submitted.Add(int64(len(tpl.nodes)))
+	r.stats.replays.Add(1)
+	r.global.pushBatch(tpl.roots)
+	r.wake(len(tpl.roots))
+	r.stats.submitNS.Add(time.Since(tStart).Nanoseconds())
+}
+
+// Replay executes a captured template sequentially in capture order. Capture
+// order is topological (every predecessor was submitted before its
+// successors), so running the tasks in that order is a valid schedule — and
+// the same schedule inline fresh emission would have produced.
+func (e *Inline) Replay(tpl *Template) {
+	for _, t := range tpl.tasks {
+		e.Submit(t)
+	}
+}

@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"bpar/internal/core"
@@ -88,13 +91,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bpar-train:", err)
 		os.Exit(2)
 	}
-	if err := run(o); err != nil {
+	// One signal stops cleanly between steps (epoch summary, trace, and
+	// telemetry teardown still run); a second kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		obs.Logger("cmd").Error("bpar-train failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	log := obs.Logger("cmd")
 
 	if o.cpuProfile != "" {
@@ -186,7 +193,9 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Graceful teardown: a scrape caught mid-exposition finishes
+		// before the process exits, instead of being dropped by Close.
+		defer obs.ShutdownServer(srv, 2*time.Second)
 		log.Info("telemetry listening", "addr", addr,
 			"endpoints", "/metrics /healthz /debug/pprof/")
 	}
@@ -197,15 +206,25 @@ func run(o options) error {
 		"workers", o.workers, "policy", pol.String())
 
 	evalBatch := nextBatch()
-	for epoch := 1; epoch <= o.epochs; epoch++ {
+	interrupted := false
+	for epoch := 1; epoch <= o.epochs && !interrupted; epoch++ {
 		start := time.Now()
 		lossSum := 0.0
+		steps := 0
 		for s := 0; s < o.steps; s++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			loss, err := eng.TrainStep(nextBatch(), o.lr)
 			if err != nil {
 				return err
 			}
 			lossSum += loss
+			steps++
+		}
+		if steps == 0 {
+			break
 		}
 		preds, evalLoss, err := eng.Infer(evalBatch)
 		if err != nil {
@@ -216,7 +235,7 @@ func run(o options) error {
 		// logs and scrapes cross-reference directly.
 		log.Info("epoch",
 			"epoch", epoch,
-			"train_loss", lossSum/float64(o.steps),
+			"train_loss", lossSum/float64(steps),
 			"eval_loss", evalLoss,
 			"accuracy", accuracy(preds, evalBatch, cfg.Arch),
 			"duration", time.Since(start).Round(time.Millisecond),
@@ -224,6 +243,10 @@ func run(o options) error {
 			"overhead_ratio", st.OverheadRatio(),
 			"steals", st.Steals,
 			"gemm_flops", tensor.GEMMFlops())
+	}
+
+	if interrupted {
+		log.Info("interrupted, stopping after current step")
 	}
 
 	st := rt.Stats()

@@ -1,13 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"bpar/internal/obs"
 	"bpar/internal/taskrt"
 	"bpar/internal/tensor"
 )
+
+// ErrEngineBusy is returned when TrainStep, Infer, or InferProbs is called
+// while another step is still executing on the same engine. Engine is
+// single-threaded by design — the per-step workspaces are shared mutable
+// state — so concurrent callers must use one engine each (see
+// internal/serve's engine pool).
+var ErrEngineBusy = errors.New("core: engine already executing a step (Engine is single-threaded; use one engine per goroutine)")
 
 // Batch is one training or inference batch: per-timestep input matrices and
 // the labels appropriate to the architecture.
@@ -19,10 +28,26 @@ type Batch struct {
 	// StepTargets holds per-timestep class labels (many-to-many),
 	// indexed [timestep][sequence].
 	StepTargets [][]int
+	// Real is the number of leading rows that carry real sequences; rows
+	// [Real, Batch) are padding added to fill a partial batch (the serving
+	// path pads micro-batches up to Cfg.Batch). Zero means every row is
+	// real. Padding rows are still computed — row independence of the
+	// forward pass makes them numerically inert — but throughput metrics
+	// count only real rows.
+	Real int
 }
 
 // SeqLen returns the batch's sequence length.
 func (b *Batch) SeqLen() int { return len(b.X) }
+
+// realRows returns the number of non-padding rows given the configured
+// batch size.
+func (b *Batch) realRows(batch int) int {
+	if b.Real > 0 {
+		return b.Real
+	}
+	return batch
+}
 
 // Engine drives B-Par execution of one model on one executor: it emits the
 // forward and backward task graphs for each batch, waits for dataflow
@@ -75,8 +100,17 @@ type Engine struct {
 	NoReplay bool
 
 	phantom bool
-	wsByT   map[int][]*workspace
-	wsLRU   []int // cached sequence lengths, most recently used first
+	// inStep guards against concurrent TrainStep/Infer/InferProbs calls: a
+	// CAS taken at step entry, released on every exit path. Mirrors the
+	// replay `live` guard in taskrt.Template, but returns ErrEngineBusy
+	// instead of panicking — concurrent use is an expected caller error on
+	// the serving path, not runtime corruption.
+	inStep atomic.Bool
+	// tplHitN/tplMissN count template-cache lookups independently of obs so
+	// serving code can compute hit rates without a registry.
+	tplHitN, tplMissN atomic.Int64
+	wsByT             map[int][]*workspace
+	wsLRU             []int // cached sequence lengths, most recently used first
 	// tpls caches one frozen task graph per (step kind, sequence length).
 	// Template closures reference the workspaces of their T, so the two
 	// caches live and die together: evicting a T's workspaces evicts its
@@ -209,10 +243,32 @@ func (e *Engine) mbBounds(i int) (lo, hi int) {
 	return lo, hi
 }
 
+// beginStep acquires the single-caller step guard; endStep releases it.
+func (e *Engine) beginStep() error {
+	if !e.inStep.CompareAndSwap(false, true) {
+		return ErrEngineBusy
+	}
+	return nil
+}
+
+func (e *Engine) endStep() { e.inStep.Store(false) }
+
+// hasLabels reports whether b carries the labels the configured architecture
+// trains against — the condition under which a step's loss is meaningful.
+func (e *Engine) hasLabels(b *Batch) bool {
+	if e.M.Cfg.Arch == ManyToOne {
+		return b.Targets != nil
+	}
+	return b.StepTargets != nil
+}
+
 func (e *Engine) checkBatch(b *Batch, needTargets bool) error {
 	cfg := e.M.Cfg
 	if len(b.X) == 0 {
 		return fmt.Errorf("core: empty batch")
+	}
+	if b.Real < 0 || b.Real > cfg.Batch {
+		return fmt.Errorf("core: Real = %d out of range [0, %d]", b.Real, cfg.Batch)
 	}
 	for t, x := range b.X {
 		if x.Rows != cfg.Batch || x.Cols != cfg.InputSize {
@@ -262,6 +318,10 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 	if err := e.checkBatch(b, true); err != nil {
 		return 0, err
 	}
+	if err := e.beginStep(); err != nil {
+		return 0, err
+	}
+	defer e.endStep()
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
@@ -288,7 +348,7 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 
 	e.applySGD(wss[0], lr, scale)
 	e.finishStep(dc)
-	e.recordStep(stepStart, loss, false)
+	e.recordStep(stepStart, loss, false, true, b.realRows(e.M.Cfg.Batch))
 	return loss, nil
 }
 
@@ -329,11 +389,13 @@ func (e *Engine) replayer() taskrt.Replayer {
 func (e *Engine) template(train bool, T int) *taskrt.Template {
 	key := tplKey{train: train, T: T}
 	if tpl, ok := e.tpls[key]; ok {
+		e.tplHitN.Add(1)
 		if e.obs != nil {
 			e.obs.tplHits.Inc()
 		}
 		return tpl
 	}
+	e.tplMissN.Add(1)
 	if e.obs != nil {
 		e.obs.tplMisses.Inc()
 	}
@@ -389,6 +451,10 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	if err := e.checkBatch(b, false); err != nil {
 		return nil, 0, err
 	}
+	if err := e.beginStep(); err != nil {
+		return nil, 0, err
+	}
+	defer e.endStep()
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
@@ -421,7 +487,7 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	}
 	loss /= e.lossScale(T)
 	e.finishStep(dc)
-	e.recordStep(stepStart, loss, true)
+	e.recordStep(stepStart, loss, true, e.hasLabels(b), b.realRows(e.M.Cfg.Batch))
 	return preds, loss, nil
 }
 
@@ -437,6 +503,10 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	if err := e.checkBatch(b, false); err != nil {
 		return nil, 0, err
 	}
+	if err := e.beginStep(); err != nil {
+		return nil, 0, err
+	}
+	defer e.endStep()
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
@@ -472,7 +542,7 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	}
 	loss /= e.lossScale(T)
 	e.finishStep(dc)
-	e.recordStep(stepStart, loss, true)
+	e.recordStep(stepStart, loss, true, e.hasLabels(b), b.realRows(e.M.Cfg.Batch))
 	return probs, loss, nil
 }
 
@@ -606,6 +676,14 @@ func scaleDirGrads(g *dirGrads, alpha float64) {
 	for i := range db {
 		db[i] *= alpha
 	}
+}
+
+// TemplateStats returns the cumulative template-cache lookup counts: hits
+// (steps served by replaying a frozen graph) and misses (steps that had to
+// capture). Safe to read from any goroutine; the serving layer aggregates it
+// across an engine pool to report template hit rate.
+func (e *Engine) TemplateStats() (hits, misses int64) {
+	return e.tplHitN.Load(), e.tplMissN.Load()
 }
 
 // maybeResetDeps clears the executor's dependency table between steps when

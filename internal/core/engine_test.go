@@ -601,8 +601,8 @@ func TestWorkspaceCacheLRU(t *testing.T) {
 	for _, T := range []int{2, 3, 4} {
 		e.workspaces(T)
 	}
-	e.workspaces(2)             // refresh T=2: LRU order is now 2, 4, 3
-	ws5 := e.workspaces(5)      // evicts T=3
+	e.workspaces(2)        // refresh T=2: LRU order is now 2, 4, 3
+	ws5 := e.workspaces(5) // evicts T=3
 	if _, ok := e.wsByT[3]; ok {
 		t.Fatal("T=3 not evicted")
 	}

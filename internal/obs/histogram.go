@@ -122,6 +122,41 @@ func (h *Histogram) snapshot() (cum []int64, count int64, sum float64) {
 	return cum, count, sum
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observed values
+// by linear interpolation inside the bucket containing the target rank — the
+// same estimate a Prometheus histogram_quantile() query computes server-side.
+// Values in the +Inf overflow bucket are reported as the largest finite edge.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(count)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.edges) {
+			break // overflow bucket
+		}
+		lo := 0.0
+		var prev int64
+		if i > 0 {
+			lo = h.edges[i-1]
+			prev = cum[i-1]
+		}
+		in := c - prev
+		if in == 0 {
+			return h.edges[i]
+		}
+		frac := (rank - float64(prev)) / float64(in)
+		return lo + frac*(h.edges[i]-lo)
+	}
+	return h.edges[len(h.edges)-1]
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	_, n, _ := h.snapshot()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -48,19 +49,43 @@ func NewMux(reg *Registry) *http.ServeMux {
 // Serve starts an HTTP server for reg's mux on addr (e.g. ":8080") in a
 // background goroutine and returns the server plus the bound address, so a
 // caller passing ":0" can discover the chosen port. Shut it down with
-// srv.Close or srv.Shutdown.
+// ShutdownServer (preferred: it drains in-flight scrapes) or srv.Close.
 func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	return ServeMux(addr, NewMux(reg))
+}
+
+// ServeMux is Serve for a caller-built handler — bpar-serve mounts its
+// inference endpoints next to the telemetry catalog on one mux and serves
+// both from a single listener.
+func ServeMux(addr string, handler http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg)}
+	srv := &http.Server{Handler: handler}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			Logger("obs").Error("telemetry server failed", "addr", ln.Addr().String(), "err", err)
 		}
 	}()
 	return srv, ln.Addr().String(), nil
+}
+
+// ShutdownServer drains srv gracefully: in-flight requests (a scrape caught
+// mid-exposition, a pprof profile half-written) get up to timeout to finish,
+// then the server is closed hard. Safe to defer in place of srv.Close — a
+// bare Close drops in-flight responses on the floor at process exit. Every
+// command sharing the telemetry mux (bpar-train, bpar-bench, bpar-serve)
+// funnels its exit path through this helper.
+func ShutdownServer(srv *http.Server, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		Logger("obs").Warn("telemetry shutdown incomplete, closing", "err", err)
+		if cerr := srv.Close(); cerr != nil {
+			Logger("obs").Warn("telemetry close failed", "err", cerr)
+		}
+	}
 }
 
 // RegisterProcessMetrics adds process-level series: goroutine count, heap

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"time"
+)
+
+// bucket is the batcher's accumulator for one sequence length: items wait
+// here until the bucket fills to the model batch size or its window expires.
+type bucket struct {
+	items    []*item
+	deadline time.Time
+}
+
+// batcher is the single goroutine turning the admission queue into
+// micro-batches. Grouping is by bucketed sequence length, so every batch it
+// dispatches replays one warm per-(T) template; a bucket dispatches either
+// full (Model.Cfg.Batch rows) or when its batch window expires, whichever
+// comes first. When the queue closes (Drain), every pending bucket is
+// flushed before the jobs channel closes.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.jobs)
+
+	rowCap := s.cfg.Model.Cfg.Batch
+	pending := make(map[int]*bucket)
+	seen := make(map[int]bool) // bucket lengths ever dispatched — warm Ts
+
+	dispatch := func(T int) {
+		b := pending[T]
+		delete(pending, T)
+		if seen[T] {
+			s.met.bucketHits.Add(int64(len(b.items)))
+		} else {
+			s.met.bucketMisses.Add(int64(len(b.items)))
+			seen[T] = true
+		}
+		s.jobs <- &microBatch{T: T, items: b.items}
+	}
+
+	// earliest returns the soonest bucket deadline, if any bucket is open.
+	earliest := func() (time.Time, bool) {
+		var d time.Time
+		ok := false
+		for _, b := range pending {
+			if !ok || b.deadline.Before(d) {
+				d, ok = b.deadline, true
+			}
+		}
+		return d, ok
+	}
+
+	for {
+		var timerC <-chan time.Time
+		var tm *time.Timer
+		if d, ok := earliest(); ok {
+			tm = time.NewTimer(time.Until(d))
+			timerC = tm.C
+		}
+		select {
+		case it, ok := <-s.queue:
+			if !ok {
+				// Draining: flush every open bucket, then stop.
+				for T := range pending {
+					dispatch(T)
+				}
+				if tm != nil {
+					tm.Stop()
+				}
+				return
+			}
+			b := pending[it.T]
+			if b == nil {
+				b = &bucket{deadline: time.Now().Add(s.cfg.BatchWindow)}
+				pending[it.T] = b
+			}
+			b.items = append(b.items, it)
+			if len(b.items) >= rowCap {
+				dispatch(it.T)
+			}
+		case now := <-timerC:
+			for T, b := range pending {
+				if !b.deadline.After(now) {
+					dispatch(T)
+				}
+			}
+		}
+		if tm != nil {
+			tm.Stop()
+		}
+	}
+}

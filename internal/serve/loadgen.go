@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/obs"
+	"bpar/internal/rng"
+)
+
+// LoadGenConfig parameterizes one open-loop load-generation run against an
+// inference service.
+type LoadGenConfig struct {
+	// URL targets a running bpar-serve instance (e.g. "http://localhost:8080").
+	// Empty spins up an in-process server on a loopback port for Model.
+	URL string
+
+	// Model backs the in-process server when URL is empty. Nil selects the
+	// paper's Table III batch-1 configuration (6-layer BLSTM, input 256,
+	// hidden 256, batch 1, T=100) — the latency-bound config serving cares
+	// about most.
+	Model *core.Model
+
+	// Serve overrides the in-process server's knobs (Model and Registry are
+	// taken from this config regardless).
+	Serve Config
+
+	// Rate is the offered arrival rate in requests per second. Arrivals are
+	// open-loop Poisson: inter-arrival gaps are exponential and independent
+	// of completions, so saturation shows up as latency growth and 429s
+	// instead of silently throttling the generator.
+	Rate float64
+
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+
+	// SeqLens are the sequence lengths sampled uniformly per request.
+	// Empty defaults to {Model.Cfg.SeqLen} (or 100 for the default model).
+	SeqLens []int
+
+	// Classify hits /v1/classify instead of /v1/probs.
+	Classify bool
+
+	// MaxOutstanding caps concurrently waiting requests; arrivals beyond it
+	// are dropped and counted (the generator refuses to hide a saturated
+	// service behind its own goroutine exhaustion). Defaults to 4096.
+	MaxOutstanding int
+
+	// Seed drives the deterministic arrival process and payload synthesis.
+	Seed uint64
+}
+
+// LoadGenResult is one run's measurement.
+type LoadGenResult struct {
+	OfferedQPS  float64
+	Sent        int
+	OK          int
+	Rejected    int // 429
+	Errors      int // transport errors and non-200/429 statuses
+	Dropped     int // arrivals over MaxOutstanding, never sent
+	Elapsed     time.Duration
+	AchievedQPS float64 // completed OK requests per elapsed second
+	P50         time.Duration
+	P90         time.Duration
+	P99         time.Duration
+	Max         time.Duration
+}
+
+// tableIIIBatch1Model builds the default load-test model: the Table III
+// batch-1 row {input 256, hidden 256, batch 1, seq 100} as a 6-layer
+// many-to-one BLSTM.
+func tableIIIBatch1Model() (*core.Model, error) {
+	return core.NewModel(core.Config{
+		Cell: core.LSTM, Arch: core.ManyToOne, Merge: core.MergeSum,
+		InputSize: 256, HiddenSize: 256, Layers: 6, SeqLen: 100,
+		Batch: 1, Classes: 11, MiniBatches: 1, Seed: 1,
+	})
+}
+
+// RunLoadGen drives one open-loop run and reports latency percentiles and
+// achieved throughput. When cfg.URL is empty it stands up an in-process
+// server first and drains it after.
+func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("serve: loadgen Rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("serve: loadgen Duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 4096
+	}
+
+	url := cfg.URL
+	var drain func() error
+	if url == "" {
+		if cfg.Model == nil {
+			m, err := tableIIIBatch1Model()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Model = m
+			if len(cfg.SeqLens) == 0 {
+				cfg.SeqLens = []int{m.Cfg.SeqLen}
+			}
+		}
+		model := cfg.Model
+		sc := cfg.Serve
+		sc.Model = model
+		svc, err := New(sc)
+		if err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		svc.Routes(mux)
+		httpSrv, addr, err := obs.ServeMux("127.0.0.1:0", mux)
+		if err != nil {
+			return nil, err
+		}
+		url = "http://" + addr
+		drain = func() error {
+			obs.ShutdownServer(httpSrv, 5*time.Second)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			return svc.Drain(ctx)
+		}
+	}
+	if len(cfg.SeqLens) == 0 {
+		if cfg.Model != nil {
+			cfg.SeqLens = []int{cfg.Model.Cfg.SeqLen}
+		} else {
+			cfg.SeqLens = []int{100}
+		}
+	}
+
+	res, err := fire(cfg, url)
+	if drain != nil {
+		if derr := drain(); err == nil {
+			err = derr
+		}
+	}
+	return res, err
+}
+
+// payloadStreamOffset keeps payload synthesis on an independent
+// deterministic stream from arrival timing.
+const payloadStreamOffset = 0x10adc0de
+
+// payloads pre-marshals a few request bodies per sequence length so the
+// arrival loop never does JSON or RNG work on the critical timing path.
+func payloads(cfg LoadGenConfig, inputSize int) map[int][][]byte {
+	r := rng.New(cfg.Seed + payloadStreamOffset)
+	out := make(map[int][][]byte, len(cfg.SeqLens))
+	const variants = 4
+	for _, T := range cfg.SeqLens {
+		bodies := make([][]byte, variants)
+		for v := range bodies {
+			frames := make([][]float64, T)
+			for t := range frames {
+				frames[t] = make([]float64, inputSize)
+				r.FillUniform(frames[t], -1, 1)
+			}
+			b, err := json.Marshal(InferRequest{Sequences: [][][]float64{frames}})
+			if err != nil {
+				panic(err) // marshaling plain float64 slices cannot fail
+			}
+			bodies[v] = b
+		}
+		out[T] = bodies
+	}
+	return out
+}
+
+func fire(cfg LoadGenConfig, url string) (*LoadGenResult, error) {
+	endpoint := url + "/v1/probs"
+	if cfg.Classify {
+		endpoint = url + "/v1/classify"
+	}
+	// Payload synthesis needs the model's input width. In-process runs know
+	// it from the model; remote targets must supply a Model carrying at
+	// least the right Cfg.InputSize.
+	inputSize := 20
+	if cfg.Model != nil {
+		inputSize = cfg.Model.Cfg.InputSize
+	}
+
+	bodies := payloads(cfg, inputSize)
+	arrivals := rng.New(cfg.Seed)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		result    LoadGenResult
+		wg        sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	result.OfferedQPS = cfg.Rate
+
+	start := time.Now()
+	next := start
+	for time.Since(start) < cfg.Duration {
+		// Exponential inter-arrival gap: -ln(U)/rate.
+		gap := -math.Log(1-arrivals.Float64()) / cfg.Rate
+		next = next.Add(time.Duration(gap * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		T := cfg.SeqLens[arrivals.Intn(len(cfg.SeqLens))]
+		body := bodies[T][arrivals.Intn(len(bodies[T]))]
+
+		select {
+		case sem <- struct{}{}:
+		default:
+			result.Dropped++
+			continue
+		}
+		result.Sent++
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sent := time.Now()
+			resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+			lat := time.Since(sent)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				result.Errors++
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				result.Errors++
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				result.OK++
+				latencies = append(latencies, lat)
+			case http.StatusTooManyRequests:
+				result.Rejected++
+			default:
+				result.Errors++
+			}
+		}(body)
+	}
+	wg.Wait()
+	// Spare dialed-but-unused connections would otherwise hold the server's
+	// Shutdown until its new-connection grace period expires.
+	client.CloseIdleConnections()
+	result.Elapsed = time.Since(start)
+	if result.Elapsed > 0 {
+		result.AchievedQPS = float64(result.OK) / result.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	result.P50, result.P90, result.P99 = pct(0.50), pct(0.90), pct(0.99)
+	if n := len(latencies); n > 0 {
+		result.Max = latencies[n-1]
+	}
+	return &result, nil
+}
+
+// RunSaturationSweep runs the load generator at doubling offered rates
+// starting from cfg.Rate, stopping after steps runs or once fewer than half
+// the sent requests succeed (the knee is behind us at that point). Each
+// step reuses the same in-process server configuration but a fresh server,
+// so per-step results are independent.
+func RunSaturationSweep(cfg LoadGenConfig, steps int) ([]*LoadGenResult, error) {
+	if steps <= 0 {
+		steps = 5
+	}
+	var out []*LoadGenResult
+	rate := cfg.Rate
+	for i := 0; i < steps; i++ {
+		c := cfg
+		c.Rate = rate
+		r, err := RunLoadGen(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+		if r.Sent > 0 && float64(r.OK) < 0.5*float64(r.Sent) {
+			break
+		}
+		rate *= 2
+	}
+	return out, nil
+}

@@ -1,0 +1,335 @@
+// Package serve is the inference service built on the engine's replay
+// templates: an HTTP layer that answers classification and probability
+// requests for a loaded model through dynamic micro-batching.
+//
+// Requests carry one or more sequences of feature frames. Each sequence is
+// admitted into a bounded queue (admission control: the service answers 429
+// with Retry-After instead of building an unbounded backlog), grouped by
+// sequence length into buckets so the engine's per-(T) workspace and
+// template caches stay hot, held for at most a batch window while more rows
+// arrive, padded up to the model's batch size, and dispatched to a pool of
+// engines — one core.Engine per worker goroutine, because Engine is
+// single-threaded by design (it guards against concurrent use with
+// core.ErrEngineBusy; the pool is how concurrency is supposed to happen).
+//
+// Row padding is numerically inert: the forward pass is row-independent, so
+// a sequence's probabilities are bitwise identical whether it rides in a
+// full batch, a padded one, or alone. Sequence-length padding (RoundSeqTo >
+// 1) is NOT inert for a bidirectional model — the reverse direction consumes
+// the zero padding before the real frames — so exact-length bucketing is the
+// default and rounding is an explicit opt-in documented to change numerics.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/obs"
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// Config parameterizes one Server.
+type Config struct {
+	// Model is the loaded model every pool engine shares. Weights are only
+	// read during forward propagation, so sharing is race-free.
+	Model *core.Model
+
+	// Engines is the pool size: one engine, one taskrt runtime, and one
+	// worker goroutine each. Defaults to max(1, GOMAXPROCS/4).
+	Engines int
+
+	// WorkersPerEngine is each engine runtime's worker-goroutine count.
+	// Defaults to 2; Engines*WorkersPerEngine ~ GOMAXPROCS is the natural
+	// operating point.
+	WorkersPerEngine int
+
+	// BatchWindow is how long a partially filled bucket waits for more rows
+	// before dispatching anyway. Defaults to 2ms.
+	BatchWindow time.Duration
+
+	// QueueCap bounds the sequences in flight (queued + batching + running).
+	// Admission beyond it is refused with 429. Defaults to
+	// 8 * Model.Cfg.Batch * Engines, floored at 64.
+	QueueCap int
+
+	// RoundSeqTo, when > 1, rounds sequence lengths up to the next multiple
+	// with zero-frame padding, trading bitwise exactness for a smaller
+	// bucket working set. 0 or 1 keeps exact-length buckets (the default):
+	// responses are then bitwise identical to a direct Engine.InferProbs
+	// call on the same sequence.
+	RoundSeqTo int
+
+	// MaxSeqLen rejects longer sequences with 400. Defaults to 512.
+	MaxSeqLen int
+
+	// MaxCachedSeqLens is passed through to each engine's workspace LRU
+	// (0 = the engine default of 8). Size it to the number of distinct
+	// bucket lengths expected in steady state, or recaptures will churn.
+	MaxCachedSeqLens int
+
+	// Registry receives the bpar_serve_* and per-engine bpar_engine_*
+	// series. Nil metrics go to a private throwaway registry.
+	Registry *obs.Registry
+}
+
+func (c *Config) withDefaults() error {
+	if c.Model == nil {
+		return fmt.Errorf("serve: Config.Model is nil")
+	}
+	if c.Engines <= 0 {
+		c.Engines = max(1, runtime.GOMAXPROCS(0)/4)
+	}
+	if c.WorkersPerEngine <= 0 {
+		c.WorkersPerEngine = 2
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = max(64, 8*c.Model.Cfg.Batch*c.Engines)
+	}
+	if c.RoundSeqTo <= 0 {
+		c.RoundSeqTo = 1
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = 512
+	}
+	return nil
+}
+
+// item is one admitted sequence flowing queue → bucket → batch → engine.
+type item struct {
+	frames [][]float64 // origT frames of Model.Cfg.InputSize features
+	T      int         // bucketed (possibly rounded-up) length
+	origT  int
+	done   chan itemResult // buffered(1): the worker never blocks on it
+}
+
+type itemResult struct {
+	probs [][]float64 // per head: 1 (many-to-one) or origT (many-to-many) rows of Classes
+	err   error
+}
+
+// microBatch is one dispatched unit of work: same-T items padded to
+// Model.Cfg.Batch rows by the worker.
+type microBatch struct {
+	T     int
+	items []*item
+}
+
+// Server is the micro-batching inference service.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// mu serializes admission against drain: handlers hold the read side
+	// while checking closed and sending to queue, Drain holds the write
+	// side while flipping closed and closing the queue, so no send can race
+	// the close.
+	mu     sync.RWMutex
+	closed bool
+
+	queue    chan *item
+	jobs     chan *microBatch
+	inflight atomic.Int64 // admitted items not yet completed
+
+	engines []*core.Engine
+	rts     []*taskrt.Runtime
+	wg      sync.WaitGroup
+
+	met       *metrics
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// New builds the server, its engine pool, and the batching pipeline, and
+// starts the background goroutines. Callers mount Routes on an HTTP mux and
+// must eventually call Drain.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		queue: make(chan *item, cfg.QueueCap),
+		jobs:  make(chan *microBatch, cfg.Engines),
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.met = newMetrics(reg, s)
+
+	for i := 0; i < cfg.Engines; i++ {
+		rt := taskrt.New(taskrt.Options{Workers: cfg.WorkersPerEngine, Policy: taskrt.LocalityAware})
+		eng := core.NewEngine(cfg.Model, rt)
+		eng.MaxCachedSeqLens = cfg.MaxCachedSeqLens
+		eng.EnableObs(reg, "engine", strconv.Itoa(i))
+		s.rts = append(s.rts, rt)
+		s.engines = append(s.engines, eng)
+	}
+
+	s.wg.Add(1 + cfg.Engines)
+	go s.batcher()
+	for i := 0; i < cfg.Engines; i++ {
+		go s.worker(i)
+	}
+	obs.Logger("serve").Info("inference service started",
+		"engines", cfg.Engines, "workers_per_engine", cfg.WorkersPerEngine,
+		"batch_window", cfg.BatchWindow, "queue_cap", cfg.QueueCap,
+		"round_seq_to", cfg.RoundSeqTo, "model", cfg.Model.Cfg.String())
+	return s, nil
+}
+
+// bucketLen returns the bucketed sequence length for an original length.
+func (s *Server) bucketLen(origT int) int {
+	r := s.cfg.RoundSeqTo
+	return (origT + r - 1) / r * r
+}
+
+// Warm captures the forward template of each given original sequence length
+// on every pool engine, so the first real requests replay instead of paying
+// graph capture. Lengths are bucketed the same way admission buckets them.
+func (s *Server) Warm(seqLens []int) error {
+	cfg := s.cfg.Model.Cfg
+	for _, origT := range seqLens {
+		T := s.bucketLen(origT)
+		X := make([]*tensor.Matrix, T)
+		for t := range X {
+			X[t] = tensor.New(cfg.Batch, cfg.InputSize)
+		}
+		for _, eng := range s.engines {
+			if _, _, err := eng.InferProbs(&core.Batch{X: X, Real: 1}); err != nil {
+				return fmt.Errorf("serve: warmup T=%d: %w", T, err)
+			}
+		}
+		s.met.warmed.Inc()
+	}
+	return nil
+}
+
+// admit places a request's sequences into the queue, all or nothing.
+// Returns 0 on success or the HTTP status to answer with.
+func (s *Server) admit(items []*item) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 503
+	}
+	n := int64(len(items))
+	if s.inflight.Add(n) > int64(s.cfg.QueueCap) {
+		s.inflight.Add(-n)
+		s.met.rejected.Add(n)
+		return 429
+	}
+	// The sends cannot block: items in the channel are a subset of inflight,
+	// which the check above bounded by the channel capacity.
+	for _, it := range items {
+		s.queue <- it
+	}
+	return 0
+}
+
+// worker owns one engine: it pads each micro-batch to the configured batch
+// size, runs forward propagation, and completes every item.
+func (s *Server) worker(i int) {
+	defer s.wg.Done()
+	eng := s.engines[i]
+	for mb := range s.jobs {
+		s.runBatch(eng, mb)
+	}
+}
+
+// runBatch executes one micro-batch on eng and delivers per-item results.
+func (s *Server) runBatch(eng *core.Engine, mb *microBatch) {
+	cfg := s.cfg.Model.Cfg
+	X := make([]*tensor.Matrix, mb.T)
+	for t := range X {
+		X[t] = tensor.New(cfg.Batch, cfg.InputSize)
+	}
+	for r, it := range mb.items {
+		for t, frame := range it.frames {
+			copy(X[t].Row(r), frame)
+		}
+		// Frames [len(it.frames), T) — rounded-up length padding — and rows
+		// [len(items), Batch) — partial-batch padding — stay zero.
+	}
+	probs, _, err := eng.InferProbs(&core.Batch{X: X, Real: len(mb.items)})
+	if err != nil {
+		for _, it := range mb.items {
+			it.done <- itemResult{err: err}
+		}
+	} else {
+		for r, it := range mb.items {
+			heads := 1
+			if cfg.Arch == core.ManyToMany {
+				heads = it.origT // drop rounded-up padding heads
+			}
+			out := make([][]float64, heads)
+			for h := 0; h < heads; h++ {
+				out[h] = append([]float64(nil), probs[h].Row(r)...)
+			}
+			it.done <- itemResult{probs: out}
+		}
+	}
+	s.inflight.Add(-int64(len(mb.items)))
+	s.met.batches.Inc()
+	s.met.sequences.Add(int64(len(mb.items)))
+	s.met.batchFill.Observe(float64(len(mb.items)) / float64(cfg.Batch))
+}
+
+// TemplateStats sums template-cache hits and misses across the engine pool.
+// After warmup every serve-path step should be a hit: misses growing in
+// steady state mean the bucket working set exceeds MaxCachedSeqLens.
+func (s *Server) TemplateStats() (hits, misses int64) {
+	for _, eng := range s.engines {
+		h, m := eng.TemplateStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// Inflight returns the number of admitted, not yet completed sequences.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Drain performs graceful shutdown: stop admitting (503 from then on),
+// flush every pending bucket, finish every admitted sequence, then shut the
+// engine runtimes down. It returns nil once all work completed, or the
+// context error if ctx expired first (runtimes are then left running for
+// the process to tear down). Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		close(s.queue)
+		s.mu.Unlock()
+		obs.Logger("serve").Info("draining", "inflight", s.inflight.Load())
+
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+			for _, rt := range s.rts {
+				rt.Shutdown()
+			}
+			obs.Logger("serve").Info("drained")
+		case <-ctx.Done():
+			s.drainErr = fmt.Errorf("serve: drain aborted with %d sequences in flight: %w",
+				s.inflight.Load(), ctx.Err())
+			obs.Logger("serve").Warn("drain aborted", "err", s.drainErr)
+		}
+	})
+	return s.drainErr
+}

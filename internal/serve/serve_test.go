@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/rng"
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// testModel builds a small model for service tests.
+func testModel(t *testing.T, arch core.Arch) *core.Model {
+	t.Helper()
+	m, err := core.NewModel(core.Config{
+		Cell: core.LSTM, Arch: arch, Merge: core.MergeSum,
+		InputSize: 4, HiddenSize: 8, Layers: 2, SeqLen: 6,
+		Batch: 4, Classes: 3, MiniBatches: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// makeSeq builds a deterministic [T][InputSize] frame sequence.
+func makeSeq(T, inputSize int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	frames := make([][]float64, T)
+	for t := range frames {
+		frames[t] = make([]float64, inputSize)
+		r.FillUniform(frames[t], -1, 1)
+	}
+	return frames
+}
+
+// directProbs runs one sequence alone through a reference engine (row 0 of a
+// zero-padded batch, Real=1) and returns the per-head probability rows — the
+// ground truth the service's padded, bucketed, micro-batched path must match
+// bitwise.
+func directProbs(t *testing.T, m *core.Model, frames [][]float64) [][]float64 {
+	t.Helper()
+	eng := core.NewEngine(m, taskrt.NewInline(nil))
+	X := make([]*tensor.Matrix, len(frames))
+	for i, frame := range frames {
+		X[i] = tensor.New(m.Cfg.Batch, m.Cfg.InputSize)
+		copy(X[i].Row(0), frame)
+	}
+	probs, _, err := eng.InferProbs(&core.Batch{X: X, Real: 1})
+	if err != nil {
+		t.Fatalf("direct InferProbs: %v", err)
+	}
+	heads := 1
+	if m.Cfg.Arch == core.ManyToMany {
+		heads = len(frames)
+	}
+	out := make([][]float64, heads)
+	for h := range out {
+		out[h] = append([]float64(nil), probs[h].Row(0)...)
+	}
+	return out
+}
+
+// newTestServer stands up a Server plus an httptest front end; both are torn
+// down via t.Cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return svc, ts
+}
+
+// post sends one InferRequest and decodes the answer.
+func post(t *testing.T, url string, seqs [][][]float64) (*http.Response, InferResponse) {
+	t.Helper()
+	body, err := json.Marshal(InferRequest{Sequences: seqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp, out
+}
+
+// TestServeBitwiseMatchesDirectInfer is the core acceptance test: concurrent
+// clients with mixed sequence lengths receive probabilities bitwise-equal to
+// a direct Engine.InferProbs call on the same lone sequence, proving that
+// partial-batch row padding, length bucketing, and micro-batch placement are
+// numerically inert. encoding/json round-trips float64 exactly (shortest
+// round-trip encoding), so the comparison survives the wire.
+func TestServeBitwiseMatchesDirectInfer(t *testing.T) {
+	for _, arch := range []core.Arch{core.ManyToOne, core.ManyToMany} {
+		t.Run(arch.String(), func(t *testing.T) {
+			m := testModel(t, arch)
+			seqLens := []int{3, 5, 9}
+			const variants = 3
+
+			// Ground truth per (length, variant), computed before any traffic.
+			want := map[string][][]float64{}
+			seqs := map[string][][]float64{}
+			for _, T := range seqLens {
+				for v := 0; v < variants; v++ {
+					key := fmt.Sprintf("%d/%d", T, v)
+					s := makeSeq(T, m.Cfg.InputSize, uint64(1000*T+v))
+					seqs[key] = s
+					want[key] = directProbs(t, m, s)
+				}
+			}
+
+			_, ts := newTestServer(t, Config{
+				Model: m, Engines: 2, WorkersPerEngine: 2,
+				BatchWindow: time.Millisecond,
+			})
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < 6; i++ {
+						T := seqLens[(c+i)%len(seqLens)]
+						v := (c * i) % variants
+						key := fmt.Sprintf("%d/%d", T, v)
+						resp, out := post(t, ts.URL+"/v1/probs", [][][]float64{seqs[key]})
+						if resp.StatusCode != http.StatusOK {
+							errs <- fmt.Errorf("status %d for %s", resp.StatusCode, key)
+							return
+						}
+						if len(out.Results) != 1 {
+							errs <- fmt.Errorf("%d results for %s", len(out.Results), key)
+							return
+						}
+						got := out.Results[0].Probs
+						exp := want[key]
+						if len(got) != len(exp) {
+							errs <- fmt.Errorf("%s: %d heads, want %d", key, len(got), len(exp))
+							return
+						}
+						for h := range exp {
+							for j := range exp[h] {
+								if got[h][j] != exp[h][j] {
+									errs <- fmt.Errorf("%s head %d class %d: served %v != direct %v",
+										key, h, j, got[h][j], exp[h][j])
+									return
+								}
+							}
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestServeClassifyMatchesArgmax checks /v1/classify returns the argmax of
+// the same distributions /v1/probs serves.
+func TestServeClassifyMatchesArgmax(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	_, ts := newTestServer(t, Config{Model: m, Engines: 1, BatchWindow: time.Millisecond})
+
+	s := makeSeq(5, m.Cfg.InputSize, 42)
+	exp := directProbs(t, m, s)
+	resp, out := post(t, ts.URL+"/v1/classify", [][][]float64{s})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Results) != 1 || len(out.Results[0].Labels) != 1 {
+		t.Fatalf("unexpected shape: %+v", out)
+	}
+	if got, want := out.Results[0].Labels[0], argmax(exp[0]); got != want {
+		t.Errorf("label %d, want argmax %d of %v", got, want, exp[0])
+	}
+}
+
+// TestServeMultiSequenceRequest exercises several mixed-length sequences in
+// one request body; results must align with request order.
+func TestServeMultiSequenceRequest(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	_, ts := newTestServer(t, Config{Model: m, Engines: 1, BatchWindow: time.Millisecond})
+
+	lens := []int{7, 3, 7, 5}
+	var seqs [][][]float64
+	var want [][][]float64
+	for i, T := range lens {
+		s := makeSeq(T, m.Cfg.InputSize, uint64(9000+i))
+		seqs = append(seqs, s)
+		want = append(want, directProbs(t, m, s))
+	}
+	resp, out := post(t, ts.URL+"/v1/probs", seqs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Results) != len(lens) {
+		t.Fatalf("%d results, want %d", len(out.Results), len(lens))
+	}
+	for i, r := range out.Results {
+		if r.SeqLen != lens[i] {
+			t.Errorf("result %d seq_len %d, want %d", i, r.SeqLen, lens[i])
+		}
+		for h := range want[i] {
+			for j := range want[i][h] {
+				if r.Probs[h][j] != want[i][h][j] {
+					t.Errorf("result %d head %d class %d: %v != %v", i, h, j, r.Probs[h][j], want[i][h][j])
+				}
+			}
+		}
+	}
+}
+
+// TestServeBadRequests covers the 400/405 validation path.
+func TestServeBadRequests(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	_, ts := newTestServer(t, Config{Model: m, Engines: 1, BatchWindow: time.Millisecond, MaxSeqLen: 8})
+
+	get, err := http.Get(ts.URL + "/v1/probs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, get.Body)
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", get.StatusCode)
+	}
+
+	for name, seqs := range map[string][][][]float64{
+		"no sequences":    {},
+		"empty sequence":  {{}},
+		"wrong width":     {{{1, 2}}},
+		"over max seqlen": {makeSeq(9, m.Cfg.InputSize, 1)},
+	} {
+		resp, _ := post(t, ts.URL+"/v1/probs", seqs)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeBackpressure429 fills the admission queue and checks the next
+// request is refused with 429 plus a Retry-After header, while the admitted
+// work still completes.
+func TestServeBackpressure429(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	// QueueCap 2, a partial bucket (2 of 4 rows), and a long window: the two
+	// admitted sequences sit in the bucket while the third arrives.
+	svc, ts := newTestServer(t, Config{
+		Model: m, Engines: 1, QueueCap: 2, BatchWindow: time.Second,
+	})
+
+	first := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/probs", [][][]float64{
+			makeSeq(5, m.Cfg.InputSize, 1), makeSeq(5, m.Cfg.InputSize, 2),
+		})
+		first <- resp
+	}()
+
+	// Wait until both sequences are admitted and held in the bucket, then a
+	// third arrival is guaranteed to overflow the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Inflight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request was never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	over, _ := post(t, ts.URL+"/v1/probs", [][][]float64{makeSeq(5, m.Cfg.InputSize, 3)})
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("overflow status %d, want 429", over.StatusCode)
+	}
+	if over.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	resp := <-first
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("admitted request finished with status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeGracefulDrain checks Drain's contract: in-flight sequences are
+// answered, then new work is refused with 503.
+func TestServeGracefulDrain(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	svc, err := New(Config{Model: m, Engines: 1, BatchWindow: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	inFlight := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/probs", [][][]float64{makeSeq(5, m.Cfg.InputSize, 3)})
+		inFlight <- resp
+	}()
+	for svc.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The held partial bucket was flushed, not dropped.
+	resp := <-inFlight
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("in-flight request finished with status %d, want 200", resp.StatusCode)
+	}
+	if n := svc.Inflight(); n != 0 {
+		t.Errorf("inflight = %d after drain, want 0", n)
+	}
+
+	after, _ := post(t, ts.URL+"/v1/probs", [][][]float64{makeSeq(5, m.Cfg.InputSize, 4)})
+	if after.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain status %d, want 503", after.StatusCode)
+	}
+	if after.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+}
+
+// TestServeTemplateHitRateAfterWarm checks the acceptance criterion that a
+// warmed service replays templates on every request: after Warm, traffic at
+// the warmed lengths adds hits but no misses.
+func TestServeTemplateHitRateAfterWarm(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	svc, ts := newTestServer(t, Config{Model: m, Engines: 2, BatchWindow: time.Millisecond})
+
+	warm := []int{3, 5}
+	if err := svc.Warm(warm); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterWarm := svc.TemplateStats()
+	if want := int64(len(warm) * len(svc.engines)); missesAfterWarm != want {
+		t.Fatalf("misses after warm = %d, want %d (one capture per length per engine)", missesAfterWarm, want)
+	}
+	hits0, _ := svc.TemplateStats()
+
+	for i := 0; i < 10; i++ {
+		T := warm[i%len(warm)]
+		resp, _ := post(t, ts.URL+"/v1/probs", [][][]float64{makeSeq(T, m.Cfg.InputSize, uint64(i))})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	hits, misses := svc.TemplateStats()
+	if misses != missesAfterWarm {
+		t.Errorf("misses grew from %d to %d under warmed traffic; template hit rate is not 100%%", missesAfterWarm, misses)
+	}
+	if hits <= hits0 {
+		t.Errorf("hits did not grow under traffic (before %d, after %d)", hits0, hits)
+	}
+}
+
+// TestLoadGenSmoke runs the open-loop generator against an in-process server
+// on a small model and sanity-checks the measurement.
+func TestLoadGenSmoke(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	res, err := RunLoadGen(LoadGenConfig{
+		Model:    m,
+		Serve:    Config{Engines: 1, BatchWindow: time.Millisecond},
+		Rate:     200,
+		Duration: 300 * time.Millisecond,
+		SeqLens:  []int{3, 5},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("load generator sent nothing")
+	}
+	if res.OK == 0 {
+		t.Fatalf("no successful requests: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d transport/server errors: %+v", res.Errors, res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("implausible percentiles p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Errorf("achieved qps = %g, want > 0", res.AchievedQPS)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bpar/internal/core"
 	"bpar/internal/data"
 	"bpar/internal/experiments"
+	"bpar/internal/prof"
 	"bpar/internal/taskrt"
 )
 
@@ -202,7 +203,9 @@ func BenchmarkProjectionAblation(b *testing.B) {
 // scheduling overhead is largest relative to the kernel bodies. The reported
 // submit-ns/op metric isolates the submission lane: replay's counter-reset
 // loop is expected to cost >=1.3x less than fresh emission's hashing and
-// node allocation.
+// node allocation. The replay-prof variant runs the same replay path with
+// the graph profiler attached; its ns/op delta against replay is the
+// profiler's hot-path cost (budget: <3%).
 func BenchmarkGraphReplay(b *testing.B) {
 	cfg := core.Config{
 		Cell: core.LSTM, Arch: core.ManyToOne, Merge: core.MergeSum,
@@ -216,13 +219,18 @@ func BenchmarkGraphReplay(b *testing.B) {
 	for _, mode := range []struct {
 		name     string
 		noReplay bool
-	}{{"fresh", true}, {"replay", false}} {
+		profile  bool
+	}{{"fresh", true, false}, {"replay", false, false}, {"replay-prof", false, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			m, err := core.NewModel(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
-			rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.BreadthFirst})
+			var psink taskrt.ProfileSink
+			if mode.profile {
+				psink = prof.NewGraphProfiler()
+			}
+			rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.BreadthFirst, Profile: psink})
 			defer rt.Shutdown()
 			eng := core.NewEngine(m, rt)
 			eng.NoReplay = mode.noReplay

@@ -38,6 +38,7 @@ import (
 	"bpar/internal/core"
 	"bpar/internal/experiments"
 	"bpar/internal/obs"
+	"bpar/internal/prof"
 	"bpar/internal/serve"
 	"bpar/internal/tensor"
 )
@@ -82,6 +83,8 @@ func main() {
 	replay := flag.Bool("replay", true, "use graph capture & replay in native-engine experiments")
 	noReplay := flag.Bool("no-replay", false, "force fresh task-graph emission every step (overrides -replay)")
 	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
+	profGraph := flag.Bool("profile-graph", false, "accumulate per-node timing over the replayed task graphs (see bpar-prof)")
+	profOut := flag.String("profile-out", "bpar-profile.json", "profile dump path written at exit when -profile-graph is set")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -135,6 +138,11 @@ func main() {
 	}
 
 	o := experiments.Opts{SeqLen: *seq, NoReplay: *noReplay || !*replay}
+	var profiler *prof.GraphProfiler
+	if *profGraph {
+		profiler = prof.NewGraphProfiler()
+		o.Profile = profiler
+	}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "projection", "replay", "policy", "efficiency", "platforms", "crossover", "sched"}
@@ -151,6 +159,19 @@ func main() {
 		}
 		log.Info("experiment completed", "exp", name,
 			"duration", time.Since(start).Round(time.Millisecond))
+	}
+
+	if profiler != nil {
+		// Every experiment runtime has drained by now; the snapshot covers
+		// whatever native-engine experiments replayed templates.
+		pd := profiler.Snapshot(runtime.GOMAXPROCS(0))
+		if err := pd.WriteFile(*profOut); err != nil {
+			log.Error("profile dump", "err", err)
+			os.Exit(1)
+		}
+		log.Info("profile dump written", "file", *profOut,
+			"templates", profiler.Templates(), "replays", profiler.Replays(),
+			"reader", "bpar-prof "+*profOut)
 	}
 
 	if *memProfile != "" {

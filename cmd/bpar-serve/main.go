@@ -35,6 +35,7 @@ import (
 
 	"bpar/internal/core"
 	"bpar/internal/obs"
+	"bpar/internal/prof"
 	"bpar/internal/serve"
 	"bpar/internal/tensor"
 )
@@ -59,6 +60,8 @@ type options struct {
 	warm      string
 	listen    string
 	drainSec  int
+	profGraph bool
+	profOut   string
 	logLevel  string
 }
 
@@ -83,6 +86,8 @@ func main() {
 	flag.StringVar(&o.warm, "warm", "", "comma-separated sequence lengths to pre-capture templates for at startup")
 	flag.StringVar(&o.listen, "listen", ":8080", "serve the API and telemetry on this address")
 	flag.IntVar(&o.drainSec, "drain-timeout", 30, "seconds to wait for graceful drain on SIGINT/SIGTERM")
+	flag.BoolVar(&o.profGraph, "profile-graph", false, "accumulate per-node timing over the replayed task graphs (see bpar-prof); stage histograms on /metrics are always on")
+	flag.StringVar(&o.profOut, "profile-out", "bpar-profile.json", "profile dump path written after drain when -profile-graph is set")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 
@@ -174,6 +179,12 @@ func run(o options) error {
 	obs.RegisterProcessMetrics(reg)
 	tensor.RegisterMetrics(reg)
 
+	var profiler *prof.GraphProfiler
+	if o.profGraph {
+		profiler = prof.NewGraphProfiler()
+		prof.RegisterMetrics(reg, profiler, o.engWorker)
+	}
+
 	srvCfg := serve.Config{
 		Model:            model,
 		Engines:          o.engines,
@@ -184,6 +195,9 @@ func run(o options) error {
 		MaxSeqLen:        o.maxSeq,
 		MaxCachedSeqLens: o.maxCached,
 		Registry:         reg,
+	}
+	if profiler != nil {
+		srvCfg.Profile = profiler
 	}
 	svc, err := serve.New(srvCfg)
 	if err != nil {
@@ -219,6 +233,16 @@ func run(o options) error {
 	obs.ShutdownServer(srv, time.Duration(o.drainSec)*time.Second)
 	if err := svc.Drain(drainCtx); err != nil {
 		return err
+	}
+	if profiler != nil {
+		// Safe only now: Drain quiesced every engine runtime.
+		pd := profiler.Snapshot(o.engWorker)
+		if err := pd.WriteFile(o.profOut); err != nil {
+			return err
+		}
+		log.Info("profile dump written", "file", o.profOut,
+			"templates", profiler.Templates(), "replays", profiler.Replays(),
+			"reader", "bpar-prof "+o.profOut)
 	}
 	log.Info("exit clean")
 	return nil

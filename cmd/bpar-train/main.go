@@ -31,6 +31,7 @@ import (
 	"bpar/internal/core"
 	"bpar/internal/data"
 	"bpar/internal/obs"
+	"bpar/internal/prof"
 	"bpar/internal/taskrt"
 	"bpar/internal/tensor"
 	"bpar/internal/trace"
@@ -55,6 +56,8 @@ type options struct {
 	seed       uint64
 	traceFile  string
 	traceCap   int
+	profGraph  bool
+	profOut    string
 	listen     string
 	cpuProfile string
 	memProfile string
@@ -81,6 +84,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace-event JSON of the run's schedule to this file")
 	flag.IntVar(&o.traceCap, "trace-cap", 0, "max task records retained by -trace (reservoir sampling; 0 = unbounded)")
+	flag.BoolVar(&o.profGraph, "profile-graph", false, "accumulate per-node timing over the replayed task graphs (see bpar-prof)")
+	flag.StringVar(&o.profOut, "profile-out", "bpar-profile.json", "profile dump path written at exit when -profile-graph is set")
 	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -168,7 +173,13 @@ func run(ctx context.Context, o options) error {
 		sink = trace.NewBounded(o.traceCap)
 		tsink = sink
 	}
-	rt := taskrt.New(taskrt.Options{Workers: o.workers, Policy: pol, Sink: tsink, DepCheck: o.depCheck})
+	var profiler *prof.GraphProfiler
+	var psink taskrt.ProfileSink
+	if o.profGraph {
+		profiler = prof.NewGraphProfiler()
+		psink = profiler
+	}
+	rt := taskrt.New(taskrt.Options{Workers: o.workers, Policy: pol, Sink: tsink, DepCheck: o.depCheck, Profile: psink})
 	defer rt.Shutdown()
 	if o.depCheck {
 		defer tensor.SetAccessHook(nil)
@@ -187,6 +198,9 @@ func run(ctx context.Context, o options) error {
 	tensor.RegisterMetrics(reg)
 	if sink != nil {
 		sink.RegisterMetrics(reg)
+	}
+	if profiler != nil {
+		prof.RegisterMetrics(reg, profiler, o.workers)
 	}
 	if o.listen != "" {
 		srv, addr, err := obs.Serve(o.listen, reg)
@@ -259,6 +273,17 @@ func run(ctx context.Context, o options) error {
 		"steal_fails", st.StealFails,
 		"submit_lock_wait", time.Duration(st.LockWaitNS),
 		"worker_idle", time.Duration(st.IdleNS()))
+
+	if profiler != nil {
+		pd := profiler.Snapshot(o.workers)
+		pd.SchedOverheadRatio = st.OverheadRatio()
+		if err := pd.WriteFile(o.profOut); err != nil {
+			return err
+		}
+		log.Info("profile dump written", "file", o.profOut,
+			"templates", profiler.Templates(), "replays", profiler.Replays(),
+			"reader", "bpar-prof "+o.profOut)
+	}
 
 	if sink != nil {
 		f, err := os.Create(o.traceFile)

@@ -417,6 +417,11 @@ func (e *Engine) template(train bool, T int) *taskrt.Template {
 		}
 	}()
 	tpl := rec.Freeze()
+	if train {
+		tpl.Name = fmt.Sprintf("train T=%d", T)
+	} else {
+		tpl.Name = fmt.Sprintf("infer T=%d", T)
+	}
 	e.tpls[key] = tpl
 	if e.obs != nil {
 		e.obs.tplCaptureNS.Add(time.Since(start).Nanoseconds())

@@ -35,6 +35,10 @@ type Opts struct {
 	// experiments, forcing fresh task-graph emission every step (the
 	// engine's default is replay; the replay experiment contrasts both).
 	NoReplay bool
+	// Profile, when non-nil, is installed as the profiling sink of every
+	// native runtime the experiments create (bpar-bench's -profile-graph),
+	// so template replays accumulate per-node timing for bpar-prof.
+	Profile taskrt.ProfileSink
 	// Machine overrides the simulated platform.
 	Machine *costmodel.Machine
 }

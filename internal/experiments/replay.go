@@ -46,11 +46,11 @@ func RunReplay(o Opts) (*ReplayResult, error) {
 		Input: cfg.InputSize, Hidden: cfg.HiddenSize, Batch: cfg.Batch, Seq: cfg.SeqLen,
 	}
 	for _, workers := range []int{1, 2, 4} {
-		fresh, freshSub, err := timeReplaySteps(cfg, true, workers, warmup, batches)
+		fresh, freshSub, err := timeReplaySteps(cfg, true, workers, warmup, batches, nil)
 		if err != nil {
 			return nil, fmt.Errorf("fresh workers=%d: %w", workers, err)
 		}
-		replay, replaySub, err := timeReplaySteps(cfg, false, workers, warmup, batches)
+		replay, replaySub, err := timeReplaySteps(cfg, false, workers, warmup, batches, o.Profile)
 		if err != nil {
 			return nil, fmt.Errorf("replay workers=%d: %w", workers, err)
 		}
@@ -73,12 +73,12 @@ func RunReplay(o Opts) (*ReplayResult, error) {
 // timeReplaySteps trains through batches (the first `warmup` untimed,
 // which also absorbs the one-time template capture on the replay path) and
 // returns timed steps per second plus mean per-step submission nanoseconds.
-func timeReplaySteps(cfg core.Config, noReplay bool, workers, warmup int, batches []*core.Batch) (stepsSec, submitNS float64, err error) {
+func timeReplaySteps(cfg core.Config, noReplay bool, workers, warmup int, batches []*core.Batch, profile taskrt.ProfileSink) (stepsSec, submitNS float64, err error) {
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		return 0, 0, err
 	}
-	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.BreadthFirst})
+	rt := taskrt.New(taskrt.Options{Workers: workers, Policy: taskrt.BreadthFirst, Profile: profile})
 	defer rt.Shutdown()
 	eng := core.NewEngine(m, rt)
 	eng.NoReplay = noReplay

@@ -1,0 +1,264 @@
+package prof
+
+import (
+	"sort"
+)
+
+// Analysis is the measured critical-path study of one template.
+//
+// Span, slack, and the critical path are computed over *mean* node durations
+// (SumNS/Replays), so one noisy replay cannot relabel the path; Elapsed and
+// the idle attribution come from the last replay's concrete timeline. The
+// longest-path arithmetic runs on the integer SumNS values — Replays is the
+// same for every node, so the path maximizing summed SumNS is exactly the
+// path maximizing mean duration, and integer math keeps the invariants exact:
+// slack is never a rounding hair below zero, and the critical path's
+// durations sum to precisely the span.
+type Analysis struct {
+	Name    string
+	Replays int64
+
+	// SpanNS is the longest dependency path by mean durations — the measured
+	// lower bound on step time at infinite cores.
+	SpanNS float64
+	// WorkNS is the summed mean durations.
+	WorkNS float64
+	// Parallelism is Work/Span: the attainable speed-up over one core.
+	Parallelism float64
+	// ElapsedNS is the last replay's submit-to-drain time.
+	ElapsedNS int64
+	// Utilization is work over workers×elapsed of the last replay, 0 when
+	// the worker count is unknown.
+	Utilization float64
+
+	// EST/EFT are each node's earliest start/finish (mean-duration schedule,
+	// nanoseconds); Slack is how much a node can slip without growing the
+	// span — exactly 0 on the critical path.
+	EST, EFT, Slack []float64
+	// CritPath lists the critical path's node indices in execution order.
+	CritPath []int
+	// Idle attributes each worker's non-busy time inside the last replay's
+	// window (only meaningful when Replays > 0).
+	Idle []WorkerIdle
+}
+
+// WorkerIdle splits one worker's last-replay window. A gap counts as DepWait
+// while *no* task in the whole template was ready to run (every idle worker
+// was structurally blocked on dependency edges), and as SchedIdle while at
+// least one ready task existed but this worker sat idle anyway (the
+// scheduler had work and didn't get it here) — the "waiting on deps" vs "no
+// ready work for this worker" split of the paper's idle accounting.
+type WorkerIdle struct {
+	Worker      int
+	Tasks       int
+	BusyNS      int64
+	DepWaitNS   int64
+	SchedIdleNS int64
+}
+
+// Analyze computes the critical-path study. workers sizes the idle
+// attribution and utilization; pass 0 when unknown (idle rows then cover
+// only workers that executed at least one node).
+func Analyze(td *TemplateData, workers int) *Analysis {
+	n := len(td.Nodes)
+	a := &Analysis{
+		Name:    td.Name,
+		Replays: td.Replays,
+		EST:     make([]float64, n),
+		EFT:     make([]float64, n),
+		Slack:   make([]float64, n),
+	}
+	if n == 0 {
+		return a
+	}
+	scale := 1.0
+	if td.Replays > 0 {
+		scale = 1.0 / float64(td.Replays)
+	}
+
+	// Forward pass over integer summed durations: earliest start/finish.
+	// Node order is capture order, which is topological.
+	eft := make([]int64, n)
+	est := make([]int64, n)
+	argmax := make([]int, n) // critical predecessor, -1 for roots
+	spanEnd := 0
+	var workSum int64
+	for i := 0; i < n; i++ {
+		var s int64
+		arg := -1
+		for _, pr := range td.Nodes[i].Preds {
+			if eft[pr] > s {
+				s = eft[pr]
+				arg = int(pr)
+			}
+		}
+		d := td.Nodes[i].SumNS
+		est[i] = s
+		eft[i] = s + d
+		workSum += d
+		argmax[i] = arg
+		if eft[i] > eft[spanEnd] {
+			spanEnd = i
+		}
+	}
+	span := eft[spanEnd]
+	a.SpanNS = float64(span) * scale
+	a.WorkNS = float64(workSum) * scale
+	if span > 0 {
+		a.Parallelism = float64(workSum) / float64(span)
+	}
+
+	// Backward pass: latest completion without growing the span, via the
+	// predecessor lists read in reverse.
+	lct := make([]int64, n)
+	for i := range lct {
+		lct[i] = span
+	}
+	for i := n - 1; i >= 0; i-- {
+		lst := lct[i] - td.Nodes[i].SumNS
+		a.EST[i] = float64(est[i]) * scale
+		a.EFT[i] = float64(eft[i]) * scale
+		a.Slack[i] = float64(lst-est[i]) * scale
+		for _, pr := range td.Nodes[i].Preds {
+			if lst < lct[pr] {
+				lct[pr] = lst
+			}
+		}
+	}
+
+	// Critical path: walk the argmax chain back from the span-defining node.
+	for i := spanEnd; i >= 0; i = argmax[i] {
+		a.CritPath = append(a.CritPath, i)
+		if argmax[i] < 0 {
+			break
+		}
+	}
+	for l, r := 0, len(a.CritPath)-1; l < r; l, r = l+1, r-1 {
+		a.CritPath[l], a.CritPath[r] = a.CritPath[r], a.CritPath[l]
+	}
+
+	a.ElapsedNS = td.LastElapsedNS
+	if td.Replays > 0 {
+		a.Idle = attributeIdle(td, workers)
+		if workers > 0 && a.ElapsedNS > 0 {
+			a.Utilization = float64(td.LastWorkNS) / (float64(workers) * float64(a.ElapsedNS))
+		}
+	}
+	return a
+}
+
+// attributeIdle splits each worker's last-replay gaps into dependency wait
+// (template-wide ready set empty) and scheduler idle (ready work existed).
+func attributeIdle(td *TemplateData, workers int) []WorkerIdle {
+	n := len(td.Nodes)
+	t0 := td.ReplayStartNS
+	tEnd := t0
+	for i := range td.Nodes {
+		if td.Nodes[i].LastEndNS > tEnd {
+			tEnd = td.Nodes[i].LastEndNS
+		}
+	}
+
+	// ready[i]: when node i's last dependency was satisfied in the last
+	// replay (roots: replay submission). Clamped into the node's own start,
+	// guarding against clock ties.
+	type event struct {
+		at    int64
+		delta int
+	}
+	events := make([]event, 0, 2*n)
+	for i := range td.Nodes {
+		nd := &td.Nodes[i]
+		ready := t0
+		for _, pr := range nd.Preds {
+			if e := td.Nodes[pr].LastEndNS; e > ready {
+				ready = e
+			}
+		}
+		if ready > nd.LastStartNS {
+			ready = nd.LastStartNS
+		}
+		events = append(events, event{ready, +1}, event{nd.LastStartNS, -1})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	// Collapse to a piecewise-constant ready-count timeline.
+	times := make([]int64, 0, len(events)+1)
+	counts := make([]int, 0, len(events)+1)
+	cur := 0
+	times = append(times, t0)
+	counts = append(counts, 0)
+	for k := 0; k < len(events); {
+		at := events[k].at
+		for k < len(events) && events[k].at == at {
+			cur += events[k].delta
+			k++
+		}
+		if at == times[len(times)-1] {
+			counts[len(counts)-1] = cur
+		} else {
+			times = append(times, at)
+			counts = append(counts, cur)
+		}
+	}
+
+	// splitGap integrates one idle interval over the timeline.
+	splitGap := func(wi *WorkerIdle, from, to int64) {
+		if to <= from {
+			return
+		}
+		// First segment containing `from`: the last time <= from.
+		k := sort.Search(len(times), func(i int) bool { return times[i] > from }) - 1
+		if k < 0 {
+			k = 0
+		}
+		at := from
+		for at < to {
+			segEnd := to
+			if k+1 < len(times) && times[k+1] < to {
+				segEnd = times[k+1]
+			}
+			if counts[k] == 0 {
+				wi.DepWaitNS += segEnd - at
+			} else {
+				wi.SchedIdleNS += segEnd - at
+			}
+			at = segEnd
+			k++
+		}
+	}
+
+	// Per-worker timelines.
+	maxW := workers
+	for i := range td.Nodes {
+		if w := int(td.Nodes[i].LastWorker) + 1; w > maxW {
+			maxW = w
+		}
+	}
+	byWorker := make([][]int, maxW)
+	for i := range td.Nodes {
+		w := int(td.Nodes[i].LastWorker)
+		byWorker[w] = append(byWorker[w], i)
+	}
+	idle := make([]WorkerIdle, maxW)
+	for w := range byWorker {
+		wi := &idle[w]
+		wi.Worker = w
+		ids := byWorker[w]
+		sort.Slice(ids, func(i, j int) bool {
+			return td.Nodes[ids[i]].LastStartNS < td.Nodes[ids[j]].LastStartNS
+		})
+		at := t0
+		for _, id := range ids {
+			nd := &td.Nodes[id]
+			splitGap(wi, at, nd.LastStartNS)
+			wi.BusyNS += nd.LastEndNS - nd.LastStartNS
+			wi.Tasks++
+			if nd.LastEndNS > at {
+				at = nd.LastEndNS
+			}
+		}
+		splitGap(wi, at, tEnd)
+	}
+	return idle
+}

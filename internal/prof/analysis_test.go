@@ -1,0 +1,258 @@
+package prof
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// tdFromDAG builds a single-replay TemplateData from explicit durations and
+// predecessor lists; Replays=1 keeps mean == SumNS so golden values are
+// exact.
+func tdFromDAG(durNS []int64, preds [][]int32) *TemplateData {
+	td := &TemplateData{Name: "test", Replays: 1, Nodes: make([]NodeData, len(durNS))}
+	for i := range durNS {
+		td.Nodes[i] = NodeData{
+			Label: "n", Kind: "k",
+			SumNS: durNS[i],
+			Preds: preds[i],
+		}
+	}
+	return td
+}
+
+func TestGoldenChain(t *testing.T) {
+	// 0 → 1 → 2 → 3: span = work = sum, zero slack everywhere.
+	td := tdFromDAG(
+		[]int64{10, 20, 30, 40},
+		[][]int32{nil, {0}, {1}, {2}},
+	)
+	a := Analyze(td, 0)
+	if a.SpanNS != 100 || a.WorkNS != 100 {
+		t.Fatalf("span=%v work=%v, want 100/100", a.SpanNS, a.WorkNS)
+	}
+	if a.Parallelism != 1 {
+		t.Fatalf("parallelism=%v, want 1", a.Parallelism)
+	}
+	if len(a.CritPath) != 4 {
+		t.Fatalf("critical path %v, want all 4 nodes", a.CritPath)
+	}
+	for i, s := range a.Slack {
+		if s != 0 {
+			t.Fatalf("node %d slack=%v, want 0", i, s)
+		}
+	}
+}
+
+func TestGoldenDiamond(t *testing.T) {
+	//      0(10)
+	//     /     \
+	//  1(50)   2(20)
+	//     \     /
+	//      3(10)
+	td := tdFromDAG(
+		[]int64{10, 50, 20, 10},
+		[][]int32{nil, {0}, {0}, {1, 2}},
+	)
+	a := Analyze(td, 0)
+	if a.SpanNS != 70 {
+		t.Fatalf("span=%v, want 70", a.SpanNS)
+	}
+	if a.WorkNS != 90 {
+		t.Fatalf("work=%v, want 90", a.WorkNS)
+	}
+	want := []int{0, 1, 3}
+	if len(a.CritPath) != len(want) {
+		t.Fatalf("critical path %v, want %v", a.CritPath, want)
+	}
+	for i := range want {
+		if a.CritPath[i] != want[i] {
+			t.Fatalf("critical path %v, want %v", a.CritPath, want)
+		}
+	}
+	// The short branch can slip by the duration difference.
+	if a.Slack[2] != 30 {
+		t.Fatalf("node 2 slack=%v, want 30", a.Slack[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if a.Slack[i] != 0 {
+			t.Fatalf("node %d slack=%v, want 0", i, a.Slack[i])
+		}
+	}
+	if a.EST[3] != 60 || a.EFT[3] != 70 {
+		t.Fatalf("sink est/eft=%v/%v, want 60/70", a.EST[3], a.EFT[3])
+	}
+}
+
+func TestGoldenFanOut(t *testing.T) {
+	// 0 → {1..8} → 9; one arm (node 5) is the long pole.
+	durs := []int64{5}
+	preds := [][]int32{nil}
+	for i := 1; i <= 8; i++ {
+		d := int64(10)
+		if i == 5 {
+			d = 100
+		}
+		durs = append(durs, d)
+		preds = append(preds, []int32{0})
+	}
+	durs = append(durs, 7)
+	preds = append(preds, []int32{1, 2, 3, 4, 5, 6, 7, 8})
+	td := tdFromDAG(durs, preds)
+	a := Analyze(td, 0)
+	if a.SpanNS != 5+100+7 {
+		t.Fatalf("span=%v, want 112", a.SpanNS)
+	}
+	if a.WorkNS != 5+7*10+100+7 {
+		t.Fatalf("work=%v, want 182", a.WorkNS)
+	}
+	if len(a.CritPath) != 3 || a.CritPath[1] != 5 {
+		t.Fatalf("critical path %v, want [0 5 9]", a.CritPath)
+	}
+	// The seven short arms share the same headroom.
+	for i := 1; i <= 8; i++ {
+		want := float64(90)
+		if i == 5 {
+			want = 0
+		}
+		if a.Slack[i] != want {
+			t.Fatalf("node %d slack=%v, want %v", i, a.Slack[i], want)
+		}
+	}
+}
+
+// TestAnalysisProperties checks the span/slack invariants on random DAGs:
+// span ≤ work, slack ≥ 0, critical-path durations sum exactly to the span,
+// and every critical-path node has zero slack.
+func TestAnalysisProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(60)
+		durs := make([]int64, n)
+		preds := make([][]int32, n)
+		for i := range durs {
+			durs[i] = 1 + rng.Int64N(1_000_000)
+			// Random earlier predecessors (possibly none).
+			for _, p := range rng.Perm(i) {
+				if rng.IntN(3) == 0 {
+					preds[i] = append(preds[i], int32(p))
+				}
+				if len(preds[i]) >= 4 {
+					break
+				}
+			}
+		}
+		a := Analyze(tdFromDAG(durs, preds), 0)
+
+		if a.SpanNS > a.WorkNS {
+			t.Fatalf("trial %d: span %v > work %v", trial, a.SpanNS, a.WorkNS)
+		}
+		for i, s := range a.Slack {
+			if s < 0 {
+				t.Fatalf("trial %d: node %d slack %v < 0", trial, i, s)
+			}
+		}
+		if len(a.CritPath) == 0 {
+			t.Fatalf("trial %d: empty critical path", trial)
+		}
+		sum := 0.0
+		prev := -1
+		for _, i := range a.CritPath {
+			sum += float64(durs[i]) // Replays=1: mean == SumNS, exact in float64
+			if a.Slack[i] != 0 {
+				t.Fatalf("trial %d: critical-path node %d has slack %v", trial, i, a.Slack[i])
+			}
+			if i <= prev {
+				t.Fatalf("trial %d: critical path %v not in topological order", trial, a.CritPath)
+			}
+			prev = i
+		}
+		if sum != a.SpanNS {
+			t.Fatalf("trial %d: critical-path durations sum %v != span %v", trial, sum, a.SpanNS)
+		}
+	}
+}
+
+func TestIdleAttribution(t *testing.T) {
+	// Two workers, a chain on worker 0 and one parallel task on worker 1:
+	//   w0: [0,10) node0   [10,20) node1
+	//   w1: [0,5)  node2   then idle to 20
+	// Node 2 has no successors; after it finishes at 5, node 1 is not ready
+	// until 10 — so w1's gap [5,10) is dep-wait (nothing ready anywhere) and
+	// [10,20) is sched-idle only if node1 was ready-but-unstarted there;
+	// node1 starts at exactly 10, so [10,20) is also dep-wait (ready set
+	// empty while node1 runs on w0).
+	td := &TemplateData{
+		Name: "idle", Replays: 1, ReplayStartNS: 0,
+		Nodes: []NodeData{
+			{Label: "a", Kind: "k", SumNS: 10, LastStartNS: 0, LastEndNS: 10, LastWorker: 0},
+			{Label: "b", Kind: "k", SumNS: 10, LastStartNS: 10, LastEndNS: 20, LastWorker: 0, Preds: []int32{0}},
+			{Label: "c", Kind: "k", SumNS: 5, LastStartNS: 0, LastEndNS: 5, LastWorker: 1},
+		},
+	}
+	a := Analyze(td, 2)
+	if len(a.Idle) != 2 {
+		t.Fatalf("idle rows: %d, want 2", len(a.Idle))
+	}
+	w0, w1 := a.Idle[0], a.Idle[1]
+	if w0.BusyNS != 20 || w0.DepWaitNS != 0 || w0.SchedIdleNS != 0 {
+		t.Fatalf("w0 = %+v, want fully busy", w0)
+	}
+	if w1.BusyNS != 5 || w1.Tasks != 1 {
+		t.Fatalf("w1 = %+v, want busy 5 over 1 task", w1)
+	}
+	if w1.DepWaitNS+w1.SchedIdleNS != 15 {
+		t.Fatalf("w1 idle = %d dep + %d sched, want 15 total", w1.DepWaitNS, w1.SchedIdleNS)
+	}
+	if w1.SchedIdleNS != 0 {
+		t.Fatalf("w1 sched-idle = %d, want 0 (no task was ever ready while w1 idled)", w1.SchedIdleNS)
+	}
+}
+
+func TestIdleAttributionSchedIdle(t *testing.T) {
+	// Independent nodes 0 and 1 both ready at t=0; worker 1 idles [0,10)
+	// while node 1 sits ready — that idle is the scheduler's, not the DAG's.
+	td := &TemplateData{
+		Name: "sched-idle", Replays: 1, ReplayStartNS: 0,
+		Nodes: []NodeData{
+			{Label: "a", Kind: "k", SumNS: 10, LastStartNS: 0, LastEndNS: 10, LastWorker: 0},
+			{Label: "b", Kind: "k", SumNS: 10, LastStartNS: 10, LastEndNS: 20, LastWorker: 1},
+		},
+	}
+	a := Analyze(td, 2)
+	w1 := a.Idle[1]
+	if w1.SchedIdleNS != 10 {
+		t.Fatalf("w1 sched-idle = %d, want 10 (node 1 was ready the whole time)", w1.SchedIdleNS)
+	}
+	if w1.DepWaitNS != 0 {
+		t.Fatalf("w1 dep-wait = %d, want 0", w1.DepWaitNS)
+	}
+	// Worker 0's tail [10,20): node 1 started at 10, so nothing is ready —
+	// dep wait... but node 1 is *running*, not pending; the template-wide
+	// ready set is empty, hence dep-wait.
+	w0 := a.Idle[0]
+	if w0.DepWaitNS != 10 || w0.SchedIdleNS != 0 {
+		t.Fatalf("w0 = %+v, want 10ns dep-wait tail", w0)
+	}
+}
+
+func TestParseLabel(t *testing.T) {
+	cases := []struct {
+		label string
+		layer int
+		dir   string
+	}{
+		{"fwd L2 t17 mb0", 2, "fwd"},
+		{"rev-bwd L11 t3 mb1", 11, "rev"},
+		{"proj-fwd L0 t0:25 mb0", 0, "fwd"},
+		{"dw-rev L4 mb0", 4, "rev"},
+		{"merge L3 t9 mb0", 3, "-"},
+		{"head mb0", -1, "-"},
+		{"reduce L5 dir1", 5, "-"},
+	}
+	for _, c := range cases {
+		layer, dir := parseLabel(c.label)
+		if layer != c.layer || dir != c.dir {
+			t.Errorf("parseLabel(%q) = (%d, %q), want (%d, %q)", c.label, layer, dir, c.layer, c.dir)
+		}
+	}
+}

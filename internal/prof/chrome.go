@@ -1,0 +1,74 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent mirrors the Chrome trace-event JSON shape (chrome://tracing /
+// ui.perfetto.dev). "X" events are task slices; "s"/"f" pairs are flow
+// arrows binding a dependency edge's producer to its consumer.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    int            `json:"id,omitempty"` // flow binding id
+	BP    string         `json:"bp,omitempty"` // "e": bind flow end to slice end
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders each template's last replay as a Chrome trace:
+// one lane per worker (pid = template index), one slice per node, and one
+// flow arrow per frozen dependency edge, so the DAG is visible on the
+// timeline — click a slice and the arrows show what it waited for and what
+// it released.
+func (pd *ProfileData) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	flowID := 1
+	for ti := range pd.Templates {
+		td := &pd.Templates[ti]
+		if td.Replays == 0 {
+			continue
+		}
+		pid := ti + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": td.Name},
+		})
+		for i := range td.Nodes {
+			nd := &td.Nodes[i]
+			events = append(events, chromeEvent{
+				Name:  nd.Label,
+				Cat:   nd.Kind,
+				Phase: "X",
+				TS:    float64(nd.LastStartNS) / 1e3,
+				Dur:   float64(nd.LastEndNS-nd.LastStartNS) / 1e3,
+				PID:   pid,
+				TID:   int(nd.LastWorker),
+				Args:  map[string]any{"node": i, "mean_dur_us": float64(nd.SumNS) / float64(td.Replays) / 1e3},
+			})
+			for _, pr := range nd.Preds {
+				pn := &td.Nodes[pr]
+				events = append(events,
+					chromeEvent{
+						Name: "dep", Cat: "dep", Phase: "s", ID: flowID,
+						TS: float64(pn.LastEndNS) / 1e3, PID: pid, TID: int(pn.LastWorker),
+					},
+					chromeEvent{
+						Name: "dep", Cat: "dep", Phase: "f", ID: flowID, BP: "e",
+						TS: float64(nd.LastStartNS) / 1e3, PID: pid, TID: int(nd.LastWorker),
+					})
+				flowID++
+			}
+		}
+	}
+	if err := json.NewEncoder(w).Encode(events); err != nil {
+		return fmt.Errorf("prof: encode chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bpar/internal/taskrt"
+)
+
+// DumpVersion identifies the profile dump schema; bpar-prof refuses dumps
+// from a different major layout.
+const DumpVersion = 1
+
+// NodeData is one template node's identity, per-replay accumulation, and
+// last-replay timeline in a profile dump.
+type NodeData struct {
+	Label      string  `json:"label"`
+	Kind       string  `json:"kind"`
+	Flops      float64 `json:"flops,omitempty"`
+	WorkingSet int64   `json:"working_set,omitempty"`
+	Preds      []int32 `json:"preds,omitempty"`
+	// SumNS is the node's total duration across all profiled replays.
+	SumNS int64 `json:"sum_ns"`
+	// LastStartNS/LastEndNS/LastWorker are the node's execution window and
+	// worker in the final profiled replay (nanoseconds on the runtime clock).
+	LastStartNS int64 `json:"last_start_ns"`
+	LastEndNS   int64 `json:"last_end_ns"`
+	LastWorker  int32 `json:"last_worker"`
+}
+
+// TemplateData is one frozen template's profile: the DAG plus measurements.
+type TemplateData struct {
+	Name    string     `json:"name"`
+	Replays int64      `json:"replays"`
+	Nodes   []NodeData `json:"nodes"`
+	// ReplayStartNS is when the last replay was submitted; with the nodes'
+	// LastEndNS it frames the last replay's measured window.
+	ReplayStartNS int64 `json:"replay_start_ns"`
+	// LastSpanNS/LastWorkNS/LastElapsedNS mirror the scrape gauges: longest
+	// dependency path, summed durations, and submit-to-drain time of the
+	// last replay.
+	LastSpanNS    int64 `json:"last_span_ns"`
+	LastWorkNS    int64 `json:"last_work_ns"`
+	LastElapsedNS int64 `json:"last_elapsed_ns"`
+	// ElapsedSumNS accumulates submit-to-drain time across all replays;
+	// ElapsedSumNS/Replays is the measured mean step time the simulator
+	// calibration compares against.
+	ElapsedSumNS int64 `json:"elapsed_sum_ns"`
+}
+
+// ProfileData is a complete profile dump: everything bpar-prof needs,
+// decoupled from live *taskrt.Template pointers so analysis and reporting
+// work purely from the JSON file.
+type ProfileData struct {
+	Version int `json:"version"`
+	// Workers is the runtime's worker count (0 if the dumper did not know).
+	Workers int `json:"workers,omitempty"`
+	// SchedOverheadRatio is the runtime's own bookkeeping-to-useful-work
+	// ratio (taskrt.Stats().OverheadRatio()) at dump time — the paper keeps
+	// this below 0.10.
+	SchedOverheadRatio float64        `json:"sched_overhead_ratio,omitempty"`
+	Templates          []TemplateData `json:"templates"`
+}
+
+// Snapshot extracts the accumulated profile. It must be called while no
+// replay of the profiled templates is in flight (i.e. after the runtime's
+// Wait returned), because it reads the plain per-node arrays the workers
+// write; the per-worker drain edges of Wait make those reads safe.
+func (p *GraphProfiler) Snapshot(workers int) *ProfileData {
+	pd := &ProfileData{Version: DumpVersion, Workers: workers}
+	for tpl, tp := range p.load() {
+		td := TemplateData{
+			Name:          tpl.Name,
+			Replays:       tp.replays.Load(),
+			Nodes:         make([]NodeData, tp.n),
+			ReplayStartNS: tp.replayStartAtNS,
+			LastSpanNS:    tp.lastSpanNS.Load(),
+			LastWorkNS:    tp.lastWorkNS.Load(),
+			LastElapsedNS: tp.lastElapsedNS.Load(),
+			ElapsedSumNS:  tp.elapsedSumNS.Load(),
+		}
+		if td.Name == "" {
+			td.Name = fmt.Sprintf("template-%dn", tp.n)
+		}
+		for i := 0; i < tp.n; i++ {
+			t := tpl.Task(i)
+			preds := tpl.NodePreds(i)
+			td.Nodes[i] = NodeData{
+				Label:       t.Label,
+				Kind:        t.Kind,
+				Flops:       t.Flops,
+				WorkingSet:  t.WorkingSet,
+				Preds:       append([]int32(nil), preds...),
+				SumNS:       tp.sumNS[i],
+				LastStartNS: tp.lastStartNS[i],
+				LastEndNS:   tp.lastEndNS[i],
+				LastWorker:  tp.lastWorker[i],
+			}
+		}
+		pd.Templates = append(pd.Templates, td)
+	}
+	// Deterministic dump order: by name, then size.
+	sortTemplates(pd.Templates)
+	return pd
+}
+
+func sortTemplates(ts []TemplateData) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && less(&ts[j], &ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func less(a, b *TemplateData) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return len(a.Nodes) < len(b.Nodes)
+}
+
+// Write encodes the dump as indented JSON.
+func (pd *ProfileData) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(pd); err != nil {
+		return fmt.Errorf("prof: encode dump: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the dump to path.
+func (pd *ProfileData) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pd.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes and validates a profile dump.
+func Read(r io.Reader) (*ProfileData, error) {
+	var pd ProfileData
+	if err := json.NewDecoder(r).Decode(&pd); err != nil {
+		return nil, fmt.Errorf("prof: decode dump: %w", err)
+	}
+	if pd.Version != DumpVersion {
+		return nil, fmt.Errorf("prof: dump version %d, this build reads %d", pd.Version, DumpVersion)
+	}
+	for ti := range pd.Templates {
+		td := &pd.Templates[ti]
+		for i := range td.Nodes {
+			for _, pr := range td.Nodes[i].Preds {
+				if pr < 0 || int(pr) >= i {
+					return nil, fmt.Errorf("prof: template %q node %d has predecessor %d outside [0,%d)",
+						td.Name, i, pr, i)
+				}
+			}
+		}
+	}
+	return &pd, nil
+}
+
+// ReadFile reads and validates a profile dump from path.
+func ReadFile(path string) (*ProfileData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// MeanDurations returns each node's mean duration in seconds across the
+// profiled replays — the measured per-node costs the simulator's calibration
+// mode substitutes for its cost model.
+func (td *TemplateData) MeanDurations() []float64 {
+	out := make([]float64, len(td.Nodes))
+	if td.Replays == 0 {
+		return out
+	}
+	for i := range td.Nodes {
+		out[i] = float64(td.Nodes[i].SumNS) / float64(td.Replays) / 1e9
+	}
+	return out
+}
+
+// Graph rebuilds the frozen DAG as a taskrt.Graph so the discrete-event
+// simulator can replay it. The capture's dedup merges RAW and WAR/WAW edges,
+// so the dump cannot tell them apart; every edge is marked as data-carrying,
+// which is the common case and only steers the simulator's locality
+// preference, not its dependency order.
+func (td *TemplateData) Graph() *taskrt.Graph {
+	nodes := make([]*taskrt.GraphNode, len(td.Nodes))
+	for i := range td.Nodes {
+		nd := &td.Nodes[i]
+		gn := &taskrt.GraphNode{
+			ID: i, Label: nd.Label, Kind: nd.Kind,
+			Flops: nd.Flops, WorkingSet: nd.WorkingSet,
+		}
+		for _, pr := range nd.Preds {
+			gn.Preds = append(gn.Preds, int(pr))
+			gn.DataPreds = append(gn.DataPreds, true)
+		}
+		nodes[i] = gn
+	}
+	for i, gn := range nodes {
+		for _, pr := range gn.Preds {
+			nodes[pr].Succs = append(nodes[pr].Succs, i)
+		}
+	}
+	return &taskrt.Graph{Nodes: nodes}
+}

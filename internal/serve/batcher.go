@@ -34,6 +34,11 @@ func (s *Server) batcher() {
 			s.met.bucketMisses.Add(int64(len(b.items)))
 			seen[T] = true
 		}
+		now := time.Now()
+		for _, it := range b.items {
+			it.dispatched = now
+			s.met.stageBatchWait.Observe(now.Sub(it.dequeued).Seconds())
+		}
 		s.jobs <- &microBatch{T: T, items: b.items}
 	}
 
@@ -68,9 +73,11 @@ func (s *Server) batcher() {
 				}
 				return
 			}
+			it.dequeued = time.Now()
+			s.met.stageQueueWait.Observe(it.dequeued.Sub(it.admitted).Seconds())
 			b := pending[it.T]
 			if b == nil {
-				b = &bucket{deadline: time.Now().Add(s.cfg.BatchWindow)}
+				b = &bucket{deadline: it.dequeued.Add(s.cfg.BatchWindow)}
 				pending[it.T] = b
 			}
 			b.items = append(b.items, it)

@@ -27,6 +27,15 @@ type metrics struct {
 	bucketMisses   *obs.Counter
 	latency        *obs.Histogram
 	batchFill      *obs.Histogram
+
+	// Per-stage request timing: where a sequence's latency actually goes.
+	// queue_wait is admission → batcher pickup, batch_wait is pickup →
+	// dispatch (bounded by BatchWindow), compute is one micro-batch's
+	// engine time; padding overhead is the padded-cell fraction per batch.
+	stageQueueWait  *obs.Histogram
+	stageBatchWait  *obs.Histogram
+	stageCompute    *obs.Histogram
+	paddingOverhead *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry, s *Server) *metrics {
@@ -60,6 +69,18 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 			obs.DefSecondsBuckets, 0),
 		batchFill: reg.MustHistogram("bpar_serve_batch_fill",
 			"Real rows over batch capacity of each dispatched micro-batch.",
+			fillBuckets, 1),
+		stageQueueWait: reg.MustHistogram("bpar_serve_stage_seconds",
+			"Per-stage request timing.", obs.DefSecondsBuckets, 0,
+			"stage", "queue_wait"),
+		stageBatchWait: reg.MustHistogram("bpar_serve_stage_seconds",
+			"Per-stage request timing.", obs.DefSecondsBuckets, 0,
+			"stage", "batch_wait"),
+		stageCompute: reg.MustHistogram("bpar_serve_stage_seconds",
+			"Per-stage request timing.", obs.DefSecondsBuckets, 0,
+			"stage", "compute"),
+		paddingOverhead: reg.MustHistogram("bpar_serve_padding_overhead",
+			"Padded-cell fraction (rows and rounded-up frames) per micro-batch.",
 			fillBuckets, 1),
 	}
 	reg.MustGaugeFunc("bpar_serve_queue_depth",

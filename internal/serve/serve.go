@@ -77,6 +77,14 @@ type Config struct {
 	// Registry receives the bpar_serve_* and per-engine bpar_engine_*
 	// series. Nil metrics go to a private throwaway registry.
 	Registry *obs.Registry
+
+	// Profile, when non-nil, is installed as every pool engine runtime's
+	// profiling sink, so template replays on the serve path accumulate
+	// per-node timing (see internal/prof). The pool shares one sink: each
+	// engine captures its own templates, so their profiles stay separate,
+	// but worker IDs are runtime-local — idle attribution then reads per
+	// engine, not per machine.
+	Profile taskrt.ProfileSink
 }
 
 func (c *Config) withDefaults() error {
@@ -110,6 +118,13 @@ type item struct {
 	T      int         // bucketed (possibly rounded-up) length
 	origT  int
 	done   chan itemResult // buffered(1): the worker never blocks on it
+
+	// Stage timestamps: admission (admit), pickup by the batcher (the end of
+	// the admission-queue wait), and dispatch into the jobs channel (the end
+	// of the batch-window wait). The compute stage is timed per micro-batch.
+	admitted   time.Time
+	dequeued   time.Time
+	dispatched time.Time
 }
 
 type itemResult struct {
@@ -169,7 +184,7 @@ func New(cfg Config) (*Server, error) {
 	s.met = newMetrics(reg, s)
 
 	for i := 0; i < cfg.Engines; i++ {
-		rt := taskrt.New(taskrt.Options{Workers: cfg.WorkersPerEngine, Policy: taskrt.LocalityAware})
+		rt := taskrt.New(taskrt.Options{Workers: cfg.WorkersPerEngine, Policy: taskrt.LocalityAware, Profile: cfg.Profile})
 		eng := core.NewEngine(cfg.Model, rt)
 		eng.MaxCachedSeqLens = cfg.MaxCachedSeqLens
 		eng.EnableObs(reg, "engine", strconv.Itoa(i))
@@ -232,7 +247,9 @@ func (s *Server) admit(items []*item) int {
 	}
 	// The sends cannot block: items in the channel are a subset of inflight,
 	// which the check above bounded by the channel capacity.
+	now := time.Now()
 	for _, it := range items {
+		it.admitted = now
 		s.queue <- it
 	}
 	return 0
@@ -250,6 +267,7 @@ func (s *Server) worker(i int) {
 
 // runBatch executes one micro-batch on eng and delivers per-item results.
 func (s *Server) runBatch(eng *core.Engine, mb *microBatch) {
+	computeStart := time.Now()
 	cfg := s.cfg.Model.Cfg
 	X := make([]*tensor.Matrix, mb.T)
 	for t := range X {
@@ -284,6 +302,19 @@ func (s *Server) runBatch(eng *core.Engine, mb *microBatch) {
 	s.met.batches.Inc()
 	s.met.sequences.Add(int64(len(mb.items)))
 	s.met.batchFill.Observe(float64(len(mb.items)) / float64(cfg.Batch))
+	s.met.stageCompute.Observe(time.Since(computeStart).Seconds())
+	// Padding overhead: the fraction of computed cells (batch rows × frames)
+	// that were zero padding — row padding up to cfg.Batch plus rounded-up
+	// sequence-length padding. The engine computes all of them; this is the
+	// throughput cost of batching.
+	useful := 0
+	for _, it := range mb.items {
+		useful += it.origT
+	}
+	total := cfg.Batch * mb.T
+	if total > 0 {
+		s.met.paddingOverhead.Observe(1 - float64(useful)/float64(total))
+	}
 }
 
 // TemplateStats sums template-cache hits and misses across the engine pool.

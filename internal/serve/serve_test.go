@@ -8,11 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"bpar/internal/core"
+	"bpar/internal/obs"
+	"bpar/internal/prof"
 	"bpar/internal/rng"
 	"bpar/internal/taskrt"
 	"bpar/internal/tensor"
@@ -420,5 +423,64 @@ func TestLoadGenSmoke(t *testing.T) {
 	}
 	if res.AchievedQPS <= 0 {
 		t.Errorf("achieved qps = %g, want > 0", res.AchievedQPS)
+	}
+}
+
+// TestServeStageMetricsAndProfile drives requests through a profiled server
+// and checks (1) the per-stage histograms populate on the scrape and (2) the
+// engine-pool replays reached the Profile sink so a profile dump can be
+// written after Drain.
+func TestServeStageMetricsAndProfile(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	reg := obs.NewRegistry()
+	p := prof.NewGraphProfiler()
+	svc, ts := newTestServer(t, Config{
+		Model: m, Engines: 1, WorkersPerEngine: 2,
+		BatchWindow: time.Millisecond, Registry: reg, Profile: p,
+	})
+	if err := svc.Warm([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, _ := post(t, ts.URL+"/v1/probs", [][][]float64{makeSeq(5, 4, uint64(i))})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`bpar_serve_stage_seconds_count{stage="queue_wait"}`,
+		`bpar_serve_stage_seconds_count{stage="batch_wait"}`,
+		`bpar_serve_stage_seconds_count{stage="compute"}`,
+		"bpar_serve_padding_overhead_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// Warm captured the T=5 template; the 3 requests replayed it. The dump is
+	// taken after Drain (all engine runtimes quiesced).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.Replays() == 0 {
+		t.Fatal("no replays reached the profiling sink")
+	}
+	pd := p.Snapshot(2)
+	if len(pd.Templates) == 0 {
+		t.Fatal("no templates in profile snapshot")
+	}
+	for _, td := range pd.Templates {
+		if td.Replays > 0 && td.LastSpanNS <= 0 {
+			t.Fatalf("template %q replayed but has no span", td.Name)
+		}
 	}
 }

@@ -60,6 +60,13 @@ type Options struct {
 	// 32 and 48 cores, while highly concurrent configurations keep their
 	// locality because few thieves are idle.
 	NoSteal bool
+	// Durations, when non-nil, overrides the cost model with measured
+	// per-node durations in seconds, indexed by node ID — the calibration
+	// mode internal/prof feeds with a profiled template's mean durations.
+	// Must have exactly one entry per graph node. The cache model still
+	// runs (hit ratios and NUMA stats stay available) but no longer affects
+	// timing.
+	Durations []float64
 }
 
 // Result aggregates one simulated execution.
@@ -138,6 +145,9 @@ func Run(g *taskrt.Graph, opt Options) (*Result, error) {
 	}
 	if m.Cores < 1 {
 		return nil, fmt.Errorf("sim: machine has no cores")
+	}
+	if opt.Durations != nil && len(opt.Durations) != len(g.Nodes) {
+		return nil, fmt.Errorf("sim: %d measured durations for %d nodes", len(opt.Durations), len(g.Nodes))
 	}
 	n := len(g.Nodes)
 	res := &Result{
@@ -313,6 +323,9 @@ func Run(g *taskrt.Graph, opt Options) (*Result, error) {
 		missBytes := float64(nd.WorkingSet) * (1 - hit)
 		numaMult := 1 + (m.NUMAPenalty-1)*cross
 		dur := m.TaskSeconds(nd.Flops, missBytes, numaMult)
+		if opt.Durations != nil {
+			dur = opt.Durations[nd.ID]
+		}
 		if nd.Kind == "barrier" {
 			dur = 0
 		}

@@ -404,3 +404,27 @@ func TestCriticalPathPolicyRunsAndHelpsImbalance(t *testing.T) {
 		t.Fatal("policy name")
 	}
 }
+
+func TestMeasuredDurationsOverride(t *testing.T) {
+	m := idealMachine(1)
+	g := chainGraph(4, 1e9) // cost model would say 1s per task
+	durs := []float64{0.1, 0.2, 0.3, 0.4}
+	res, err := Run(g, Options{Machine: m, Durations: durs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 // measured durations replace the model entirely
+	if diff := res.MakespanSec - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("measured-duration makespan %g, want %g", res.MakespanSec, want)
+	}
+	if diff := res.TotalTaskSec - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("measured-duration work %g, want %g", res.TotalTaskSec, want)
+	}
+}
+
+func TestMeasuredDurationsLengthChecked(t *testing.T) {
+	g := chainGraph(3, 1e9)
+	if _, err := Run(g, Options{Machine: idealMachine(1), Durations: []float64{0.1}}); err == nil {
+		t.Fatal("length-mismatched Durations accepted")
+	}
+}

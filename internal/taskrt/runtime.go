@@ -42,6 +42,11 @@ type Options struct {
 	Policy Policy
 	// Sink, when non-nil, receives a record per executed task.
 	Sink TraceSink
+	// Profile, when non-nil, receives per-node timing callbacks for every
+	// template replay (fresh-emission tasks are invisible to it). The
+	// callbacks are wired so a sink can use plain fixed-index arrays keyed
+	// by template node index — see the ProfileSink contract.
+	Profile ProfileSink
 	// DepCheck enables the runtime dependency sanitizer: shadow versions per
 	// key, undeclared-access detection via registered buffers, and
 	// self-dependency rejection. Task bodies are serialized while enabled,
@@ -67,12 +72,15 @@ type node struct {
 	succs    []*node
 
 	// Template-owned nodes carry their successor list precomputed at capture
-	// (tplSuccs) and a pointer to the owning template's live counter
-	// (tplLive, non-nil iff the node belongs to a Template). They bypass the
-	// mutex-guarded succs/finished protocol entirely: the edge set is frozen,
-	// so no submitter ever appends to it concurrently.
+	// (tplSuccs) and a back-pointer to the owning template (tpl, non-nil iff
+	// the node belongs to a Template) plus their fixed index within it
+	// (tplIdx). They bypass the mutex-guarded succs/finished protocol
+	// entirely: the edge set is frozen, so no submitter ever appends to it
+	// concurrently. tplIdx is what lets a ProfileSink accumulate timings into
+	// fixed-index arrays with no per-task map lookups.
 	tplSuccs []*node
-	tplLive  *atomic.Int64
+	tpl      *Template
+	tplIdx   int32
 }
 
 // done reports whether the node's task has completed.
@@ -577,18 +585,29 @@ func (r *Runtime) execute(n *node, w int) {
 		r.depc.end(n.task)
 	}
 
+	startNS := startT.Sub(r.start).Nanoseconds()
+	endNS := endT.Sub(r.start).Nanoseconds()
+	if r.opts.Profile != nil && n.tpl != nil {
+		r.opts.Profile.NodeDone(n.tpl, int(n.tplIdx), w, startNS, endNS)
+	}
 	if r.opts.Sink != nil {
-		r.opts.Sink.TaskDone(TaskRecord{
+		rec := TaskRecord{
 			ID:         n.id,
 			Label:      n.task.Label,
 			Kind:       n.task.Kind,
 			Worker:     w,
+			TplIdx:     -1,
 			SubmitNS:   n.submitNS,
-			StartNS:    startT.Sub(r.start).Nanoseconds(),
-			EndNS:      endT.Sub(r.start).Nanoseconds(),
+			StartNS:    startNS,
+			EndNS:      endNS,
 			Flops:      n.task.Flops,
 			WorkingSet: n.task.WorkingSet,
-		})
+		}
+		if n.tpl != nil {
+			rec.Tpl = n.tpl
+			rec.TplIdx = int(n.tplIdx)
+		}
+		r.opts.Sink.TaskDone(rec)
 	}
 
 	r.stats.running.Add(-1)
@@ -601,7 +620,7 @@ func (r *Runtime) execute(n *node, w int) {
 	}
 
 	var succs []*node
-	if n.tplLive != nil {
+	if n.tpl != nil {
 		// Replayed node: the frozen successor list needs no lock, and the
 		// finished flag stays false on purpose — template nodes are reused
 		// across replays and are invisible to WaitFor's done() protocol.
@@ -631,8 +650,15 @@ func (r *Runtime) execute(n *node, w int) {
 		// This worker loops and picks one task itself; wake peers for the rest.
 		r.wake(len(readied) - 1)
 	}
-	if n.tplLive != nil {
-		n.tplLive.Add(-1)
+	if n.tpl != nil {
+		// The final decrement sees every peer's node timings (each peer's
+		// writes are released by its own Add on the same atomic), so a
+		// ReplayDone callback may safely read all per-node arrays. It fires
+		// before this node's outstanding decrement: once Wait returns, the
+		// sink has fully observed the replay.
+		if n.tpl.live.Add(-1) == 0 && r.opts.Profile != nil {
+			r.opts.Profile.ReplayDone(n.tpl, endNS)
+		}
 	}
 	r.outstanding.Add(-1)
 	// Every completion may satisfy a WaitFor; a full drain satisfies Wait.

@@ -96,10 +96,40 @@ type TaskRecord struct {
 	EndNS      int64
 	Flops      float64
 	WorkingSet int64
+	// Tpl and TplIdx identify the frozen template node this execution
+	// replayed: Tpl is nil and TplIdx is -1 for fresh-emission tasks. A
+	// replayed record's ID is the replay's base ID plus TplIdx, so two
+	// records of the same replay whose template nodes share an edge can be
+	// correlated (the Chrome-trace flow events are built exactly this way).
+	Tpl    *Template
+	TplIdx int
 }
 
 // TraceSink receives a record for every completed task. Implementations must
 // be safe for concurrent use.
 type TraceSink interface {
 	TaskDone(rec TaskRecord)
+}
+
+// ProfileSink receives template-replay timing callbacks from a Runtime; it
+// is the profiling hook next to TraceSink, scoped to frozen templates so
+// implementations can accumulate into fixed-index arrays keyed by template
+// node index with no maps or locks between tasks. The Runtime guarantees:
+//
+//   - ReplayStart(tpl) is called under the submission lock, strictly before
+//     any of that replay's NodeDone callbacks — a safe registration point.
+//   - NodeDone(tpl, idx, ...) is called exactly once per node per replay, by
+//     the executing worker. Replays of one template never overlap, and the
+//     runtime's completion atomics order one replay's writes before the
+//     next's, so a per-node plain array written at idx is race-free.
+//   - ReplayDone(tpl, atNS) is called by the worker retiring the replay's
+//     final node, after its own NodeDone and with all peers' NodeDone writes
+//     visible (the template's live counter is a single atomic every worker
+//     decrements), and before Wait can observe the replay drained.
+//
+// Fresh-emission tasks never reach the sink.
+type ProfileSink interface {
+	ReplayStart(tpl *Template, atNS int64)
+	NodeDone(tpl *Template, idx, worker int, startNS, endNS int64)
+	ReplayDone(tpl *Template, atNS int64)
 }

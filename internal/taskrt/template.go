@@ -128,6 +128,14 @@ func (c *Capture) Freeze() *Template {
 		tasks:       c.tasks,
 		initPending: make([]int32, n),
 		nodes:       make([]node, n),
+		preds:       make([][]int32, n),
+	}
+	for id, preds := range c.preds {
+		ps := make([]int32, len(preds))
+		for j, p := range preds {
+			ps[j] = int32(p)
+		}
+		tpl.preds[id] = ps
 	}
 
 	counts := make([]int, n)
@@ -155,7 +163,8 @@ func (c *Capture) Freeze() *Template {
 		nd := &tpl.nodes[i]
 		nd.task = c.tasks[i]
 		nd.tplSuccs = succs[i]
-		nd.tplLive = &tpl.live
+		nd.tpl = tpl
+		nd.tplIdx = int32(i)
 		if tpl.initPending[i] == 0 {
 			tpl.roots = append(tpl.roots, nd)
 		}
@@ -174,10 +183,16 @@ func (c *Capture) Freeze() *Template {
 // template must not overlap: the caller must drain one replay (Wait) before
 // starting the next, because the nodes' in-degree counters are reused.
 type Template struct {
+	// Name labels the template in profiles and reports (e.g. "train T=100").
+	// Owners set it after Freeze, before the first replay; it is never read
+	// on the execution path.
+	Name string
+
 	tasks       []*Task
 	initPending []int32
 	nodes       []node
 	roots       []*node
+	preds       [][]int32
 
 	// live counts this template's nodes still in flight; Replay refuses to
 	// reset the counters of a template whose previous replay has not drained.
@@ -189,6 +204,14 @@ func (tpl *Template) Len() int { return len(tpl.nodes) }
 
 // Roots reports how many tasks start with no unsatisfied dependencies.
 func (tpl *Template) Roots() int { return len(tpl.roots) }
+
+// Task returns the i-th task of the frozen submission sequence. Node indices
+// are capture order, which is topological: every predecessor of i is < i.
+func (tpl *Template) Task(i int) *Task { return tpl.tasks[i] }
+
+// NodePreds returns the predecessor indices of node i. The returned slice
+// aliases the template's frozen storage; callers must not modify it.
+func (tpl *Template) NodePreds(i int) []int32 { return tpl.preds[i] }
 
 // Edges reports the total number of dependency edges in the frozen DAG.
 func (tpl *Template) Edges() int {
@@ -234,12 +257,18 @@ func (r *Runtime) Replay(tpl *Template) {
 			r.depc.onSubmit(t)
 		}
 	}
+	nowNS := tStart.Sub(r.start).Nanoseconds()
+	if r.opts.Profile != nil {
+		// Under submitMu: ReplayStart calls are serialized, and the sink sees
+		// the template before any of this replay's NodeDone callbacks (roots
+		// are not published until the reset loop below).
+		r.opts.Profile.ReplayStart(tpl, nowNS)
+	}
 	r.submitMu.Unlock()
 
 	// Reset every counter before publishing any root: a root finishing while
 	// a successor's counter still holds the previous replay's zero would
 	// double-release it.
-	nowNS := tStart.Sub(r.start).Nanoseconds()
 	for i := range tpl.nodes {
 		nd := &tpl.nodes[i]
 		nd.id = base + i

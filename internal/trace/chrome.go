@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"bpar/internal/taskrt"
 )
 
 // chromeEvent is one complete ("X") event in the Chrome trace-event format,
@@ -13,10 +15,12 @@ type chromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"`  // microseconds
-	Dur   float64        `json:"dur"` // microseconds
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"` // worker id
+	ID    int            `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -28,13 +32,28 @@ const idleSliceMinNS = 1000
 // trace-event JSON array: one lane per worker, one slice per task, with
 // flops and working-set size attached as arguments. Gaps of at least 1 µs
 // between consecutive tasks on the same worker are rendered as explicit
-// "idle" slices, so scheduler starvation is directly visible. Load the
-// output in chrome://tracing or Perfetto to see the B-Par schedule — which
-// tasks overlapped, where workers idled, how layers interleaved.
+// "idle" slices, so scheduler starvation is directly visible. Tasks that
+// ran as a template replay additionally carry flow events for their frozen
+// dependency edges — arrows from each predecessor's end to the dependent
+// task's start — so the DAG structure is visible on the timeline, not just
+// the schedule. Load the output in chrome://tracing or Perfetto to see the
+// B-Par schedule: which tasks overlapped, where workers idled, how layers
+// interleaved, and which edges gated each task.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	recs := r.Records()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].StartNS < recs[j].StartNS })
 	events := make([]chromeEvent, 0, len(recs))
+	// Replayed records keyed by runtime task ID; a replay's records have
+	// ID = base + template index, so a frozen edge (pred -> idx) connects
+	// records base+pred and base+idx. The reservoir cap may have dropped
+	// either endpoint, so flows are only emitted between retained records.
+	byID := make(map[int]*taskrt.TaskRecord)
+	for i := range recs {
+		if recs[i].Tpl != nil {
+			byID[recs[i].ID] = &recs[i]
+		}
+	}
+	flowID := 1
 	lastEnd := map[int]int64{} // per-worker end of the previous task
 	for _, rec := range recs {
 		if prev, ok := lastEnd[rec.Worker]; ok && rec.StartNS-prev >= idleSliceMinNS {
@@ -65,6 +84,28 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				"task_id":     rec.ID,
 			},
 		})
+		if rec.Tpl == nil {
+			continue
+		}
+		base := rec.ID - rec.TplIdx
+		for _, predIdx := range rec.Tpl.NodePreds(rec.TplIdx) {
+			pred, ok := byID[base+int(predIdx)]
+			if !ok {
+				continue
+			}
+			events = append(events,
+				chromeEvent{
+					Name: "dep", Cat: "dep", Phase: "s",
+					TS:  float64(pred.EndNS) / 1000.0,
+					PID: 1, TID: pred.Worker, ID: flowID,
+				},
+				chromeEvent{
+					Name: "dep", Cat: "dep", Phase: "f", BP: "e",
+					TS:  float64(rec.StartNS) / 1000.0,
+					PID: 1, TID: rec.Worker, ID: flowID,
+				})
+			flowID++
+		}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(events); err != nil {

@@ -93,3 +93,147 @@ func TestChromeTraceShapeFromRuntime(t *testing.T) {
 		t.Fatalf("%d task events for %d records", tasks, rec.Len())
 	}
 }
+
+// flowEventShape adds the flow-event fields to the round-trip shape.
+type flowEventShape struct {
+	chromeEventShape
+	ID int    `json:"id"`
+	BP string `json:"bp"`
+}
+
+// TestChromeTraceFlowEvents replays a frozen template and validates the
+// dependency-edge flow events round-trip: every frozen edge whose endpoints
+// were retained appears as an s/f pair sharing an id, the arrow never points
+// backwards in time, and each id appears exactly twice.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	rec := &Recorder{}
+	rt := taskrt.New(taskrt.Options{Workers: 2, Sink: rec})
+	defer rt.Shutdown()
+
+	cap := taskrt.NewCapture()
+	var sink [2]int
+	for c := 0; c < 2; c++ {
+		c := c
+		for s := 0; s < 3; s++ {
+			cap.Submit(&taskrt.Task{
+				Label: "chain", Kind: "lstm", InOut: []taskrt.Dep{&sink[c]},
+				Fn: func() { sink[c]++ },
+			})
+		}
+	}
+	cap.Submit(&taskrt.Task{
+		Label: "join", Kind: "reduce", In: []taskrt.Dep{&sink[0], &sink[1]},
+		Fn: func() {},
+	})
+	tpl := cap.Freeze()
+
+	const replays = 3
+	edges := 0
+	for i := 0; i < tpl.Len(); i++ {
+		edges += len(tpl.NodePreds(i))
+	}
+	if edges == 0 {
+		t.Fatal("template has no frozen edges")
+	}
+	for r := 0; r < replays; r++ {
+		rt.Replay(tpl)
+		if err := rt.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []flowEventShape
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+
+	starts := map[int]flowEventShape{}
+	ends := map[int]flowEventShape{}
+	for i, ev := range events {
+		switch ev.Phase {
+		case "X":
+		case "s":
+			if _, dup := starts[ev.ID]; dup {
+				t.Fatalf("event %d: duplicate flow start id %d", i, ev.ID)
+			}
+			starts[ev.ID] = ev
+		case "f":
+			if _, dup := ends[ev.ID]; dup {
+				t.Fatalf("event %d: duplicate flow end id %d", i, ev.ID)
+			}
+			if ev.BP != "e" {
+				t.Fatalf("event %d: flow end missing bp=e: %+v", i, ev)
+			}
+			ends[ev.ID] = ev
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ev.Phase)
+		}
+	}
+	if len(starts) != replays*edges {
+		t.Fatalf("%d flow starts, want %d (replays × edges)", len(starts), replays*edges)
+	}
+	if len(ends) != len(starts) {
+		t.Fatalf("%d flow ends for %d starts", len(ends), len(starts))
+	}
+	for id, s := range starts {
+		f, ok := ends[id]
+		if !ok {
+			t.Fatalf("flow id %d has a start but no end", id)
+		}
+		if s.TS > f.TS {
+			t.Fatalf("flow id %d points backwards: start ts %g > end ts %g", id, s.TS, f.TS)
+		}
+	}
+}
+
+// TestChromeTraceFlowsSurviveSampling checks a capped recorder never emits
+// dangling flows: with endpoints reservoir-dropped, every remaining flow id
+// still appears exactly as an s/f pair between retained slices.
+func TestChromeTraceFlowsSurviveSampling(t *testing.T) {
+	rec := NewBounded(10)
+	rt := taskrt.New(taskrt.Options{Workers: 2, Sink: rec})
+	defer rt.Shutdown()
+
+	cap := taskrt.NewCapture()
+	var sink int
+	for s := 0; s < 8; s++ {
+		cap.Submit(&taskrt.Task{
+			Label: "chain", Kind: "lstm", InOut: []taskrt.Dep{&sink},
+			Fn: func() { sink++ },
+		})
+	}
+	tpl := cap.Freeze()
+	for r := 0; r < 5; r++ {
+		rt.Replay(tpl)
+		if err := rt.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("reservoir never dropped; test needs sampling pressure")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []flowEventShape
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	count := map[int]int{}
+	for _, ev := range events {
+		if ev.Phase == "s" || ev.Phase == "f" {
+			count[ev.ID]++
+		}
+	}
+	for id, n := range count {
+		if n != 2 {
+			t.Fatalf("flow id %d has %d events, want an s/f pair", id, n)
+		}
+	}
+}

@@ -58,6 +58,7 @@ type options struct {
 	traceCap   int
 	profGraph  bool
 	profOut    string
+	dumpTpls   string
 	listen     string
 	cpuProfile string
 	memProfile string
@@ -86,6 +87,7 @@ func main() {
 	flag.IntVar(&o.traceCap, "trace-cap", 0, "max task records retained by -trace (reservoir sampling; 0 = unbounded)")
 	flag.BoolVar(&o.profGraph, "profile-graph", false, "accumulate per-node timing over the replayed task graphs (see bpar-prof)")
 	flag.StringVar(&o.profOut, "profile-out", "bpar-profile.json", "profile dump path written at exit when -profile-graph is set")
+	flag.StringVar(&o.dumpTpls, "dump-templates", "", "write every cached step template (with named dependency keys) to this file at exit, for bpar-vet -graph")
 	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080) during the run")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -283,6 +285,15 @@ func run(ctx context.Context, o options) error {
 		log.Info("profile dump written", "file", o.profOut,
 			"templates", profiler.Templates(), "replays", profiler.Replays(),
 			"reader", "bpar-prof "+o.profOut)
+	}
+
+	if o.dumpTpls != "" {
+		df := eng.DumpTemplates()
+		if err := df.WriteFile(o.dumpTpls); err != nil {
+			return err
+		}
+		log.Info("template dump written", "file", o.dumpTpls,
+			"templates", len(df.Templates), "reader", "bpar-vet -graph "+o.dumpTpls)
 	}
 
 	if sink != nil {

@@ -4,13 +4,25 @@
 //
 //	undeclaredwrite  task body writes a tensor whose key is missing from Out/InOut
 //	depkey           value-typed dependency key in a []taskrt.Dep list
-//	lifecycle        Submit/SubmitAll after Shutdown on the same runtime
+//	lifecycle        Submit/SubmitAll/Replay after Shutdown on the same runtime
 //	emitterbarrier   Wait/WaitFor inside a graph-emitter file
 //	errcheck         discarded error result in a command package
+//
+// With -graph, the arguments are template dump files (written by
+// bpar-train -dump-templates or Engine.DumpTemplates) and bpar-vet instead
+// runs the whole-graph verifier (internal/graphlint) over each frozen
+// template: shape lints, verification that the frozen edge set is the exact
+// transitive reduction of the derived dependencies, and a happens-before
+// proof that every pair of tasks touching the same key is ordered. The
+// undeclaredwrite source pass still runs over -graph-src (default ./...),
+// because the graph proof is sound only if declarations are exhaustive;
+// pass -graph-src "" to skip the source join. -model-check N additionally
+// enumerates the full schedule space of templates up to N nodes.
 //
 // Usage:
 //
 //	bpar-vet [-strict-wait] [-pass name[,name]] [packages]
+//	bpar-vet -graph [-model-check 64] [-dot dir] templates.json...
 //
 // Packages default to ./... . Exit status is 1 when diagnostics are found,
 // 2 when loading or type-checking fails.
@@ -29,7 +41,20 @@ func main() {
 	strictWait := flag.Bool("strict-wait", false, "treat Wait/WaitFor like Shutdown in the lifecycle pass")
 	passList := flag.String("pass", "", "comma-separated pass names to run (default: all)")
 	list := flag.Bool("list", false, "list available passes and exit")
+	graph := flag.Bool("graph", false, "arguments are template dump files; run the whole-graph verifier instead of source passes")
+	var gopt graphOptions
+	flag.StringVar(&gopt.src, "graph-src", "./...", "with -graph: packages for the undeclaredwrite soundness join (\"\" skips it)")
+	flag.IntVar(&gopt.modelMax, "model-check", 0, "with -graph: exhaustively model-check templates of at most this many nodes (0 disables)")
+	flag.IntVar(&gopt.modelStates, "model-states", 1<<20, "with -graph: distinct-state bound per model-checked template")
+	flag.StringVar(&gopt.dotDir, "dot", "", "with -graph: write one Graphviz .dot per template into this directory")
 	flag.Parse()
+
+	if *graph {
+		if runGraph(flag.Args(), gopt) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, p := range analysis.Passes() {

@@ -11,8 +11,11 @@ import (
 // command packages only (cmd/... and other package mains). Library code has
 // its own conventions; in a CLI a dropped error usually means a training run
 // silently reports success after a failed step. The fmt print family is
-// exempt (stdout errors are conventionally ignored), as are defer and go
-// statements.
+// exempt (stdout errors are conventionally ignored), as are the deferred and
+// go'd calls themselves (`defer f.Close()`) — but statements inside a
+// deferred or go'd func-literal body are checked like any others: a server
+// teardown goroutine dropping an error is exactly as silent as straight-line
+// code.
 var passErrcheck = Pass{
 	Name: "errcheck",
 	Doc:  "statement-level call in a command package discards an error result",
@@ -26,9 +29,21 @@ func runErrcheck(p *Program, u *Unit) []Diagnostic {
 	errType := types.Universe.Lookup("error").Type()
 	var diags []Diagnostic
 	for _, f := range u.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n.(type) {
-			case *ast.DeferStmt, *ast.GoStmt:
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			// The deferred/go'd call itself is exempt, but a func-literal
+			// body is ordinary statements — recurse into it.
+			var exempt *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				exempt = s.Call
+			case *ast.GoStmt:
+				exempt = s.Call
+			}
+			if exempt != nil {
+				if fl, ok := exempt.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(fl.Body, visit)
+				}
 				return false
 			}
 			es, ok := n.(*ast.ExprStmt)
@@ -53,7 +68,8 @@ func runErrcheck(p *Program, u *Unit) []Diagnostic {
 				})
 			}
 			return true
-		})
+		}
+		ast.Inspect(f, visit)
 	}
 	return diags
 }

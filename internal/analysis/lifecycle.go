@@ -7,16 +7,17 @@ import (
 	"go/types"
 )
 
-// passLifecycle flags Submit/SubmitAll calls that appear, in source order
-// within one function, after a Shutdown of the same runtime variable. After
-// Shutdown the worker pool is gone; the runtime panics at run time (see
-// taskrt.Runtime.Submit), but catching it statically turns a crash into a
-// vet diagnostic. With Program.StrictWait, Wait is treated like Shutdown —
-// useful for auditing builders that should emit a whole graph before any
-// synchronization.
+// passLifecycle flags Submit/SubmitAll/Replay calls that appear, in source
+// order within one function, after a Shutdown of the same runtime variable.
+// After Shutdown the worker pool is gone; the runtime panics at run time
+// (see taskrt.Runtime.Submit), but catching it statically turns a crash into
+// a vet diagnostic. Replay is a submission too — it publishes a frozen
+// template's roots to the same dead pool. With Program.StrictWait, Wait is
+// treated like Shutdown — useful for auditing builders that should emit a
+// whole graph before any synchronization.
 var passLifecycle = Pass{
 	Name: "lifecycle",
-	Doc:  "Submit/SubmitAll after Shutdown (or Wait in strict mode) on the same runtime",
+	Doc:  "Submit/SubmitAll/Replay after Shutdown (or Wait in strict mode) on the same runtime",
 	Run:  runLifecycle,
 }
 
@@ -68,7 +69,7 @@ func lifecycleInFunc(p *Program, u *Unit, fd *ast.FuncDecl) []Diagnostic {
 			return true
 		}
 		name, obj := taskrtMethodCall(u.Info, call)
-		if name != "Submit" && name != "SubmitAll" {
+		if name != "Submit" && name != "SubmitAll" && name != "Replay" {
 			return true
 		}
 		end, seen := ended[obj]

@@ -14,6 +14,13 @@ func main() {
 	fmt.Println("fmt print family is exempt")
 	defer run()
 	go run()
+	defer func() {
+		run() // want "result of .*run contains an error"
+	}()
+	go func() {
+		os.Remove("/tmp/absent") // want "result of os.Remove contains an error"
+		defer run()
+	}()
 	if err := run(); err != nil {
 		fmt.Println(err)
 	}

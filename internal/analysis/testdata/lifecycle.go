@@ -11,6 +11,19 @@ func lifecycleBad() {
 	rt.SubmitAll([]*taskrt.Task{t}) // want "SubmitAll after Shutdown"
 }
 
+func lifecycleReplayBad(tpl *taskrt.Template) {
+	rt := taskrt.New(taskrt.Options{Workers: 1})
+	rt.Shutdown()
+	rt.Replay(tpl) // want "Replay after Shutdown"
+}
+
+func lifecycleReplayDeferIsFine(tpl *taskrt.Template) {
+	rt := taskrt.New(taskrt.Options{Workers: 1})
+	defer rt.Shutdown()
+	rt.Replay(tpl)
+	_ = rt.Wait()
+}
+
 func lifecycleDeferIsFine() {
 	rt := taskrt.New(taskrt.Options{Workers: 1})
 	defer rt.Shutdown()

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"bpar/internal/taskrt"
+)
+
+// keyNames maps every dependency key of this workspace to the human name
+// the dependency sanitizer would use for it ("fwdSt L2 t17 mb0"), so that
+// template dumps and graphlint diagnostics speak the same vocabulary as
+// depcheck reports. Unlike registerDeps it names every key grid — including
+// kX and the split-gate panels of a fused workspace — because phantom and
+// fused captures still reference them, and it needs no live buffers.
+func (w *workspace) keyNames(mbIdx int, into map[taskrt.Dep]string) {
+	name := func(k taskrt.Dep, format string, args ...any) {
+		into[k] = fmt.Sprintf(format, args...) + fmt.Sprintf(" mb%d", mbIdx)
+	}
+	for t, k := range w.kX {
+		name(k, "x t%d", t)
+	}
+	grids := []struct {
+		label string
+		grid  [][]taskrt.Dep
+	}{
+		{"fwdSt", w.kFwdSt}, {"revSt", w.kRevSt},
+		{"merged", w.kMerged}, {"dMerged", w.kDMerged},
+		{"dHMergeFwd", w.kDHMergeFwd}, {"dHMergeRev", w.kDHMergeRev},
+		{"dHChainFwd", w.kDHChainFwd}, {"dCChainFwd", w.kDCChainFwd},
+		{"dHChainRev", w.kDHChainRev}, {"dCChainRev", w.kDCChainRev},
+		{"preFwd", w.kPreFwd}, {"preRev", w.kPreRev},
+		{"dGatesFwd", w.kDGatesFwd}, {"dGatesRev", w.kDGatesRev},
+	}
+	for _, g := range grids {
+		for l := range g.grid {
+			for t, k := range g.grid[l] {
+				name(k, "%s L%d t%d", g.label, l, t)
+			}
+		}
+	}
+	for l := range w.kGradsFwd {
+		name(w.kGradsFwd[l], "gradsFwd L%d", l)
+		name(w.kGradsRev[l], "gradsRev L%d", l)
+	}
+	name(w.kFinalMerged, "finalMerged")
+	name(w.kDFinalMerged, "dFinalMerged")
+	for h, k := range w.kProbs {
+		name(k, "probs h%d", h)
+	}
+	name(w.kHeadGrads, "headGrads")
+}
+
+// DumpTemplates serializes every step template the engine currently has
+// cached, with dependency keys named through the workspaces they belong to.
+// The result feeds bpar-vet -graph: happens-before coverage, reduction
+// verification, and shape lints over exactly the graphs replay executes.
+// Like the step methods, it must not run concurrently with them.
+func (e *Engine) DumpTemplates() *taskrt.TemplateDumpFile {
+	df := &taskrt.TemplateDumpFile{Version: taskrt.TemplateDumpVersion}
+	namesByT := make(map[int]map[taskrt.Dep]string)
+	namer := func(T int) func(taskrt.Dep) string {
+		names := namesByT[T]
+		if names == nil {
+			names = make(map[taskrt.Dep]string)
+			for i, ws := range e.wsByT[T] {
+				ws.keyNames(i, names)
+			}
+			namesByT[T] = names
+		}
+		return func(k taskrt.Dep) string { return names[k] }
+	}
+	for key, tpl := range e.tpls {
+		df.Templates = append(df.Templates, tpl.Dump(namer(key.T)))
+	}
+	taskrt.SortTemplateDumps(df.Templates)
+	return df
+}

@@ -99,6 +99,13 @@ type Engine struct {
 	// capability and the equivalence oracle replay is tested against.
 	NoReplay bool
 
+	// NoReduceGraph freezes captured templates with the full derived edge
+	// set instead of the transitive reduction taskrt applies by default.
+	// The two freezes replay identically (the reduction preserves the
+	// dependency closure); the flag exists for edge-set A/B benchmarks and
+	// graph diffing. Set before the first step, like FusedGates.
+	NoReduceGraph bool
+
 	phantom bool
 	// inStep guards against concurrent TrainStep/Infer/InferProbs calls: a
 	// CAS taken at step entry, released on every exit path. Mirrors the
@@ -402,6 +409,7 @@ func (e *Engine) template(train bool, T int) *taskrt.Template {
 	start := time.Now()
 	wss := e.wsByT[T]
 	rec := taskrt.NewCapture()
+	rec.NoReduce = e.NoReduceGraph
 	saved := e.Exec
 	e.Exec = rec
 	func() {

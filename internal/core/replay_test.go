@@ -79,6 +79,44 @@ func TestReplayMatchesFreshBitwise(t *testing.T) {
 	}
 }
 
+// TestReplayReducedMatchesUnreducedBitwise pins the transitive reduction's
+// equivalence claim directly: a template frozen with the reduced edge set
+// must train bitwise identically to one frozen with the full derived edges,
+// because the reduction preserves the dependency closure and the bodies —
+// and therefore every floating-point summation order — are untouched.
+func TestReplayReducedMatchesUnreducedBitwise(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	run := func(noReduce bool) *Model {
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := taskrt.New(taskrt.Options{Workers: 4, Policy: taskrt.LocalityAware})
+		defer rt.Shutdown()
+		e := NewEngine(m, rt)
+		e.NoReduceGraph = noReduce
+		for i := 0; i < 4; i++ {
+			if _, err := e.TrainStep(makeBatch(cfg, uint64(500+i)), 0.05); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tpl := e.tpls[tplKey{train: true, T: cfg.SeqLen}]
+		if noReduce && tpl.PrunedEdges() != 0 {
+			t.Fatalf("NoReduceGraph engine pruned %d edges", tpl.PrunedEdges())
+		}
+		if !noReduce && tpl.PrunedEdges() == 0 {
+			t.Fatal("default engine pruned no edges — the comparison is vacuous")
+		}
+		return m
+	}
+	reduced := run(false)
+	full := run(true)
+	if !reduced.WeightsEqual(full) {
+		t.Fatalf("reduced replay diverged from unreduced: max |diff| = %g",
+			reduced.WeightsMaxAbsDiff(full))
+	}
+}
+
 // TestReplayInferMatchesFresh covers the forward-only template (Infer uses a
 // separate tplKey from TrainStep).
 func TestReplayInferMatchesFresh(t *testing.T) {

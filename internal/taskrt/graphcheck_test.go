@@ -101,6 +101,53 @@ func TestCheckAcyclicLongLabeledChain(t *testing.T) {
 	}
 }
 
+// frozenPipelineGraph captures a labeled two-stage pipeline and converts the
+// frozen template to a Graph.
+func frozenPipelineGraph() *Graph {
+	c := NewCapture()
+	x, y := key("x"), key("y")
+	c.Submit(&Task{Label: "load input", Out: []Dep{x}})
+	c.Submit(&Task{Label: "fwd cell", In: []Dep{x}, Out: []Dep{y}})
+	c.Submit(&Task{Label: "merge states", In: []Dep{y}, InOut: []Dep{x}})
+	return c.Freeze().Graph()
+}
+
+func TestCheckAcyclicPassesOnFrozenTemplate(t *testing.T) {
+	g := frozenPipelineGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := g.CheckAcyclic(); err != nil {
+		t.Fatalf("frozen template rejected: %v", err)
+	}
+}
+
+// TestCheckAcyclicFrozenTemplateCycleNamesLabels corrupts a frozen
+// template's graph into a cycle and demands the report speak in task labels,
+// never bare node indices — the labels are what a human can map back to the
+// emitter.
+func TestCheckAcyclicFrozenTemplateCycleNamesLabels(t *testing.T) {
+	g := frozenPipelineGraph()
+	// Close the loop: the final merge feeds back into the loader.
+	g.Nodes[2].Succs = append(g.Nodes[2].Succs, 0)
+	g.Nodes[0].Preds = append(g.Nodes[0].Preds, 2)
+	g.Nodes[0].DataPreds = append(g.Nodes[0].DataPreds, false)
+
+	err := g.CheckAcyclic()
+	if err == nil {
+		t.Fatal("cycle through a frozen template's graph not detected")
+	}
+	msg := err.Error()
+	for _, l := range []string{`"load input"`, `"fwd cell"`, `"merge states"`} {
+		if !strings.Contains(msg, l) {
+			t.Errorf("cycle chain %q missing task label %s", msg, l)
+		}
+	}
+	if strings.Contains(msg, "#0") || strings.Contains(msg, "#1") || strings.Contains(msg, "#2") {
+		t.Errorf("cycle chain %q falls back to node indices despite labels", msg)
+	}
+}
+
 func TestCheckAcyclicUnlabeledFallsBackToID(t *testing.T) {
 	g := mkGraph([]string{"", ""}, [][2]int{{0, 1}, {1, 0}})
 	err := g.CheckAcyclic()

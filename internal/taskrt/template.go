@@ -2,6 +2,7 @@ package taskrt
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 )
@@ -37,6 +38,13 @@ type capEntry struct {
 //
 // Capture is not safe for concurrent use; builders submit from one goroutine.
 type Capture struct {
+	// NoReduce disables the transitive reduction Freeze applies by default,
+	// freezing the raw derived edge set instead. Replays of a reduced and an
+	// unreduced freeze of the same sequence are equivalent (the reduction
+	// preserves the transitive closure, hence every happens-before
+	// constraint); the flag exists for edge-set diffing and A/B benchmarks.
+	NoReduce bool
+
 	tasks   []*Task
 	preds   [][]int
 	entries map[Dep]*capEntry
@@ -121,14 +129,31 @@ func (c *Capture) Len() int { return len(c.tasks) }
 // invalidates the capture for further submissions. Node storage is one flat
 // slice and all successor lists live in a single shared arena, so a replay
 // touches contiguous memory and allocates nothing.
+//
+// Unless NoReduce is set, Freeze emits the transitive reduction of the
+// derived DAG: an edge p→i is dropped when another predecessor q of i is
+// already reachable from p, because the q-path enforces the same ordering.
+// The reduction preserves the transitive closure exactly — every
+// happens-before constraint of the full edge set still holds, so a reduced
+// replay runs the same schedule-legal executions (and the same
+// floating-point summation order) while decrementing fewer in-degree
+// counters per replay.
 func (c *Capture) Freeze() *Template {
 	c.frozen = true
 	n := len(c.tasks)
+	fullEdges := 0
+	for _, preds := range c.preds {
+		fullEdges += len(preds)
+	}
+	if !c.NoReduce {
+		c.preds = reducePreds(c.preds, n)
+	}
 	tpl := &Template{
 		tasks:       c.tasks,
 		initPending: make([]int32, n),
 		nodes:       make([]node, n),
 		preds:       make([][]int32, n),
+		fullEdges:   fullEdges,
 	}
 	for id, preds := range c.preds {
 		ps := make([]int32, len(preds))
@@ -172,6 +197,61 @@ func (c *Capture) Freeze() *Template {
 	return tpl
 }
 
+// reducePreds computes the transitive reduction of a DAG given in
+// topological order (every predecessor index is smaller than its node's).
+// It returns new per-node predecessor lists with every transitively
+// redundant edge removed: edge p→i is redundant iff p is an ancestor of
+// some other predecessor q of i, since then p→…→q→i already orders the
+// pair. For a DAG the transitive reduction is unique, so this is the
+// minimal edge set with the same transitive closure.
+//
+// Ancestor sets are bitsets built in one forward sweep; the cost is
+// O(n²/64 · avg preds) time and n²/8 bytes — a one-off at capture time,
+// off the replay path.
+func reducePreds(preds [][]int, n int) [][]int {
+	if n == 0 {
+		return preds
+	}
+	words := (n + 63) / 64
+	buf := make([]uint64, n*words)
+	anc := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		anc[i] = buf[i*words : (i+1)*words]
+	}
+	for i := 0; i < n; i++ {
+		a := anc[i]
+		for _, p := range preds[i] {
+			for w, bits := range anc[p] {
+				a[w] |= bits
+			}
+			a[p>>6] |= 1 << (uint(p) & 63)
+		}
+	}
+	reduced := make([][]int, n)
+	for i := 0; i < n; i++ {
+		ps := preds[i]
+		if len(ps) <= 1 {
+			reduced[i] = ps
+			continue
+		}
+		keep := make([]int, 0, len(ps))
+		for _, p := range ps {
+			redundant := false
+			for _, q := range ps {
+				if q != p && anc[q][p>>6]&(1<<(uint(p)&63)) != 0 {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				keep = append(keep, p)
+			}
+		}
+		reduced[i] = keep
+	}
+	return reduced
+}
+
 // Template is a frozen task DAG: one submission sequence with precomputed
 // successor edge lists, initial in-degree counts, and flat reusable node
 // storage. Replaying it re-executes the identical graph without touching the
@@ -193,6 +273,7 @@ type Template struct {
 	nodes       []node
 	roots       []*node
 	preds       [][]int32
+	fullEdges   int
 
 	// live counts this template's nodes still in flight; Replay refuses to
 	// reset the counters of a template whose previous replay has not drained.
@@ -213,13 +294,82 @@ func (tpl *Template) Task(i int) *Task { return tpl.tasks[i] }
 // aliases the template's frozen storage; callers must not modify it.
 func (tpl *Template) NodePreds(i int) []int32 { return tpl.preds[i] }
 
-// Edges reports the total number of dependency edges in the frozen DAG.
+// Edges reports the total number of dependency edges in the frozen DAG —
+// after transitive reduction unless the capture opted out.
 func (tpl *Template) Edges() int {
 	e := 0
 	for i := range tpl.initPending {
 		e += int(tpl.initPending[i])
 	}
 	return e
+}
+
+// FullEdges reports the edge count the capture derived before transitive
+// reduction. Equal to Edges() when the capture was frozen with NoReduce.
+func (tpl *Template) FullEdges() int { return tpl.fullEdges }
+
+// PrunedEdges reports how many transitively redundant edges Freeze removed.
+func (tpl *Template) PrunedEdges() int { return tpl.fullEdges - tpl.Edges() }
+
+// Graph converts the frozen template into a Graph so the DOT renderer,
+// cycle checker, and simulator run on exactly the edge set replay executes
+// (reduced, if the capture reduced). An edge is marked data-carrying when
+// the predecessor writes a key the node reads; edges the reduction kept for
+// WAR/WAW ordering only are dashed in DOT output.
+func (tpl *Template) Graph() *Graph {
+	nodes := make([]*GraphNode, len(tpl.nodes))
+	writes := make([]map[Dep]bool, len(tpl.nodes))
+	for i, t := range tpl.tasks {
+		if len(t.Out)+len(t.InOut) > 0 {
+			w := make(map[Dep]bool, len(t.Out)+len(t.InOut))
+			for _, k := range t.Out {
+				w[k] = true
+			}
+			for _, k := range t.InOut {
+				w[k] = true
+			}
+			writes[i] = w
+		}
+		nodes[i] = &GraphNode{
+			ID: i, Label: t.Label, Kind: t.Kind,
+			Flops: t.Flops, WorkingSet: t.WorkingSet,
+		}
+	}
+	carriesData := func(p, i int) bool {
+		w := writes[p]
+		if w == nil {
+			return false
+		}
+		t := tpl.tasks[i]
+		for _, k := range t.In {
+			if w[k] {
+				return true
+			}
+		}
+		for _, k := range t.InOut {
+			if w[k] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range tpl.preds {
+		n := nodes[i]
+		for _, p32 := range tpl.preds[i] {
+			p := int(p32)
+			n.Preds = append(n.Preds, p)
+			n.DataPreds = append(n.DataPreds, carriesData(p, i))
+			nodes[p].Succs = append(nodes[p].Succs, i)
+		}
+	}
+	return &Graph{Nodes: nodes}
+}
+
+// Dot renders the frozen template through the shared DOT path — handy for
+// eyeballing a captured graph, or diffing the same capture frozen with and
+// without reduction.
+func (tpl *Template) Dot(w io.Writer, title string) error {
+	return tpl.Graph().WriteDOT(w, title)
 }
 
 // Replay executes a frozen template on the worker pool: it resets every

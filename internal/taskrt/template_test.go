@@ -25,28 +25,67 @@ func TestCaptureChainEdges(t *testing.T) {
 	if tpl.Roots() != 1 {
 		t.Fatalf("Roots = %d, want 1 (only the first writer)", tpl.Roots())
 	}
-	// w->r (RAW), w->w2 (WAW), r->w2 (WAR) = 3 edges.
+	// Derived: w->r (RAW), w->w2 (WAW), r->w2 (WAR). Reduction drops w->w2,
+	// which w->r->w2 already orders.
+	if tpl.Edges() != 2 {
+		t.Fatalf("Edges = %d, want 2 after reduction", tpl.Edges())
+	}
+	if tpl.FullEdges() != 3 {
+		t.Fatalf("FullEdges = %d, want 3", tpl.FullEdges())
+	}
+	if tpl.PrunedEdges() != 1 {
+		t.Fatalf("PrunedEdges = %d, want 1", tpl.PrunedEdges())
+	}
+}
+
+func TestCaptureChainEdgesNoReduce(t *testing.T) {
+	c := NewCapture()
+	c.NoReduce = true
+	k := key("x")
+	c.Submit(&Task{Label: "w", Out: []Dep{k}})
+	c.Submit(&Task{Label: "r", In: []Dep{k}})
+	c.Submit(&Task{Label: "w2", Out: []Dep{k}})
+	tpl := c.Freeze()
+	// w->r (RAW), w->w2 (WAW), r->w2 (WAR) = 3 edges, kept verbatim.
 	if tpl.Edges() != 3 {
-		t.Fatalf("Edges = %d, want 3", tpl.Edges())
+		t.Fatalf("Edges = %d, want 3 with NoReduce", tpl.Edges())
+	}
+	if tpl.FullEdges() != 3 || tpl.PrunedEdges() != 0 {
+		t.Fatalf("FullEdges = %d, PrunedEdges = %d, want 3 and 0", tpl.FullEdges(), tpl.PrunedEdges())
 	}
 }
 
 func TestCaptureDiamondEdges(t *testing.T) {
-	c := NewCapture()
-	a, b := key("a"), key("b")
-	c.Submit(&Task{Label: "src", Out: []Dep{a}})
-	c.Submit(&Task{Label: "left", In: []Dep{a}, Out: []Dep{b}})
-	c.Submit(&Task{Label: "right", In: []Dep{a}})
-	c.Submit(&Task{Label: "join", In: []Dep{b}, InOut: []Dep{a}})
-	tpl := c.Freeze()
+	build := func(noReduce bool) *Template {
+		c := NewCapture()
+		c.NoReduce = noReduce
+		a, b := key("a"), key("b")
+		c.Submit(&Task{Label: "src", Out: []Dep{a}})
+		c.Submit(&Task{Label: "left", In: []Dep{a}, Out: []Dep{b}})
+		c.Submit(&Task{Label: "right", In: []Dep{a}})
+		c.Submit(&Task{Label: "join", In: []Dep{b}, InOut: []Dep{a}})
+		return c.Freeze()
+	}
+
+	// Derived: src->left and src->right (RAW a); join's preds are left
+	// (RAW b), src (RAW a — src is still a's last writer, the branches only
+	// read), and right (WAR a), deduped per task: 2 + 3 = 5 edges.
+	full := build(true)
+	if got, want := full.Edges(), 5; got != want {
+		t.Fatalf("NoReduce Edges = %d, want %d", got, want)
+	}
+
+	// Reduction drops src->join: src->left->join (and src->right->join)
+	// already order the pair.
+	tpl := build(false)
 	if tpl.Roots() != 1 {
 		t.Fatalf("Roots = %d, want 1", tpl.Roots())
 	}
-	// src->left and src->right (RAW a); join's preds are left (RAW b),
-	// src (RAW a — src is still a's last writer, the branches only read),
-	// and right (WAR a), deduped per task: 2 + 3 = 5 edges.
-	if got, want := tpl.Edges(), 5; got != want {
-		t.Fatalf("Edges = %d, want %d", got, want)
+	if got, want := tpl.Edges(), 4; got != want {
+		t.Fatalf("Edges = %d, want %d after reduction", got, want)
+	}
+	if got, want := tpl.PrunedEdges(), 1; got != want {
+		t.Fatalf("PrunedEdges = %d, want %d", got, want)
 	}
 	if got := tpl.nodes[3].tplSuccs; len(got) != 0 {
 		t.Fatalf("join has %d successors, want 0", len(got))

@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +79,7 @@ func (f lgFlags) config(seqOverride int) (serve.LoadGenConfig, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, replay, policy, efficiency, sched, determinism, loadgen, loadgen-sweep")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, replay, policy, efficiency, sched, determinism, dtype, loadgen, loadgen-sweep")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
 	replay := flag.Bool("replay", true, "use graph capture & replay in native-engine experiments")
 	noReplay := flag.Bool("no-replay", false, "force fresh task-graph emission every step (overrides -replay)")
@@ -87,6 +88,7 @@ func main() {
 	profOut := flag.String("profile-out", "bpar-profile.json", "profile dump path written at exit when -profile-graph is set")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	jsonOut := flag.String("json", "", "write machine-readable results of every experiment run to this JSON file")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	var lg lgFlags
 	flag.StringVar(&lg.url, "lg-url", "", "loadgen target (empty = in-process server at the Table III batch-1 config)")
@@ -147,18 +149,32 @@ func main() {
 	if *exp == "all" {
 		names = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "granularity", "memory", "ablation", "projection", "replay", "policy", "efficiency", "platforms", "crossover", "sched"}
 	}
+	results := make(map[string]any)
+	durations := make(map[string]float64)
 	for _, name := range names {
 		if ctx.Err() != nil {
 			log.Warn("interrupted, skipping remaining experiments", "next", name)
 			break
 		}
+		name = strings.TrimSpace(name)
 		start := time.Now()
-		if err := run(strings.TrimSpace(name), o, lg); err != nil {
+		res, err := run(name, o, lg)
+		if err != nil {
 			log.Error("experiment failed", "exp", name, "err", err)
 			os.Exit(1)
 		}
+		results[name] = res
+		durations[name] = time.Since(start).Seconds()
 		log.Info("experiment completed", "exp", name,
 			"duration", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		if err := writeResults(*jsonOut, results, durations, o); err != nil {
+			log.Error("json results", "err", err)
+			os.Exit(1)
+		}
+		log.Info("json results written", "file", *jsonOut, "experiments", len(results))
 	}
 
 	if profiler != nil {
@@ -190,162 +206,221 @@ func main() {
 	}
 }
 
-func run(name string, o experiments.Opts, lg lgFlags) error {
+// benchReport is the envelope of the -json results file: enough provenance
+// to compare artifacts across runs and machines, plus the raw result struct
+// of every experiment keyed by name.
+type benchReport struct {
+	Timestamp   string             `json:"timestamp"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	GoVersion   string             `json:"go_version"`
+	SeqOverride int                `json:"seq_override,omitempty"`
+	NoReplay    bool               `json:"no_replay,omitempty"`
+	DurationSec map[string]float64 `json:"duration_sec"`
+	Experiments map[string]any     `json:"experiments"`
+}
+
+// writeResults dumps every experiment's result struct as indented JSON.
+func writeResults(path string, results map[string]any, durations map[string]float64, o experiments.Opts) error {
+	rep := benchReport{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		SeqOverride: o.SeqLen,
+		NoReplay:    o.NoReplay,
+		DurationSec: durations,
+		Experiments: results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(name string, o experiments.Opts, lg lgFlags) (any, error) {
 	w := os.Stdout
 	switch name {
 	case "loadgen":
 		cfg, err := lg.config(o.SeqLen)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r, err := serve.RunLoadGen(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, "Load generator — open-loop Poisson arrivals vs bpar-serve")
 		printLoadGenHeader(w)
 		printLoadGenRow(w, r)
+		return r, nil
 	case "loadgen-sweep":
 		cfg, err := lg.config(o.SeqLen)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rs, err := serve.RunSaturationSweep(cfg, lg.steps)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintln(w, "Saturation sweep — doubling offered rate until <50% of requests succeed")
 		printLoadGenHeader(w)
 		for _, r := range rs {
 			printLoadGenRow(w, r)
 		}
+		return rs, nil
 	case "table3":
 		rows, err := experiments.RunTable(core.LSTM, o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintTable(w, "Table III — BLSTM training times and B-Par speed-ups", rows)
+		return rows, nil
 	case "table4":
 		rows, err := experiments.RunTable(core.GRU, o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintTable(w, "Table IV — BGRU training times and B-Par speed-ups", rows)
+		return rows, nil
 	case "fig3":
 		r, err := experiments.RunFig3(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig3(w, r)
+		return r, nil
 	case "fig4":
 		r, err := experiments.RunFig4(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig4(w, r)
+		return r, nil
 	case "fig5":
 		r, err := experiments.RunFig5(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig5(w, r)
+		return r, nil
 	case "fig6":
 		r, err := experiments.RunFig6(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig6(w, r)
+		return r, nil
 	case "fig7":
 		r, err := experiments.RunFig7(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig7(w, r)
+		return r, nil
 	case "fig8":
 		r, err := experiments.RunFig8(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig8(w, r)
+		return r, nil
 	case "granularity":
 		r, err := experiments.RunGranularity(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintGranularity(w, r)
+		return r, nil
 	case "memory":
 		r, err := experiments.RunMemory(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintMemory(w, r)
+		return r, nil
 	case "policy":
 		r, err := experiments.RunAblationPolicy(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintAblationPolicy(w, r)
+		return r, nil
 	case "efficiency":
 		r, err := experiments.RunEfficiency(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintEfficiency(w, r)
+		return r, nil
 	case "crossover":
 		r, err := experiments.RunCrossover(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintCrossover(w, r)
+		return r, nil
 	case "platforms":
 		r, err := experiments.RunPlatforms(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintPlatforms(w, r)
+		return r, nil
 	case "sched":
 		r, err := experiments.RunScheduler(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintScheduler(w, r)
+		return r, nil
+	case "dtype":
+		r, err := experiments.RunDType(o)
+		if err != nil {
+			return nil, err
+		}
+		experiments.PrintDType(w, r)
+		return r, nil
 	case "projection":
 		r, err := experiments.RunProjection(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintProjection(w, r)
+		return r, nil
 	case "replay":
 		r, err := experiments.RunReplay(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintReplay(w, r)
+		return r, nil
 	case "determinism":
 		r, err := experiments.RunDeterminism(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintDeterminism(w, r)
+		return r, nil
 	case "granularity-ablation":
 		r, err := experiments.RunAblationGranularity(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintAblationGranularity(w, r)
+		return r, nil
 	case "ablation":
 		r, err := experiments.RunAblationBarrier(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintf(w, "Barrier-removal ablation (8-layer BLSTM, mbs:8, 48 cores)\n")
 		fmt.Fprintf(w, "  barrier-free:   %.3fs (avg parallelism %.1f)\n", r.BarrierFreeSec, r.AvgParallelismFree)
 		fmt.Fprintf(w, "  per-layer sync: %.3fs (avg parallelism %.1f)\n", r.BarrierSec, r.AvgParallelismBarrier)
 		fmt.Fprintf(w, "  speed-up from removing barriers: %.2fx\n", r.Speedup)
+		return r, nil
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
-	return nil
 }
 
 func printLoadGenHeader(w *os.File) {

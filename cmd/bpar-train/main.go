@@ -53,6 +53,7 @@ type options struct {
 	depCheck   bool
 	replay     bool
 	noReplay   bool
+	inferDtype string
 	seed       uint64
 	traceFile  string
 	traceCap   int
@@ -82,6 +83,7 @@ func main() {
 	flag.BoolVar(&o.depCheck, "depcheck", false, "enable the dependency sanitizer: verify every tensor access against declared In/Out/InOut edges (slow; serializes task bodies)")
 	flag.BoolVar(&o.replay, "replay", true, "capture each step's task graph once and replay it every step")
 	flag.BoolVar(&o.noReplay, "no-replay", false, "force fresh task-graph emission every step (overrides -replay)")
+	flag.StringVar(&o.inferDtype, "infer-dtype", "f64", "dtype for the per-epoch eval pass: f64 (exact) or f32 (float32 mirror, refreshed after every weight update; training itself always runs f64)")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace-event JSON of the run's schedule to this file")
 	flag.IntVar(&o.traceCap, "trace-cap", 0, "max task records retained by -trace (reservoir sampling; 0 = unbounded)")
@@ -190,6 +192,11 @@ func run(ctx context.Context, o options) error {
 	eng := core.NewEngine(model, rt)
 	eng.GradClip = 1.0
 	eng.NoReplay = o.noReplay || !o.replay
+	inferDT, err := tensor.ParseDType(o.inferDtype)
+	if err != nil {
+		return err
+	}
+	eng.InferDType = inferDT
 
 	// Live telemetry: scheduler, engine, tensor, trace, and process series
 	// on one registry, served for the duration of the run.

@@ -15,10 +15,15 @@ type fixWS struct {
 	stackP  *tensor.Matrix // deliberately no kStackP: dw transposition scratch
 	scratch *tensor.Matrix // deliberately no kScratch: not key-mapped
 
+	x32   *tensor.Mat[float32] // float32 input mirror, written by conv tasks
+	pre32 *tensor.Mat[float32] // float32 gate-preload panel
+
 	kMerged  *int
 	kDMerged *int
 	kPre     *int
 	kDGates  *int
+	kX32     *int
+	kPre32   *int
 }
 
 // scaleInto is a helper whose mutation of dst must be discovered by
@@ -133,6 +138,56 @@ func emitDWStacked(rt *taskrt.Runtime, ws *fixWS, panels []*tensor.Matrix) {
 		Fn: func() {
 			tensor.TransposeStackInto(ws.stackP, panels)               // unmapped scratch: no diagnostic
 			tensor.GemmTAccDstCols(ws.dGates, 0, ws.stackP, ws.stackP) // want "task \"bad-dw\" writes ws.dGates"
+		},
+	})
+}
+
+// emitConvUndeclared mimics a dtype-conversion task writing the float32
+// input mirror without declaring its key.
+func emitConvUndeclared(rt *taskrt.Runtime, ws *fixWS, x *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "bad-conv",
+		In:    []taskrt.Dep{ws.kMerged},
+		Fn: func() {
+			tensor.ConvertInto(ws.x32, x) // want "task \"bad-conv\" writes ws.x32"
+		},
+	})
+}
+
+// emitConvDeclared declares the mirror's key: silent.
+func emitConvDeclared(rt *taskrt.Runtime, ws *fixWS, x *tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "good-conv",
+		In:    []taskrt.Dep{ws.kMerged},
+		Out:   []taskrt.Dep{ws.kX32},
+		Fn: func() {
+			tensor.ConvertInto(ws.x32, x) // declared: no diagnostic
+		},
+	})
+}
+
+// emitPackedUndeclared mimics a float32 packed-panel projection: both the
+// packed microkernel and the dtype-generic dispatcher write the preload
+// panel, and each seed must fire without help from the other.
+func emitPackedUndeclared(rt *taskrt.Runtime, ws *fixWS, w *tensor.Mat[float32], pp *tensor.PackedPanel[float32]) {
+	rt.Submit(&taskrt.Task{
+		Label: "bad-packed",
+		In:    []taskrt.Dep{ws.kX32},
+		Fn: func() {
+			tensor.MatMulTColsPacked(ws.pre32, ws.x32, pp) // want "task \"bad-packed\" writes ws.pre32"
+			tensor.GemmTAccColsOf(ws.pre32, ws.x32, w, 0)  // want "task \"bad-packed\" writes ws.pre32"
+		},
+	})
+}
+
+// emitPackedDeclared is the same projection with the panel key declared.
+func emitPackedDeclared(rt *taskrt.Runtime, ws *fixWS, pp *tensor.PackedPanel[float32]) {
+	rt.Submit(&taskrt.Task{
+		Label: "good-packed",
+		In:    []taskrt.Dep{ws.kX32},
+		Out:   []taskrt.Dep{ws.kPre32},
+		Fn: func() {
+			tensor.GemmTAccColsPacked(ws.pre32, ws.x32, pp) // declared: no diagnostic
 		},
 	})
 }

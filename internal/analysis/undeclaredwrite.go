@@ -70,14 +70,29 @@ func seedSummaries() map[string]*mutSummary {
 		"GemmATAccCols", "GemmTAccDstCols", "TransposeStackInto",
 		"GemmTAccColsBatch", "GemmAccColsBatch", "GemmATAccColsBatch",
 		"CopyColsInto",
+		// Dtype-generic dispatchers. They reach the kernels through the
+		// per-dtype function table, which the fixed-point propagation cannot
+		// see through, so each carries its own seed.
+		"MatMulOf", "GemmAccOf", "MatMulTOf", "GemmTAccOf", "GemmATAccOf",
+		"GemmTAccColsOf", "MatMulTColsOf", "GemmTAccColsBatchOf",
+		"GemmAccColsOf", "MatMulColsOf", "GemmAccColsBatchOf",
+		"GemmATAccColsOf", "GemmATAccColsBatchOf", "GemmTAccDstColsOf",
+		// Packed-panel kernels and the cross-dtype conversion kernel.
+		"GemmTAccColsPacked", "MatMulTColsPacked", "GemmTAccColsPackedBatch",
+		"ConvertInto",
 	}
 	for _, name := range dst0 {
 		seeds[tp+"."+name] = &mutSummary{muts: map[mutKey]bool{{param: 0}: true}}
 	}
 	// SplitCols(src, a, b) writes its second and third arguments.
 	seeds[tp+".SplitCols"] = &mutSummary{muts: map[mutKey]bool{{param: 1}: true, {param: 2}: true}}
-	for _, m := range []string{"CopyFrom", "Zero", "Fill", "Set"} {
-		seeds["(*"+tp+".Matrix)."+m] = &mutSummary{muts: map[mutKey]bool{{param: -1}: true}}
+	// Methods live on the generic Mat[E]; types.Func.FullName spells the
+	// receiver with the instantiated type argument (the `Matrix` alias never
+	// appears), so both dtypes are seeded explicitly.
+	for _, inst := range []string{"Mat[float64]", "Mat[float32]"} {
+		for _, m := range []string{"CopyFrom", "Zero", "Fill", "Set"} {
+			seeds["(*"+tp+"."+inst+")."+m] = &mutSummary{muts: map[mutKey]bool{{param: -1}: true}}
+		}
 	}
 	return seeds
 }

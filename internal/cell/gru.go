@@ -16,39 +16,42 @@ const (
 	gruGates = 3
 )
 
-// GRUWeights holds one direction of one layer's GRU parameters.
-// W is [3H x (In+H)]: the z and r blocks multiply [X_t, H_{t-1}]
+// GRUWeightsOf holds one direction of one layer's GRU parameters at element
+// type E. W is [3H x (In+H)]: the z and r blocks multiply [X_t, H_{t-1}]
 // (Equations 7-8) while the h-bar block multiplies [X_t, R_t ⊙ H_{t-1}]
 // (Equation 9). B is the fused bias.
-type GRUWeights struct {
+type GRUWeightsOf[E tensor.Elt] struct {
 	InputSize, HiddenSize int
-	W                     *tensor.Matrix
-	B                     []float64
+	W                     *tensor.Mat[E]
+	B                     []E
 
 	// Lazily built row views of W: the z/r block (first 2H rows) and the
 	// candidate block (last H rows). Cached so hot cell calls stay alloc-free.
-	zrView, hView *tensor.Matrix
+	zrView, hView *tensor.Mat[E]
 }
 
+// GRUWeights is the float64 weights — the training and checkpoint dtype.
+type GRUWeights = GRUWeightsOf[float64]
+
 // viewZR returns the [2H x (In+H)] z/r-gate row view of W.
-func (w *GRUWeights) viewZR() *tensor.Matrix {
+func (w *GRUWeightsOf[E]) viewZR() *tensor.Mat[E] {
 	if w.zrView == nil {
 		h := w.HiddenSize
-		w.zrView = &tensor.Matrix{Rows: 2 * h, Cols: w.InputSize + h, Data: w.W.Data[:2*h*(w.InputSize+h)]}
+		w.zrView = &tensor.Mat[E]{Rows: 2 * h, Cols: w.InputSize + h, Data: w.W.Data[:2*h*(w.InputSize+h)]}
 	}
 	return w.zrView
 }
 
 // viewH returns the [H x (In+H)] candidate-gate row view of W.
-func (w *GRUWeights) viewH() *tensor.Matrix {
+func (w *GRUWeightsOf[E]) viewH() *tensor.Mat[E] {
 	if w.hView == nil {
 		h := w.HiddenSize
-		w.hView = &tensor.Matrix{Rows: h, Cols: w.InputSize + h, Data: w.W.Data[2*h*(w.InputSize+h):]}
+		w.hView = &tensor.Mat[E]{Rows: h, Cols: w.InputSize + h, Data: w.W.Data[2*h*(w.InputSize+h):]}
 	}
 	return w.hView
 }
 
-// NewGRUWeights allocates zeroed weights.
+// NewGRUWeights allocates zeroed float64 weights.
 func NewGRUWeights(inputSize, hiddenSize int) *GRUWeights {
 	if inputSize <= 0 || hiddenSize <= 0 {
 		panic(fmt.Sprintf("cell: invalid GRU dims in=%d hidden=%d", inputSize, hiddenSize))
@@ -62,57 +65,66 @@ func NewGRUWeights(inputSize, hiddenSize int) *GRUWeights {
 }
 
 // Init fills the weights with scaled uniform values (Xavier/Glorot).
-func (w *GRUWeights) Init(r *rng.RNG) {
+func (w *GRUWeightsOf[E]) Init(r *rng.RNG) {
 	fanIn := float64(w.InputSize + w.HiddenSize)
 	scale := 1.0 / mathSqrt(fanIn)
-	r.FillUniform(w.W.Data, -scale, scale)
+	fillUniform(r, w.W.Data, scale)
 	for i := range w.B {
 		w.B[i] = 0
 	}
 }
 
 // ParamCount returns the number of trainable parameters.
-func (w *GRUWeights) ParamCount() int { return len(w.W.Data) + len(w.B) }
+func (w *GRUWeightsOf[E]) ParamCount() int { return len(w.W.Data) + len(w.B) }
 
-// GRUState caches the forward quantities the backward pass needs.
-type GRUState struct {
+// GRUStateOf caches the forward quantities the backward pass needs.
+type GRUStateOf[E tensor.Elt] struct {
 	// Z1 is [X_t, H_{t-1}], shape [batch x (In+H)].
-	Z1 *tensor.Matrix
+	Z1 *tensor.Mat[E]
 	// Z2 is [X_t, R_t ⊙ H_{t-1}], shape [batch x (In+H)].
-	Z2 *tensor.Matrix
+	Z2 *tensor.Mat[E]
 	// ZR holds post-activation z and r blocks, shape [batch x 2H].
-	ZR *tensor.Matrix
+	ZR *tensor.Mat[E]
 	// HBar is the candidate state tanh(...) of Equation 9, [batch x H].
-	HBar *tensor.Matrix
+	HBar *tensor.Mat[E]
 	// H is the output H_t of Equation 10, [batch x H].
-	H *tensor.Matrix
+	H *tensor.Mat[E]
 	// RH caches R_t ⊙ H_{t-1} on the split path, where Z2 is never
 	// materialized; the backward candidate GEMM runs against it directly.
-	RH *tensor.Matrix
+	RH *tensor.Mat[E]
 }
 
-// NewGRUState allocates the per-cell activation buffers for a batch.
+// GRUState is the float64 state.
+type GRUState = GRUStateOf[float64]
+
+// NewGRUState allocates the per-cell float64 activation buffers for a batch.
 func NewGRUState(batch, inputSize, hiddenSize int) *GRUState {
-	return &GRUState{
-		Z1:   tensor.New(batch, inputSize+hiddenSize),
-		Z2:   tensor.New(batch, inputSize+hiddenSize),
-		ZR:   tensor.New(batch, 2*hiddenSize),
-		HBar: tensor.New(batch, hiddenSize),
-		H:    tensor.New(batch, hiddenSize),
-		RH:   tensor.New(batch, hiddenSize),
+	return NewGRUStateOf[float64](batch, inputSize, hiddenSize)
+}
+
+// NewGRUStateOf allocates the per-cell activation buffers at element type E.
+func NewGRUStateOf[E tensor.Elt](batch, inputSize, hiddenSize int) *GRUStateOf[E] {
+	return &GRUStateOf[E]{
+		Z1:   tensor.NewOf[E](batch, inputSize+hiddenSize),
+		Z2:   tensor.NewOf[E](batch, inputSize+hiddenSize),
+		ZR:   tensor.NewOf[E](batch, 2*hiddenSize),
+		HBar: tensor.NewOf[E](batch, hiddenSize),
+		H:    tensor.NewOf[E](batch, hiddenSize),
+		RH:   tensor.NewOf[E](batch, hiddenSize),
 	}
 }
 
 // WorkingSetBytes estimates the bytes this state occupies.
-func (s *GRUState) WorkingSetBytes() int64 {
-	return 8 * int64(len(s.Z1.Data)+len(s.Z2.Data)+len(s.ZR.Data)+len(s.HBar.Data)+len(s.H.Data))
+func (s *GRUStateOf[E]) WorkingSetBytes() int64 {
+	n := int64(len(s.Z1.Data) + len(s.Z2.Data) + len(s.ZR.Data) + len(s.HBar.Data) + len(s.H.Data))
+	return int64(tensor.DTypeOf[E]().Size()) * n
 }
 
 // GRUForward computes Equations 7-10 for one cell and one mini-batch:
 //
 //	z = sigm(Wz*[x,hPrev]+bz)         r = sigm(Wr*[x,hPrev]+br)
 //	hbar = tanh(Wh*[x, r⊙hPrev]+bh)   h = z ⊙ hbar + (1-z) ⊙ hPrev
-func GRUForward(w *GRUWeights, x, hPrev *tensor.Matrix, st *GRUState) {
+func GRUForward[E tensor.Elt](w *GRUWeightsOf[E], x, hPrev *tensor.Mat[E], st *GRUStateOf[E]) {
 	H := w.HiddenSize
 	In := w.InputSize
 	batch := x.Rows
@@ -120,7 +132,7 @@ func GRUForward(w *GRUWeights, x, hPrev *tensor.Matrix, st *GRUState) {
 
 	// z and r gates: first 2H rows of W against Z1.
 	wZR := w.viewZR()
-	tensor.MatMulT(st.ZR, st.Z1, wZR)
+	tensor.MatMulTOf(st.ZR, st.Z1, wZR)
 	tensor.AddBiasRows(st.ZR, w.B[:2*H])
 	tensor.SigmoidInPlace(st.ZR)
 
@@ -135,7 +147,7 @@ func GRUForward(w *GRUWeights, x, hPrev *tensor.Matrix, st *GRUState) {
 		}
 	}
 	wH := w.viewH()
-	tensor.MatMulT(st.HBar, st.Z2, wH)
+	tensor.MatMulTOf(st.HBar, st.Z2, wH)
 	tensor.AddBiasRows(st.HBar, w.B[2*H:])
 	tensor.TanhInPlace(st.HBar)
 

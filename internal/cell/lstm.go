@@ -6,6 +6,12 @@
 // Every function here is sequential. A B-Par task wraps exactly one call
 // (one cell update for one mini-batch), so the package also provides flop
 // and working-set estimators that parameterize the task cost model.
+//
+// Weights, states, and the forward kernels are generic over the tensor
+// element type: training always runs the float64 instantiations (aliased to
+// the historical names, bitwise-identical to the pre-generic code), while the
+// float32 instantiations serve the opt-in inference dtype. The backward
+// kernels and gradient accumulators are float64-only by design.
 package cell
 
 import (
@@ -25,16 +31,20 @@ const (
 	lstmGates = 4
 )
 
-// LSTMWeights holds one direction of one layer's parameters.
-// W is [4H x (In+H)] with gate blocks in f, i, g, o order; the column space
-// is the concatenation [X_t, H_{t-1}] of Equations 1-4. B is the fused bias.
-type LSTMWeights struct {
+// LSTMWeightsOf holds one direction of one layer's parameters at element
+// type E. W is [4H x (In+H)] with gate blocks in f, i, g, o order; the column
+// space is the concatenation [X_t, H_{t-1}] of Equations 1-4. B is the fused
+// bias.
+type LSTMWeightsOf[E tensor.Elt] struct {
 	InputSize, HiddenSize int
-	W                     *tensor.Matrix
-	B                     []float64
+	W                     *tensor.Mat[E]
+	B                     []E
 }
 
-// NewLSTMWeights allocates zeroed weights.
+// LSTMWeights is the float64 weights — the training and checkpoint dtype.
+type LSTMWeights = LSTMWeightsOf[float64]
+
+// NewLSTMWeights allocates zeroed float64 weights.
 func NewLSTMWeights(inputSize, hiddenSize int) *LSTMWeights {
 	if inputSize <= 0 || hiddenSize <= 0 {
 		panic(fmt.Sprintf("cell: invalid LSTM dims in=%d hidden=%d", inputSize, hiddenSize))
@@ -50,10 +60,10 @@ func NewLSTMWeights(inputSize, hiddenSize int) *LSTMWeights {
 // Init fills the weights with scaled uniform values (Xavier/Glorot) and sets
 // the forget-gate bias to one, the standard trick that keeps early training
 // stable.
-func (w *LSTMWeights) Init(r *rng.RNG) {
+func (w *LSTMWeightsOf[E]) Init(r *rng.RNG) {
 	fanIn := float64(w.InputSize + w.HiddenSize)
 	scale := 1.0 / sqrt(fanIn)
-	r.FillUniform(w.W.Data, -scale, scale)
+	fillUniform(r, w.W.Data, scale)
 	for i := range w.B {
 		w.B[i] = 0
 	}
@@ -64,34 +74,43 @@ func (w *LSTMWeights) Init(r *rng.RNG) {
 
 // ParamCount returns the number of trainable parameters in this direction of
 // this layer.
-func (w *LSTMWeights) ParamCount() int { return len(w.W.Data) + len(w.B) }
+func (w *LSTMWeightsOf[E]) ParamCount() int { return len(w.W.Data) + len(w.B) }
 
-// LSTMState caches everything one forward cell update produces that its
+// LSTMStateOf caches everything one forward cell update produces that its
 // backward counterpart needs: the concatenated input, post-activation gates,
 // the cell state, its tanh, and the hidden output.
-type LSTMState struct {
+type LSTMStateOf[E tensor.Elt] struct {
 	// Z is the concatenation [X_t, H_{t-1}], shape [batch x (In+H)].
-	Z *tensor.Matrix
+	Z *tensor.Mat[E]
 	// Gates holds post-activation f,i,g,o blocks, shape [batch x 4H].
-	Gates *tensor.Matrix
+	Gates *tensor.Mat[E]
 	// C is the cell state C_t; TanhC caches tanh(C_t); H is the output H_t.
-	C, TanhC, H *tensor.Matrix
+	C, TanhC, H *tensor.Mat[E]
 }
 
-// NewLSTMState allocates the per-cell activation buffers for a batch.
+// LSTMState is the float64 state.
+type LSTMState = LSTMStateOf[float64]
+
+// NewLSTMState allocates the per-cell float64 activation buffers for a batch.
 func NewLSTMState(batch, inputSize, hiddenSize int) *LSTMState {
-	return &LSTMState{
-		Z:     tensor.New(batch, inputSize+hiddenSize),
-		Gates: tensor.New(batch, lstmGates*hiddenSize),
-		C:     tensor.New(batch, hiddenSize),
-		TanhC: tensor.New(batch, hiddenSize),
-		H:     tensor.New(batch, hiddenSize),
+	return NewLSTMStateOf[float64](batch, inputSize, hiddenSize)
+}
+
+// NewLSTMStateOf allocates the per-cell activation buffers at element type E.
+func NewLSTMStateOf[E tensor.Elt](batch, inputSize, hiddenSize int) *LSTMStateOf[E] {
+	return &LSTMStateOf[E]{
+		Z:     tensor.NewOf[E](batch, inputSize+hiddenSize),
+		Gates: tensor.NewOf[E](batch, lstmGates*hiddenSize),
+		C:     tensor.NewOf[E](batch, hiddenSize),
+		TanhC: tensor.NewOf[E](batch, hiddenSize),
+		H:     tensor.NewOf[E](batch, hiddenSize),
 	}
 }
 
 // WorkingSetBytes estimates the bytes this state occupies.
-func (s *LSTMState) WorkingSetBytes() int64 {
-	return 8 * int64(len(s.Z.Data)+len(s.Gates.Data)+len(s.C.Data)+len(s.TanhC.Data)+len(s.H.Data))
+func (s *LSTMStateOf[E]) WorkingSetBytes() int64 {
+	n := int64(len(s.Z.Data) + len(s.Gates.Data) + len(s.C.Data) + len(s.TanhC.Data) + len(s.H.Data))
+	return int64(tensor.DTypeOf[E]().Size()) * n
 }
 
 // LSTMForward computes Equations 1-6 for one cell and one mini-batch:
@@ -102,10 +121,10 @@ func (s *LSTMState) WorkingSetBytes() int64 {
 //
 // x is [batch x In]; hPrev and cPrev are [batch x H] (zeros at t=0).
 // Results and caches land in st.
-func LSTMForward(w *LSTMWeights, x, hPrev, cPrev *tensor.Matrix, st *LSTMState) {
+func LSTMForward[E tensor.Elt](w *LSTMWeightsOf[E], x, hPrev, cPrev *tensor.Mat[E], st *LSTMStateOf[E]) {
 	tensor.ConcatCols(st.Z, x, hPrev)
 	// Fused gate GEMM: Gates = Z * W^T + B.
-	tensor.MatMulT(st.Gates, st.Z, w.W)
+	tensor.MatMulTOf(st.Gates, st.Z, w.W)
 	tensor.AddBiasRows(st.Gates, w.B)
 	lstmPointwise(w, cPrev, st)
 }
@@ -113,7 +132,7 @@ func LSTMForward(w *LSTMWeights, x, hPrev, cPrev *tensor.Matrix, st *LSTMState) 
 // lstmPointwise applies the gate activations and the c/h update (Equations
 // 5-6) to the pre-activation gate buffer. Shared by the fused and split
 // forward paths.
-func lstmPointwise(w *LSTMWeights, cPrev *tensor.Matrix, st *LSTMState) {
+func lstmPointwise[E tensor.Elt](w *LSTMWeightsOf[E], cPrev *tensor.Mat[E], st *LSTMStateOf[E]) {
 	H := w.HiddenSize
 	batch := st.Gates.Rows
 	for r := 0; r < batch; r++ {
@@ -133,7 +152,7 @@ func lstmPointwise(w *LSTMWeights, cPrev *tensor.Matrix, st *LSTMState) {
 		o := row[lstmGateO*H : (lstmGateO+1)*H]
 		for j := 0; j < H; j++ {
 			c[j] = f[j]*cp[j] + i[j]*g[j] // Equation 5
-			tc[j] = tanh(c[j])
+			tc[j] = tanhE(c[j])
 			h[j] = o[j] * tc[j] // Equation 6
 		}
 	}

@@ -7,17 +7,20 @@ import (
 	"bpar/internal/tensor"
 )
 
-// RNNWeights holds one direction of one layer's vanilla (Elman) RNN
-// parameters: the paper's "basic RNN unit", of which LSTM and GRU are the
-// gated variants. W is [H x (In+H)] over the concatenation [X_t, H_{t-1}];
-// B is the bias.
-type RNNWeights struct {
+// RNNWeightsOf holds one direction of one layer's vanilla (Elman) RNN
+// parameters at element type E: the paper's "basic RNN unit", of which LSTM
+// and GRU are the gated variants. W is [H x (In+H)] over the concatenation
+// [X_t, H_{t-1}]; B is the bias.
+type RNNWeightsOf[E tensor.Elt] struct {
 	InputSize, HiddenSize int
-	W                     *tensor.Matrix
-	B                     []float64
+	W                     *tensor.Mat[E]
+	B                     []E
 }
 
-// NewRNNWeights allocates zeroed weights.
+// RNNWeights is the float64 weights — the training and checkpoint dtype.
+type RNNWeights = RNNWeightsOf[float64]
+
+// NewRNNWeights allocates zeroed float64 weights.
 func NewRNNWeights(inputSize, hiddenSize int) *RNNWeights {
 	if inputSize <= 0 || hiddenSize <= 0 {
 		panic(fmt.Sprintf("cell: invalid RNN dims in=%d hidden=%d", inputSize, hiddenSize))
@@ -31,42 +34,50 @@ func NewRNNWeights(inputSize, hiddenSize int) *RNNWeights {
 }
 
 // Init fills the weights with scaled uniform values (Xavier/Glorot).
-func (w *RNNWeights) Init(r *rng.RNG) {
+func (w *RNNWeightsOf[E]) Init(r *rng.RNG) {
 	scale := 1.0 / mathSqrt(float64(w.InputSize+w.HiddenSize))
-	r.FillUniform(w.W.Data, -scale, scale)
+	fillUniform(r, w.W.Data, scale)
 	for i := range w.B {
 		w.B[i] = 0
 	}
 }
 
 // ParamCount returns the number of trainable parameters.
-func (w *RNNWeights) ParamCount() int { return len(w.W.Data) + len(w.B) }
+func (w *RNNWeightsOf[E]) ParamCount() int { return len(w.W.Data) + len(w.B) }
 
-// RNNState caches one cell update: the concatenated input and the output.
-type RNNState struct {
+// RNNStateOf caches one cell update: the concatenated input and the output.
+type RNNStateOf[E tensor.Elt] struct {
 	// Z is [X_t, H_{t-1}], shape [batch x (In+H)].
-	Z *tensor.Matrix
+	Z *tensor.Mat[E]
 	// H is tanh(W*Z + B), shape [batch x H].
-	H *tensor.Matrix
+	H *tensor.Mat[E]
 }
 
-// NewRNNState allocates the per-cell buffers for a batch.
+// RNNState is the float64 state.
+type RNNState = RNNStateOf[float64]
+
+// NewRNNState allocates the per-cell float64 buffers for a batch.
 func NewRNNState(batch, inputSize, hiddenSize int) *RNNState {
-	return &RNNState{
-		Z: tensor.New(batch, inputSize+hiddenSize),
-		H: tensor.New(batch, hiddenSize),
+	return NewRNNStateOf[float64](batch, inputSize, hiddenSize)
+}
+
+// NewRNNStateOf allocates the per-cell buffers at element type E.
+func NewRNNStateOf[E tensor.Elt](batch, inputSize, hiddenSize int) *RNNStateOf[E] {
+	return &RNNStateOf[E]{
+		Z: tensor.NewOf[E](batch, inputSize+hiddenSize),
+		H: tensor.NewOf[E](batch, hiddenSize),
 	}
 }
 
 // WorkingSetBytes estimates the bytes this state occupies.
-func (s *RNNState) WorkingSetBytes() int64 {
-	return 8 * int64(len(s.Z.Data)+len(s.H.Data))
+func (s *RNNStateOf[E]) WorkingSetBytes() int64 {
+	return int64(tensor.DTypeOf[E]().Size()) * int64(len(s.Z.Data)+len(s.H.Data))
 }
 
 // RNNForward computes h = tanh(W*[x, hPrev] + b) for one cell and batch.
-func RNNForward(w *RNNWeights, x, hPrev *tensor.Matrix, st *RNNState) {
+func RNNForward[E tensor.Elt](w *RNNWeightsOf[E], x, hPrev *tensor.Mat[E], st *RNNStateOf[E]) {
 	tensor.ConcatCols(st.Z, x, hPrev)
-	tensor.MatMulT(st.H, st.Z, w.W)
+	tensor.MatMulTOf(st.H, st.Z, w.W)
 	tensor.AddBiasRows(st.H, w.B)
 	tensor.TanhInPlace(st.H)
 }

@@ -24,17 +24,17 @@ import "bpar/internal/tensor"
 
 // LSTMPreGates computes the input projection pre = x*Wx^T + B for one
 // timestep. pre is [batch x 4H]. No recurrence dependency.
-func LSTMPreGates(w *LSTMWeights, x, pre *tensor.Matrix) {
-	tensor.MatMulTCols(pre, x, w.W, 0)
+func LSTMPreGates[E tensor.Elt](w *LSTMWeightsOf[E], x, pre *tensor.Mat[E]) {
+	tensor.MatMulTColsOf(pre, x, w.W, 0)
 	tensor.AddBiasRows(pre, w.B)
 }
 
 // LSTMForwardPre is the chain-resident forward remainder: Gates = pre +
 // hPrev*Wh^T, then activations and the c/h update. st.Z is not written — the
 // split path never materializes the concatenation.
-func LSTMForwardPre(w *LSTMWeights, pre, hPrev, cPrev *tensor.Matrix, st *LSTMState) {
+func LSTMForwardPre[E tensor.Elt](w *LSTMWeightsOf[E], pre, hPrev, cPrev *tensor.Mat[E], st *LSTMStateOf[E]) {
 	st.Gates.CopyFrom(pre)
-	tensor.GemmTAccCols(st.Gates, hPrev, w.W, w.InputSize)
+	tensor.GemmTAccColsOf(st.Gates, hPrev, w.W, w.InputSize)
 	lstmPointwise(w, cPrev, st)
 }
 
@@ -106,21 +106,21 @@ func dwBiasSum(db []float64, panels []*tensor.Matrix) {
 
 // GRUPreGates computes pre = x*Wx^T + B for all three gate blocks; the z/r
 // and candidate windows are consumed separately by GRUForwardPre.
-func GRUPreGates(w *GRUWeights, x, pre *tensor.Matrix) {
-	tensor.MatMulTCols(pre, x, w.W, 0)
+func GRUPreGates[E tensor.Elt](w *GRUWeightsOf[E], x, pre *tensor.Mat[E]) {
+	tensor.MatMulTColsOf(pre, x, w.W, 0)
 	tensor.AddBiasRows(pre, w.B)
 }
 
 // GRUForwardPre is the chain-resident forward remainder. st.Z1/st.Z2 are not
 // written; st.RH caches r⊙hPrev for the backward candidate GEMM.
-func GRUForwardPre(w *GRUWeights, pre, hPrev *tensor.Matrix, st *GRUState) {
+func GRUForwardPre[E tensor.Elt](w *GRUWeightsOf[E], pre, hPrev *tensor.Mat[E], st *GRUStateOf[E]) {
 	H := w.HiddenSize
 	In := w.InputSize
 	batch := pre.Rows
 
 	wZR := w.viewZR()
 	tensor.CopyColsInto(st.ZR, pre, 0)
-	tensor.GemmTAccCols(st.ZR, hPrev, wZR, In)
+	tensor.GemmTAccColsOf(st.ZR, hPrev, wZR, In)
 	tensor.SigmoidInPlace(st.ZR)
 
 	for rI := 0; rI < batch; rI++ {
@@ -133,7 +133,7 @@ func GRUForwardPre(w *GRUWeights, pre, hPrev *tensor.Matrix, st *GRUState) {
 	}
 	wH := w.viewH()
 	tensor.CopyColsInto(st.HBar, pre, 2*H)
-	tensor.GemmTAccCols(st.HBar, st.RH, wH, In)
+	tensor.GemmTAccColsOf(st.HBar, st.RH, wH, In)
 	tensor.TanhInPlace(st.HBar)
 
 	for rI := 0; rI < batch; rI++ {
@@ -241,15 +241,15 @@ func GRUDWBatch(w *GRUWeights, grads *GRUGrads, panels, xs, hPrevs, rhs []*tenso
 // --- RNN ---
 
 // RNNPreGates computes pre = x*Wx^T + B for one timestep.
-func RNNPreGates(w *RNNWeights, x, pre *tensor.Matrix) {
-	tensor.MatMulTCols(pre, x, w.W, 0)
+func RNNPreGates[E tensor.Elt](w *RNNWeightsOf[E], x, pre *tensor.Mat[E]) {
+	tensor.MatMulTColsOf(pre, x, w.W, 0)
 	tensor.AddBiasRows(pre, w.B)
 }
 
 // RNNForwardPre is the chain-resident forward remainder; st.Z is not written.
-func RNNForwardPre(w *RNNWeights, pre, hPrev *tensor.Matrix, st *RNNState) {
+func RNNForwardPre[E tensor.Elt](w *RNNWeightsOf[E], pre, hPrev *tensor.Mat[E], st *RNNStateOf[E]) {
 	st.H.CopyFrom(pre)
-	tensor.GemmTAccCols(st.H, hPrev, w.W, w.InputSize)
+	tensor.GemmTAccColsOf(st.H, hPrev, w.W, w.InputSize)
 	tensor.TanhInPlace(st.H)
 }
 

@@ -33,6 +33,7 @@ func (e *Engine) TrainStepBarrier(b *Batch, lr float64) (float64, error) {
 	}
 	T := b.SeqLen()
 	wss := e.workspaces(T)
+	e.refreshWeightCaches()
 	// The barrier ablation always emits fresh (replay has no sync points to
 	// model), so the post-step ResetDeps below handles the sanitizer state.
 	e.bindWorkspaces(wss, b)
@@ -76,27 +77,27 @@ func (e *Engine) emitBarrierGraph(wss []*workspace) error {
 		// order RNNs computations for each timestamp, and then merge"
 		// (Section II).
 		for i, ws := range wss {
-			e.emitFwdCells(ws, i, l)
+			e.emitFwdCells(ws, i, l, false)
 		}
 		if err := e.barrier(); err != nil {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitRevCells(ws, i, l)
+			e.emitRevCells(ws, i, l, false)
 		}
 		if err := e.barrier(); err != nil {
 			return err
 		}
 		for i, ws := range wss {
-			e.emitMergeCells(ws, i, l)
+			e.emitMergeCells(ws, i, l, false)
 		}
 		if err := e.barrier(); err != nil {
 			return err
 		}
 	}
 	for i, ws := range wss {
-		e.emitFinalMerge(ws, i)
-		e.emitHeadForward(ws, i)
+		e.emitFinalMerge(ws, i, false)
+		e.emitHeadForward(ws, i, false)
 	}
 	if err := e.barrier(); err != nil {
 		return err

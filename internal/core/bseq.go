@@ -37,7 +37,7 @@ func NewBSeq(m *Model, exec taskrt.Executor) *BSeq {
 		}
 		// Each sub-engine shares the parent's weights but sees its
 		// mini-batch as its whole world, executed inline.
-		subM := &Model{Cfg: m.Cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB}
+		subM := &Model{Cfg: m.Cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB, mut: m.mut}
 		subM.Cfg.Batch = rows
 		subM.Cfg.MiniBatches = 1
 		s.subs = append(s.subs, NewEngine(subM, taskrt.NewInline(nil)))
@@ -96,7 +96,7 @@ func (s *BSeq) TrainStep(b *Batch, lr float64) (float64, error) {
 				wss := sub.workspaces(T)
 				wss[0].resetForStep()
 				wss[0].bindStep(mb)
-				sub.emitForward(wss[0], i, true)
+				sub.emitForward(wss[0], i, true, false)
 				sub.emitBackward(wss[0], i)
 			},
 		})

@@ -22,7 +22,7 @@ func (e *Engine) depChecker() *taskrt.DepChecker {
 // depcheck owns it, so two concurrently training depcheck engines are not
 // supported (sequential engines each re-install on construction).
 func installDepCheckHook(dc *taskrt.DepChecker) {
-	tensor.SetAccessHook(func(w *tensor.Matrix, reads []*tensor.Matrix) {
+	tensor.SetAccessHook(func(w any, reads []any) {
 		if w != nil {
 			dc.NoteWrite(w)
 		}
@@ -84,6 +84,47 @@ func (w *workspace) registerDeps(dc *taskrt.DepChecker, mbIdx int) {
 		reg(w.kProbs[h], fmt.Sprintf("probs h%d", h), w.probs[h], w.logits[h])
 	}
 	reg(w.kHeadGrads, "headGrads", w.headGrads.DW)
+	if w.f32 != nil {
+		w.registerDepsF32(dc, mbIdx)
+	}
+}
+
+// registerDepsF32 registers the float32 mirror buffers. Registration is
+// additive per buffer, so the mirrors share the f64 buffers' keys — the f32
+// graph has the identical topology and a task may legally touch either
+// representation of the value its key names. Only the converted inputs get
+// distinct keys (kX32), because they are written by conv tasks that read kX.
+func (w *workspace) registerDepsF32(dc *taskrt.DepChecker, mbIdx int) {
+	reg := func(k taskrt.Dep, name string, ms ...*tensor.Mat[float32]) {
+		bufs := make([]any, 0, len(ms))
+		for _, m := range ms {
+			if m != nil {
+				bufs = append(bufs, m)
+			}
+		}
+		dc.Register(k, fmt.Sprintf("%s mb%d", name, mbIdx), bufs...)
+	}
+	s := w.f32
+	for t := range s.x {
+		reg(w.kX32[t], fmt.Sprintf("x32 t%d", t), s.x[t])
+	}
+	for l := range s.fwdSt {
+		for t := range s.fwdSt[l] {
+			reg(w.kFwdSt[l][t], fmt.Sprintf("fwdSt32 L%d t%d", l, t), s.fwdSt[l][t].mats()...)
+			reg(w.kRevSt[l][t], fmt.Sprintf("revSt32 L%d t%d", l, t), s.revSt[l][t].mats()...)
+			if s.merged[l] != nil {
+				reg(w.kMerged[l][t], fmt.Sprintf("merged32 L%d t%d", l, t), s.merged[l][t])
+			}
+			if s.preFwd != nil {
+				reg(w.kPreFwd[l][t], fmt.Sprintf("preFwd32 L%d t%d", l, t), s.preFwd[l][t])
+				reg(w.kPreRev[l][t], fmt.Sprintf("preRev32 L%d t%d", l, t), s.preRev[l][t])
+			}
+		}
+	}
+	reg(w.kFinalMerged, "finalMerged32", s.finalMerged)
+	for h := range w.kProbs {
+		reg(w.kProbs[h], fmt.Sprintf("probs32 h%d", h), s.probs[h], s.logits[h])
+	}
 }
 
 // mats enumerates the state's activation matrices — everything the forward

@@ -19,6 +19,9 @@ func (w *workspace) keyNames(mbIdx int, into map[taskrt.Dep]string) {
 	for t, k := range w.kX {
 		name(k, "x t%d", t)
 	}
+	for t, k := range w.kX32 {
+		name(k, "x32 t%d", t)
+	}
 	grids := []struct {
 		label string
 		grid  [][]taskrt.Dep

@@ -215,7 +215,7 @@ func (e *Engine) emitDW(ws *workspace, mbIdx, l int, rev bool) {
 	hs := p.hiddenSize()
 	deps := make([]taskrt.Dep, 0, 3*T)
 	for t := 0; t < T; t++ {
-		deps = append(deps, kDG[l][t], e.inputKey(ws, l, t), kSt[l][t])
+		deps = append(deps, kDG[l][t], e.inputKey(ws, l, t, false), kSt[l][t])
 	}
 	task := &taskrt.Task{
 		Label:      fmt.Sprintf("dw-%s L%d mb%d", dir, l, mbIdx),

@@ -33,22 +33,53 @@ func (e *Engine) kindFwdCell() string {
 // taskrt.Template and replayed for every later batch of the same shape.
 // Phantom workspaces emit metadata-only tasks with no bodies.
 // withHead controls whether classifier-head tasks are emitted.
-func (e *Engine) emitForward(ws *workspace, mbIdx int, withHead bool) {
-	for l := 0; l < e.M.Cfg.Layers; l++ {
-		e.emitForwardLayer(ws, mbIdx, l)
+//
+// When f32 is true the same graph is emitted against the workspace's float32
+// mirror buffers: identical topology and dependency keys, plus one conv task
+// per timestep converting the bound f64 input views into the kX32 panels.
+// f32 graphs are forward-only (training stays float64).
+func (e *Engine) emitForward(ws *workspace, mbIdx int, withHead, f32 bool) {
+	if f32 {
+		e.emitConvertInputs(ws, mbIdx)
 	}
-	e.emitFinalMerge(ws, mbIdx)
+	for l := 0; l < e.M.Cfg.Layers; l++ {
+		e.emitForwardLayer(ws, mbIdx, l, f32)
+	}
+	e.emitFinalMerge(ws, mbIdx, f32)
 	if withHead {
-		e.emitHeadForward(ws, mbIdx)
+		e.emitHeadForward(ws, mbIdx, f32)
 	}
 }
 
 // emitForwardLayer emits the forward-propagation tasks of one layer:
 // reverse-order cells, forward-order cells, and merge cells.
-func (e *Engine) emitForwardLayer(ws *workspace, mbIdx, l int) {
-	e.emitRevCells(ws, mbIdx, l)
-	e.emitFwdCells(ws, mbIdx, l)
-	e.emitMergeCells(ws, mbIdx, l)
+func (e *Engine) emitForwardLayer(ws *workspace, mbIdx, l int, f32 bool) {
+	e.emitRevCells(ws, mbIdx, l, f32)
+	e.emitFwdCells(ws, mbIdx, l, f32)
+	e.emitMergeCells(ws, mbIdx, l, f32)
+}
+
+// emitConvertInputs emits one conversion task per timestep, widening the
+// bound float64 batch views into the workspace's float32 input panels. Conv
+// tasks are the only tasks that read both representations; everything
+// downstream of kX32 is pure float32.
+func (e *Engine) emitConvertInputs(ws *workspace, mbIdx int) {
+	in := e.M.Cfg.InputSize
+	batch := make([]*taskrt.Task, 0, ws.T)
+	for t := 0; t < ws.T; t++ {
+		task := &taskrt.Task{
+			Label:      fmt.Sprintf("conv t%d mb%d", t, mbIdx),
+			Kind:       "conv",
+			In:         []taskrt.Dep{ws.kX[t]},
+			Out:        []taskrt.Dep{ws.kX32[t]},
+			Flops:      float64(ws.rows * in),
+			WorkingSet: int64(12 * ws.rows * in),
+		}
+		t := t
+		task.Fn = func() { tensor.ConvertInto(ws.f32.x[t], ws.bind.x[t]) }
+		batch = append(batch, task)
+	}
+	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // projTileT is the timestep-tile width of one input-projection task. Tiling
@@ -62,7 +93,7 @@ const projTileT = 8
 // off-critical-path half of the split-gate decomposition. Tiles of the
 // reverse direction are submitted high-t first, matching the order its chain
 // consumes them.
-func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev bool) {
+func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev, f32 bool) {
 	T := ws.T
 	p, kPre, dir := e.M.fwd[l], ws.kPreFwd, "fwd"
 	if rev {
@@ -87,7 +118,7 @@ func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev bool) {
 		deps := make([]taskrt.Dep, 0, t1-t0)
 		outs := make([]taskrt.Dep, 0, t1-t0)
 		for t := t0; t < t1; t++ {
-			deps = append(deps, e.inputKey(ws, l, t))
+			deps = append(deps, e.inputKey(ws, l, t, f32))
 			outs = append(outs, kPre[l][t])
 		}
 		task := &taskrt.Task{
@@ -99,20 +130,39 @@ func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev bool) {
 			WorkingSet: int64(8 * (gw*(in+1) + (t1-t0)*ws.rows*(in+gw))),
 		}
 		if !ws.phantom {
-			pres := ws.preFwd
-			if rev {
-				pres = ws.preRev
-			}
-			xs := make([]*tensor.Matrix, t1-t0)
-			ps := make([]*tensor.Matrix, 0, t1-t0)
-			for t := t0; t < t1; t++ {
-				ps = append(ps, pres[l][t])
-			}
-			task.Fn = func() {
-				for i := range xs {
-					xs[i] = ws.input(l, t0+i)
+			if f32 {
+				d32 := e.fm32[p]
+				pres := ws.f32.preFwd
+				if rev {
+					pres = ws.f32.preRev
 				}
-				p.preGatesBatch(xs, ps)
+				xs := make([]*tensor.Mat[float32], t1-t0)
+				ps := make([]*tensor.Mat[float32], 0, t1-t0)
+				for t := t0; t < t1; t++ {
+					ps = append(ps, pres[l][t])
+				}
+				task.Fn = func() {
+					for i := range xs {
+						xs[i] = ws.inputF32(l, t0+i)
+					}
+					d32.preGatesBatch(xs, ps)
+				}
+			} else {
+				pres := ws.preFwd
+				if rev {
+					pres = ws.preRev
+				}
+				xs := make([]*tensor.Matrix, t1-t0)
+				ps := make([]*tensor.Matrix, 0, t1-t0)
+				for t := t0; t < t1; t++ {
+					ps = append(ps, pres[l][t])
+				}
+				task.Fn = func() {
+					for i := range xs {
+						xs[i] = ws.input(l, t0+i)
+					}
+					e.runPreGatesBatch(p, xs, ps)
+				}
 			}
 		}
 		batch = append(batch, task)
@@ -124,14 +174,14 @@ func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev bool) {
 // (Algorithm 3). In split mode the chain task consumes the gate preload
 // instead of the raw input, so its only serial dependency is the previous
 // state.
-func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int) {
+func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int, f32 bool) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
 	lR := e.M.rev[l]
 	fwdFlops := lR.fwdFlops(ws.rows)
 	cellWS := lR.taskWorkingSet(ws.rows)
 	if ws.split {
-		e.emitProjection(ws, mbIdx, l, true)
+		e.emitProjection(ws, mbIdx, l, true, f32)
 		fwdFlops = lR.chainFwdFlops(ws.rows)
 	}
 
@@ -142,7 +192,7 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int) {
 		if ws.split {
 			in = []taskrt.Dep{ws.kPreRev[l][t]}
 		} else {
-			in = []taskrt.Dep{e.inputKey(ws, l, t)}
+			in = []taskrt.Dep{e.inputKey(ws, l, t, f32)}
 		}
 		if t < T-1 {
 			in = append(in, ws.kRevSt[l][t+1])
@@ -156,7 +206,29 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int) {
 		}
 		if !ws.phantom {
 			l, t := l, t
-			if ws.split {
+			switch {
+			case f32 && ws.split:
+				d32 := e.fm32[lR]
+				pre := ws.f32.preRev[l][t]
+				task.Fn = func() {
+					hPrev, cPrev := ws.f32.zeroH, ws.f32.zeroC
+					if t < T-1 {
+						hPrev = ws.f32.revSt[l][t+1].H()
+						cPrev = ws.f32.revSt[l][t+1].C()
+					}
+					d32.forwardPre(pre, hPrev, cPrev, ws.f32.revSt[l][t])
+				}
+			case f32:
+				d32 := e.fm32[lR]
+				task.Fn = func() {
+					hPrev, cPrev := ws.f32.zeroH, ws.f32.zeroC
+					if t < T-1 {
+						hPrev = ws.f32.revSt[l][t+1].H()
+						cPrev = ws.f32.revSt[l][t+1].C()
+					}
+					d32.forward(ws.inputF32(l, t), hPrev, cPrev, ws.f32.revSt[l][t])
+				}
+			case ws.split:
 				pre := ws.preRev[l][t]
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
@@ -164,9 +236,9 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int) {
 						hPrev = ws.revSt[l][t+1].H()
 						cPrev = ws.revSt[l][t+1].C()
 					}
-					lR.forwardPre(pre, hPrev, cPrev, ws.revSt[l][t])
+					e.runForwardPre(lR, pre, hPrev, cPrev, ws.revSt[l][t])
 				}
-			} else {
+			default:
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
 					if t < T-1 {
@@ -184,14 +256,14 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int) {
 
 // emitFwdCells emits layer l's forward-order cells, processed 0 → T-1
 // (Algorithm 2). See emitRevCells for the split-mode dependency shape.
-func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int) {
+func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int, f32 bool) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
 	lF := e.M.fwd[l]
 	fwdFlops := lF.fwdFlops(ws.rows)
 	cellWS := lF.taskWorkingSet(ws.rows)
 	if ws.split {
-		e.emitProjection(ws, mbIdx, l, false)
+		e.emitProjection(ws, mbIdx, l, false, f32)
 		fwdFlops = lF.chainFwdFlops(ws.rows)
 	}
 
@@ -201,7 +273,7 @@ func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int) {
 		if ws.split {
 			in = []taskrt.Dep{ws.kPreFwd[l][t]}
 		} else {
-			in = []taskrt.Dep{e.inputKey(ws, l, t)}
+			in = []taskrt.Dep{e.inputKey(ws, l, t, f32)}
 		}
 		if t > 0 {
 			in = append(in, ws.kFwdSt[l][t-1])
@@ -215,7 +287,29 @@ func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int) {
 		}
 		if !ws.phantom {
 			l, t := l, t
-			if ws.split {
+			switch {
+			case f32 && ws.split:
+				d32 := e.fm32[lF]
+				pre := ws.f32.preFwd[l][t]
+				task.Fn = func() {
+					hPrev, cPrev := ws.f32.zeroH, ws.f32.zeroC
+					if t > 0 {
+						hPrev = ws.f32.fwdSt[l][t-1].H()
+						cPrev = ws.f32.fwdSt[l][t-1].C()
+					}
+					d32.forwardPre(pre, hPrev, cPrev, ws.f32.fwdSt[l][t])
+				}
+			case f32:
+				d32 := e.fm32[lF]
+				task.Fn = func() {
+					hPrev, cPrev := ws.f32.zeroH, ws.f32.zeroC
+					if t > 0 {
+						hPrev = ws.f32.fwdSt[l][t-1].H()
+						cPrev = ws.f32.fwdSt[l][t-1].C()
+					}
+					d32.forward(ws.inputF32(l, t), hPrev, cPrev, ws.f32.fwdSt[l][t])
+				}
+			case ws.split:
 				pre := ws.preFwd[l][t]
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
@@ -223,9 +317,9 @@ func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int) {
 						hPrev = ws.fwdSt[l][t-1].H()
 						cPrev = ws.fwdSt[l][t-1].C()
 					}
-					lF.forwardPre(pre, hPrev, cPrev, ws.fwdSt[l][t])
+					e.runForwardPre(lF, pre, hPrev, cPrev, ws.fwdSt[l][t])
 				}
-			} else {
+			default:
 				task.Fn = func() {
 					hPrev, cPrev := ws.zeroH, ws.zeroC
 					if t > 0 {
@@ -244,40 +338,43 @@ func (e *Engine) emitFwdCells(ws *workspace, mbIdx, l int) {
 // emitMergeCells emits layer l's merge cells. Merges are kept as separate
 // tasks precisely so that forward and reverse cells of the same layer never
 // depend on each other.
-func (e *Engine) emitMergeCells(ws *workspace, mbIdx, l int) {
+func (e *Engine) emitMergeCells(ws *workspace, mbIdx, l int, f32 bool) {
 	cfg := e.M.Cfg
 	T := ws.T
-	{
-		if cfg.hasMergePerTimestep(l) {
-			mFlops := mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize)
-			mWS := mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize)
-			batch := make([]*taskrt.Task, 0, T)
-			for t := 0; t < T; t++ {
-				task := &taskrt.Task{
-					Label: fmt.Sprintf("merge L%d t%d mb%d", l, t, mbIdx),
-					Kind:  "merge",
-					In:    []taskrt.Dep{ws.kFwdSt[l][t], ws.kRevSt[l][t]},
-					Out:   []taskrt.Dep{ws.kMerged[l][t]},
-					Flops: mFlops, WorkingSet: mWS,
-				}
-				if !ws.phantom {
-					l, t := l, t
+	if cfg.hasMergePerTimestep(l) {
+		mFlops := mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize)
+		mWS := mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize)
+		batch := make([]*taskrt.Task, 0, T)
+		for t := 0; t < T; t++ {
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("merge L%d t%d mb%d", l, t, mbIdx),
+				Kind:  "merge",
+				In:    []taskrt.Dep{ws.kFwdSt[l][t], ws.kRevSt[l][t]},
+				Out:   []taskrt.Dep{ws.kMerged[l][t]},
+				Flops: mFlops, WorkingSet: mWS,
+			}
+			if !ws.phantom {
+				l, t := l, t
+				if f32 {
+					task.Fn = func() {
+						mergeForward(cfg.Merge, ws.f32.merged[l][t], ws.f32.fwdSt[l][t].H(), ws.f32.revSt[l][t].H())
+					}
+				} else {
 					task.Fn = func() {
 						mergeForward(cfg.Merge, ws.merged[l][t], ws.fwdSt[l][t].H(), ws.revSt[l][t].H())
 					}
 				}
-				batch = append(batch, task)
 			}
-			taskrt.SubmitBatch(e.Exec, batch)
+			batch = append(batch, task)
 		}
+		taskrt.SubmitBatch(e.Exec, batch)
 	}
-
 }
 
 // emitFinalMerge emits the single final merge of a many-to-one model:
 // cells 9f and 9r of Figure 1 — the last forward-order cell and the
 // last-processed reverse cell. No-op for many-to-many.
-func (e *Engine) emitFinalMerge(ws *workspace, mbIdx int) {
+func (e *Engine) emitFinalMerge(ws *workspace, mbIdx int, f32 bool) {
 	cfg := e.M.Cfg
 	L, T := cfg.Layers, ws.T
 	if cfg.Arch == ManyToOne {
@@ -290,8 +387,14 @@ func (e *Engine) emitFinalMerge(ws *workspace, mbIdx int) {
 			WorkingSet: mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize),
 		}
 		if !ws.phantom {
-			task.Fn = func() {
-				mergeForward(cfg.Merge, ws.finalMerged, ws.fwdSt[L-1][T-1].H(), ws.revSt[L-1][0].H())
+			if f32 {
+				task.Fn = func() {
+					mergeForward(cfg.Merge, ws.f32.finalMerged, ws.f32.fwdSt[L-1][T-1].H(), ws.f32.revSt[L-1][0].H())
+				}
+			} else {
+				task.Fn = func() {
+					mergeForward(cfg.Merge, ws.finalMerged, ws.fwdSt[L-1][T-1].H(), ws.revSt[L-1][0].H())
+				}
 			}
 		}
 		e.Exec.Submit(task)
@@ -299,10 +402,13 @@ func (e *Engine) emitFinalMerge(ws *workspace, mbIdx int) {
 }
 
 // inputKey returns the dependency key of the input consumed by layer l at
-// timestep t: the raw batch input for layer 0, the merge output below
-// otherwise.
-func (e *Engine) inputKey(ws *workspace, l, t int) taskrt.Dep {
+// timestep t: the raw batch input for layer 0 (its converted panel on the
+// float32 graph), the merge output below otherwise.
+func (e *Engine) inputKey(ws *workspace, l, t int, f32 bool) taskrt.Dep {
 	if l == 0 {
+		if f32 {
+			return ws.kX32[t]
+		}
 		return ws.kX[t]
 	}
 	return ws.kMerged[l-1][t]
@@ -312,7 +418,7 @@ func (e *Engine) inputKey(ws *workspace, l, t int) taskrt.Dep {
 // cross-entropy for the final merge (many-to-one) or every timestep's merge
 // (many-to-many). Labels are read from the step binding at run time, so the
 // same task serves labeled and unlabeled batches across replays.
-func (e *Engine) emitHeadForward(ws *workspace, mbIdx int) {
+func (e *Engine) emitHeadForward(ws *workspace, mbIdx int, f32 bool) {
 	cfg := e.M.Cfg
 	D := cfg.MergeDim()
 	hFlops := 2 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
@@ -327,7 +433,11 @@ func (e *Engine) emitHeadForward(ws *workspace, mbIdx int) {
 			Flops: hFlops, WorkingSet: hWS,
 		}
 		if !ws.phantom {
-			task.Fn = func() { e.headForward(ws, 0, ws.finalMerged, ws.bind.targets) }
+			if f32 {
+				task.Fn = func() { e.headForward32(ws, 0, ws.f32.finalMerged, ws.bind.targets) }
+			} else {
+				task.Fn = func() { e.headForward(ws, 0, ws.finalMerged, ws.bind.targets) }
+			}
 		}
 		e.Exec.Submit(task)
 		return
@@ -345,7 +455,11 @@ func (e *Engine) emitHeadForward(ws *workspace, mbIdx int) {
 		}
 		if !ws.phantom {
 			t := t
-			task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], ws.stepTargetsAt(t)) }
+			if f32 {
+				task.Fn = func() { e.headForward32(ws, t, ws.f32.merged[L-1][t], ws.stepTargetsAt(t)) }
+			} else {
+				task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], ws.stepTargetsAt(t)) }
+			}
 		}
 		batch = append(batch, task)
 	}
@@ -364,15 +478,27 @@ func (e *Engine) headForward(ws *workspace, h int, input *tensor.Matrix, targets
 	}
 }
 
+// headForward32 is headForward against the float32 head mirror.
+func (e *Engine) headForward32(ws *workspace, h int, input *tensor.Mat[float32], targets []int) {
+	s := ws.f32
+	tensor.MatMulTOf(s.logits[h], input, e.head32W)
+	tensor.AddBiasRows(s.logits[h], e.head32B)
+	s.probs[h].CopyFrom(s.logits[h])
+	tensor.SoftmaxRows(s.probs[h])
+	if targets != nil {
+		ws.losses[h] = sumCrossEntropy(s.probs[h], targets)
+	}
+}
+
 // sumCrossEntropy totals the negative log-likelihood over rows, skipping
 // IgnoreLabel rows (padding of variable-length sequences).
-func sumCrossEntropy(probs *tensor.Matrix, targets []int) float64 {
+func sumCrossEntropy[E tensor.Elt](probs *tensor.Mat[E], targets []int) float64 {
 	loss := 0.0
 	for i, tgt := range targets {
 		if tgt == tensor.IgnoreLabel {
 			continue
 		}
-		p := probs.At(i, tgt)
+		p := float64(probs.At(i, tgt))
 		loss -= logF(p + 1e-12)
 	}
 	return loss

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bpar/internal/cell"
 	"bpar/internal/obs"
 	"bpar/internal/taskrt"
 	"bpar/internal/tensor"
@@ -99,6 +100,22 @@ type Engine struct {
 	// capability and the equivalence oracle replay is tested against.
 	NoReplay bool
 
+	// InferDType selects the numeric representation of forward-only steps
+	// (Infer/InferProbs): tensor.F64 (zero value, the default) runs the
+	// float64 graph; tensor.F32 runs a float32 mirror of the model — weights
+	// converted once per weight version, activations in float32 throughout,
+	// and (split mode) packed weight panels. Training is always float64.
+	// Set before the first step, like FusedGates; phantom engines ignore it.
+	InferDType tensor.DType
+
+	// PackPanels, when true, routes the float64 split-path column-window
+	// GEMMs through cache-contiguous packed weight panels (tensor.PackedPanel),
+	// cached per (layer, direction) and repacked when the weights change. The
+	// packed kernels accumulate bitwise-identically to the unpacked ones, so
+	// results do not change — only memory traffic does. No effect in fused
+	// mode. Set before the first step, like FusedGates.
+	PackPanels bool
+
 	// NoReduceGraph freezes captured templates with the full derived edge
 	// set instead of the transitive reduction taskrt applies by default.
 	// The two freezes replay identically (the reduction preserves the
@@ -126,6 +143,17 @@ type Engine struct {
 	vel  *velocity
 	adam *adamState
 	obs  *engineObs // live metrics; nil unless EnableObs was called
+
+	// Derived weight caches, keyed on the model's weight version: float64
+	// packed panels (PackPanels) and the float32 weight mirror (InferDType ==
+	// F32). Built and refreshed host-side by refreshWeightCaches between
+	// steps; task bodies only read them.
+	pack64     map[*dirParams]*cell.PackSet[float64]
+	fm32       map[*dirParams]*dirF32
+	head32W    *tensor.Mat[float32]
+	head32B    []float32
+	cacheVer   uint64
+	cachesInit bool
 }
 
 // tplKey identifies one cached step template: training (forward + backward +
@@ -180,7 +208,7 @@ func (e *Engine) workspaces(T int) []*workspace {
 		if i < rem {
 			rows++
 		}
-		ws[i] = newWorkspace(e.M, rows, T, e.phantom, !e.FusedGates)
+		ws[i] = newWorkspace(e.M, rows, T, e.phantom, !e.FusedGates, e.isF32())
 	}
 	if dc := e.depChecker(); dc != nil {
 		for i, w := range ws {
@@ -229,6 +257,86 @@ func (e *Engine) touchSeqLen(T int) {
 		}
 	}
 	e.wsLRU = append([]int{T}, e.wsLRU...)
+}
+
+// isF32 reports whether forward-only steps run the float32 mirror graph.
+func (e *Engine) isF32() bool {
+	return e.InferDType == tensor.F32 && !e.phantom
+}
+
+// refreshWeightCaches rebuilds the derived weight caches (packed float64
+// panels, float32 mirror) when the model's weight version has moved since
+// they were last built. Runs host-side between steps; the refreshed buffers
+// are updated in place so pointers captured by replay templates stay valid.
+func (e *Engine) refreshWeightCaches() {
+	needPack := e.PackPanels && !e.phantom && !e.FusedGates
+	needF32 := e.isF32()
+	if !needPack && !needF32 {
+		return
+	}
+	ver := e.M.weightVersion()
+	if e.cachesInit && e.M.mut != nil && ver == e.cacheVer {
+		return
+	}
+	split := !e.FusedGates
+	for l := range e.M.fwd {
+		for _, p := range []*dirParams{e.M.fwd[l], e.M.rev[l]} {
+			if needPack {
+				if ps, ok := e.pack64[p]; ok {
+					ps.Repack()
+				} else {
+					if e.pack64 == nil {
+						e.pack64 = make(map[*dirParams]*cell.PackSet[float64])
+					}
+					e.pack64[p] = p.packPanels()
+				}
+			}
+			if needF32 {
+				if d, ok := e.fm32[p]; ok {
+					d.refresh(p)
+				} else {
+					if e.fm32 == nil {
+						e.fm32 = make(map[*dirParams]*dirF32)
+					}
+					e.fm32[p] = newDirF32(p, split)
+				}
+			}
+		}
+	}
+	if needF32 {
+		if e.head32W == nil {
+			e.head32W = tensor.NewOf[float32](e.M.HeadW.Rows, e.M.HeadW.Cols)
+			e.head32B = make([]float32, len(e.M.HeadB))
+		}
+		tensor.ConvertInto(e.head32W, e.M.HeadW)
+		tensor.ConvertSlice(e.head32B, e.M.HeadB)
+	}
+	e.cacheVer = ver
+	e.cachesInit = true
+}
+
+// runForwardPre dispatches a float64 split chain update through the packed
+// panels when panel packing is active, the plain path otherwise. Consulted at
+// task run time so the same captured template serves both settings.
+func (e *Engine) runForwardPre(p *dirParams, pre, hPrev, cPrev *tensor.Matrix, st *cellSt) {
+	if e.PackPanels {
+		if ps, ok := e.pack64[p]; ok {
+			p.forwardPrePacked(ps, pre, hPrev, cPrev, st)
+			return
+		}
+	}
+	p.forwardPre(pre, hPrev, cPrev, st)
+}
+
+// runPreGatesBatch is runForwardPre for the batched input projection.
+func (e *Engine) runPreGatesBatch(p *dirParams, xs, pres []*tensor.Matrix) {
+	if e.PackPanels {
+		if ps, ok := e.pack64[p]; ok {
+			p.preGatesBatchPacked(ps, xs, pres)
+			return
+		}
+	}
+	p.preGatesBatch(xs, pres)
 }
 
 // mbBounds returns the row range of mini-batch i.
@@ -332,12 +440,13 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
+	e.refreshWeightCaches()
 	dc := e.bindWorkspaces(wss, b)
 	if rp := e.replayer(); rp != nil {
 		rp.Replay(e.template(true, T))
 	} else {
 		for i, ws := range wss {
-			e.emitForward(ws, i, true)
+			e.emitForward(ws, i, true, false)
 			e.emitBackward(ws, i)
 		}
 		e.emitReduce(wss)
@@ -412,10 +521,11 @@ func (e *Engine) template(train bool, T int) *taskrt.Template {
 	rec.NoReduce = e.NoReduceGraph
 	saved := e.Exec
 	e.Exec = rec
+	f32 := !train && e.isF32()
 	func() {
 		defer func() { e.Exec = saved }()
 		for i, ws := range wss {
-			e.emitForward(ws, i, true)
+			e.emitForward(ws, i, true, f32)
 			if train {
 				e.emitBackward(ws, i)
 			}
@@ -471,12 +581,14 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
+	e.refreshWeightCaches()
 	dc := e.bindWorkspaces(wss, b)
+	f32 := e.isF32()
 	if rp := e.replayer(); rp != nil {
 		rp.Replay(e.template(false, T))
 	} else {
 		for i, ws := range wss {
-			e.emitForward(ws, i, true)
+			e.emitForward(ws, i, true, f32)
 		}
 	}
 	if err := e.Exec.Wait(); err != nil {
@@ -491,7 +603,11 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	for h := 0; h < nHeads; h++ {
 		preds[h] = make([]int, 0, e.M.Cfg.Batch)
 		for _, ws := range wss {
-			preds[h] = append(preds[h], tensor.ArgmaxRows(ws.probs[h])...)
+			if f32 {
+				preds[h] = append(preds[h], tensor.ArgmaxRows(ws.f32.probs[h])...)
+			} else {
+				preds[h] = append(preds[h], tensor.ArgmaxRows(ws.probs[h])...)
+			}
 		}
 	}
 	loss := 0.0
@@ -523,12 +639,14 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	stepStart := time.Now()
 	T := b.SeqLen()
 	wss := e.workspaces(T)
+	e.refreshWeightCaches()
 	dc := e.bindWorkspaces(wss, b)
+	f32 := e.isF32()
 	if rp := e.replayer(); rp != nil {
 		rp.Replay(e.template(false, T))
 	} else {
 		for i, ws := range wss {
-			e.emitForward(ws, i, true)
+			e.emitForward(ws, i, true, f32)
 		}
 	}
 	if err := e.Exec.Wait(); err != nil {
@@ -543,8 +661,13 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 		probs[h] = tensor.New(e.M.Cfg.Batch, e.M.Cfg.Classes)
 		row := 0
 		for _, ws := range wss {
-			for r := 0; r < ws.probs[h].Rows; r++ {
-				copy(probs[h].Row(row), ws.probs[h].Row(r))
+			rows := ws.probs[h].Rows
+			for r := 0; r < rows; r++ {
+				if f32 {
+					tensor.ConvertSlice(probs[h].Row(row), ws.f32.probs[h].Row(r))
+				} else {
+					copy(probs[h].Row(row), ws.probs[h].Row(r))
+				}
 				row++
 			}
 		}
@@ -565,7 +688,7 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 func (e *Engine) EmitTrainGraph(T int) {
 	wss := e.workspaces(T)
 	for i, ws := range wss {
-		e.emitForward(ws, i, true)
+		e.emitForward(ws, i, true, false)
 		e.emitBackward(ws, i)
 	}
 	e.emitReduce(wss)
@@ -575,7 +698,7 @@ func (e *Engine) EmitTrainGraph(T int) {
 func (e *Engine) EmitInferGraph(T int) {
 	wss := e.workspaces(T)
 	for i, ws := range wss {
-		e.emitForward(ws, i, true)
+		e.emitForward(ws, i, true, false)
 	}
 }
 
@@ -610,6 +733,7 @@ func (e *Engine) sliceBatch(b *Batch, lo, hi int) *Batch {
 // applySGD folds mini-batch gradients (already reduced into workspace 0),
 // normalizes, optionally clips, folds momentum, and updates the weights.
 func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
+	e.M.noteWeightUpdate()
 	if e.WeightDecay > 0 {
 		decay := 1 - lr*e.WeightDecay
 		for l := range e.M.fwd {

@@ -11,7 +11,7 @@ func logF(x float64) float64     { return math.Log(x) }
 
 // mergeForward computes Equation 11: dst = merge(hFwd, hRev).
 // dst is [batch x MergeDim]; hFwd/hRev are [batch x Hidden].
-func mergeForward(op MergeOp, dst, hFwd, hRev *tensor.Matrix) {
+func mergeForward[E tensor.Elt](op MergeOp, dst, hFwd, hRev *tensor.Mat[E]) {
 	switch op {
 	case MergeSum:
 		tensor.Add(dst, hFwd, hRev)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"bpar/internal/cell"
 	"bpar/internal/rng"
 	"bpar/internal/tensor"
@@ -152,6 +154,31 @@ func (p *dirParams) preGatesBatch(xs, pres []*tensor.Matrix) {
 	tensor.GemmTAccColsBatch(pres, xs, w, 0)
 }
 
+// preGatesBatchPacked is preGatesBatch reading a packed input panel. The
+// accumulation order (bias first, then the column-window product) matches
+// preGatesBatch exactly, and the packed kernel is bitwise-identical to the
+// unpacked one, so toggling packing never changes float64 results.
+func (p *dirParams) preGatesBatchPacked(ps *cell.PackSet[float64], xs, pres []*tensor.Matrix) {
+	_, b := p.wParams()
+	for _, pre := range pres {
+		pre.Zero()
+		tensor.AddBiasRows(pre, b)
+	}
+	tensor.GemmTAccColsPackedBatch(pres, xs, ps.X)
+}
+
+// packPanels packs this direction's split-path weight panels.
+func (p *dirParams) packPanels() *cell.PackSet[float64] {
+	switch p.kind {
+	case LSTM:
+		return cell.PackLSTM(p.lstm)
+	case GRU:
+		return cell.PackGRU(p.gru)
+	default:
+		return cell.PackRNN(p.rnn)
+	}
+}
+
 // dxBatch accumulates the hoisted input gradients of one timestep tile into
 // the layer-below merge-gradient buffers: dsts[s] += panels[s] * Wx.
 func (p *dirParams) dxBatch(dsts, panels []*tensor.Matrix) {
@@ -197,6 +224,18 @@ func (p *dirParams) forwardPre(pre, hPrev, cPrev *tensor.Matrix, st *cellSt) {
 		cell.GRUForwardPre(p.gru, pre, hPrev, st.gru)
 	default:
 		cell.RNNForwardPre(p.rnn, pre, hPrev, st.rnn)
+	}
+}
+
+// forwardPrePacked is forwardPre reading packed recurrent panels.
+func (p *dirParams) forwardPrePacked(ps *cell.PackSet[float64], pre, hPrev, cPrev *tensor.Matrix, st *cellSt) {
+	switch p.kind {
+	case LSTM:
+		cell.LSTMForwardPrePacked(p.lstm, pre, hPrev, cPrev, st.lstm, ps)
+	case GRU:
+		cell.GRUForwardPrePacked(p.gru, pre, hPrev, st.gru, ps)
+	default:
+		cell.RNNForwardPrePacked(p.rnn, pre, hPrev, st.rnn, ps)
 	}
 }
 
@@ -386,6 +425,28 @@ type Model struct {
 	// HeadW is [Classes x MergeDim]; HeadB is the head bias.
 	HeadW *tensor.Matrix
 	HeadB []float64
+
+	// mut counts weight updates. Engines key their derived weight caches
+	// (packed panels, float32 mirrors) on it so a cache is rebuilt exactly
+	// when the weights moved. Shared — not copied — by WithBatch views so an
+	// update through any view invalidates every engine's caches.
+	mut *atomic.Uint64
+}
+
+// weightVersion returns the current weight-update counter (0 for models built
+// by struct literal in tests, which then always refresh).
+func (m *Model) weightVersion() uint64 {
+	if m.mut == nil {
+		return 0
+	}
+	return m.mut.Load()
+}
+
+// noteWeightUpdate bumps the weight version.
+func (m *Model) noteWeightUpdate() {
+	if m.mut != nil {
+		m.mut.Add(1)
+	}
 }
 
 // NewModel validates cfg and builds a deterministically initialized model.
@@ -394,7 +455,7 @@ func NewModel(cfg Config) (*Model, error) {
 		return nil, err
 	}
 	r := rng.New(cfg.Seed)
-	m := &Model{Cfg: cfg}
+	m := &Model{Cfg: cfg, mut: new(atomic.Uint64)}
 	for l := 0; l < cfg.Layers; l++ {
 		in := cfg.LayerInputSize(l)
 		m.fwd = append(m.fwd, newDirParams(cfg.Cell, in, cfg.HiddenSize, r.Split()))
@@ -421,7 +482,7 @@ func (m *Model) ParamCount() int {
 
 // Clone returns a deep copy of the model (same config, copied weights).
 func (m *Model) Clone() *Model {
-	c := &Model{Cfg: m.Cfg, HeadW: m.HeadW.Clone(), HeadB: append([]float64(nil), m.HeadB...)}
+	c := &Model{Cfg: m.Cfg, HeadW: m.HeadW.Clone(), HeadB: append([]float64(nil), m.HeadB...), mut: new(atomic.Uint64)}
 	for l := range m.fwd {
 		c.fwd = append(c.fwd, cloneDir(m.fwd[l]))
 		c.rev = append(c.rev, cloneDir(m.rev[l]))
@@ -457,7 +518,7 @@ func (m *Model) WithBatch(batch, miniBatches int) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{Cfg: cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB}, nil
+	return &Model{Cfg: cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB, mut: m.mut}, nil
 }
 
 // WeightsEqual reports bitwise equality of all parameters — the

@@ -56,6 +56,7 @@ type workspace struct {
 	//   kDHChainRev[l][t] — grad w.r.t. H of reverse cell (l,t), written by
 	//     the backward task of cell (l,t-1); zero at t=0.
 	kX            []taskrt.Dep
+	kX32          []taskrt.Dep // float32 input mirror, written by conv tasks
 	kFwdSt        [][]taskrt.Dep
 	kRevSt        [][]taskrt.Dep
 	kMerged       [][]taskrt.Dep
@@ -109,6 +110,12 @@ type workspace struct {
 	preFwd, preRev       [][]*tensor.Matrix
 	dGatesFwd, dGatesRev [][]*tensor.Matrix
 
+	// f32 holds the float32 forward-only mirror buffers; nil unless the
+	// owning engine infers at float32. Mirror buffers share the f64 buffers'
+	// dependency keys (the graph topology is identical), except the converted
+	// inputs which get their own kX32 keys.
+	f32 *f32Space
+
 	// Per-(layer, direction) transposition scratch of the batched dw tasks:
 	// stackP* holds the [G*H x T·rows] gate-gradient stack, stackB* the
 	// [max(in,H) x T·rows] input/state stack. Private to one task each (the
@@ -116,6 +123,22 @@ type workspace struct {
 	// so they stay unregistered with the dependency sanitizer.
 	stackPFwd, stackPRev []*tensor.Matrix
 	stackBFwd, stackBRev []*tensor.Matrix
+}
+
+// f32Space holds the float32 mirror of the forward-only slice of a
+// workspace: converted inputs, cell states, merge outputs, head buffers, and
+// (split path) the pooled gate-preload panels. Backward buffers have no
+// mirror — training is float64-only.
+type f32Space struct {
+	x            []*tensor.Mat[float32] // converted layer-0 inputs, per timestep
+	fwdSt, revSt [][]*cellSt32
+	merged       [][]*tensor.Mat[float32]
+	finalMerged  *tensor.Mat[float32]
+	logits       []*tensor.Mat[float32]
+	probs        []*tensor.Mat[float32]
+	zeroH, zeroC *tensor.Mat[float32]
+	// preFwd/preRev pool the split-gate preload panels; nil when fused.
+	preFwd, preRev [][]*tensor.Mat[float32]
 }
 
 // token is a unique comparable dependency key for phantom buffers.
@@ -133,8 +156,9 @@ func (c Config) hasMergePerTimestep(l int) bool {
 // newWorkspace builds a workspace for one mini-batch of `rows` sequences of
 // length T. When phantom is true, only dependency keys are created. When
 // split is true, the workspace additionally pools the gate-preload and
-// gate-gradient panels of the split-gate decomposition.
-func newWorkspace(m *Model, rows, T int, phantom, split bool) *workspace {
+// gate-gradient panels of the split-gate decomposition. When f32 is true, a
+// float32 mirror of the forward-only buffers is allocated as well.
+func newWorkspace(m *Model, rows, T int, phantom, split, f32 bool) *workspace {
 	cfg := m.Cfg
 	w := &workspace{phantom: phantom, split: split, rows: rows, T: T, cfg: cfg}
 	L := cfg.Layers
@@ -153,8 +177,10 @@ func newWorkspace(m *Model, rows, T int, phantom, split bool) *workspace {
 	}
 
 	w.kX = make([]taskrt.Dep, T)
+	w.kX32 = make([]taskrt.Dep, T)
 	for t := range w.kX {
 		w.kX[t] = newToken()
+		w.kX32[t] = newToken()
 	}
 	w.kFwdSt, w.kRevSt = grid(), grid()
 	w.kPreFwd, w.kPreRev = grid(), grid()
@@ -276,13 +302,70 @@ func newWorkspace(m *Model, rows, T int, phantom, split bool) *workspace {
 			w.stackBRev[l] = tensor.New(max(inR, H), K)
 		}
 	}
+	if f32 {
+		w.f32 = newF32Space(m, rows, T, split)
+	}
 	return w
+}
+
+// newF32Space allocates the float32 forward-only mirror buffers.
+func newF32Space(m *Model, rows, T int, split bool) *f32Space {
+	cfg := m.Cfg
+	L := cfg.Layers
+	H := cfg.HiddenSize
+	D := cfg.MergeDim()
+	s := &f32Space{}
+	s.x = matRow32(T, rows, cfg.InputSize)
+	s.fwdSt = make([][]*cellSt32, L)
+	s.revSt = make([][]*cellSt32, L)
+	s.merged = make([][]*tensor.Mat[float32], L)
+	for l := 0; l < L; l++ {
+		s.fwdSt[l] = make([]*cellSt32, T)
+		s.revSt[l] = make([]*cellSt32, T)
+		for t := 0; t < T; t++ {
+			s.fwdSt[l][t] = m.fwd[l].newState32(rows)
+			s.revSt[l][t] = m.rev[l].newState32(rows)
+		}
+		if cfg.hasMergePerTimestep(l) {
+			s.merged[l] = matRow32(T, rows, D)
+		}
+	}
+	if cfg.Arch == ManyToOne {
+		s.finalMerged = tensor.NewOf[float32](rows, D)
+	}
+	nHeads := 1
+	if cfg.Arch == ManyToMany {
+		nHeads = T
+	}
+	s.logits = matRow32(nHeads, rows, cfg.Classes)
+	s.probs = matRow32(nHeads, rows, cfg.Classes)
+	s.zeroH = tensor.NewOf[float32](rows, H)
+	s.zeroC = tensor.NewOf[float32](rows, H)
+	if split {
+		s.preFwd = make([][]*tensor.Mat[float32], L)
+		s.preRev = make([][]*tensor.Mat[float32], L)
+		for l := 0; l < L; l++ {
+			_, gwF := m.fwd[l].dims()
+			_, gwR := m.rev[l].dims()
+			s.preFwd[l] = matRow32(T, rows, gwF)
+			s.preRev[l] = matRow32(T, rows, gwR)
+		}
+	}
+	return s
 }
 
 func matRow(n, rows, cols int) []*tensor.Matrix {
 	out := make([]*tensor.Matrix, n)
 	for i := range out {
 		out[i] = tensor.New(rows, cols)
+	}
+	return out
+}
+
+func matRow32(n, rows, cols int) []*tensor.Mat[float32] {
+	out := make([]*tensor.Mat[float32], n)
+	for i := range out {
+		out[i] = tensor.NewOf[float32](rows, cols)
 	}
 	return out
 }
@@ -303,6 +386,16 @@ func (w *workspace) input(l, t int) *tensor.Matrix {
 		return w.bind.x[t]
 	}
 	return w.merged[l-1][t]
+}
+
+// inputF32 is input for the float32 mirror. Layer 0 reads the converted
+// input panel (written by the conv task of timestep t) instead of the bound
+// batch view.
+func (w *workspace) inputF32(l, t int) *tensor.Mat[float32] {
+	if l == 0 {
+		return w.f32.x[t]
+	}
+	return w.f32.merged[l-1][t]
 }
 
 // stepTargetsAt returns the bound many-to-many labels of timestep t, nil

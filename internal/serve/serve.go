@@ -74,6 +74,19 @@ type Config struct {
 	// bucket lengths expected in steady state, or recaptures will churn.
 	MaxCachedSeqLens int
 
+	// InferDType selects each pool engine's inference dtype. The zero value
+	// (tensor.F64) keeps responses bitwise identical to direct float64
+	// Engine.InferProbs calls; tensor.F32 converts the weights once per
+	// engine at pool construction and serves from the float32 mirror with
+	// packed weight panels — faster, within float32 rounding of the f64
+	// responses (the model's on-disk checkpoint stays float64 either way).
+	InferDType tensor.DType
+
+	// PackPanels enables cache-contiguous packed weight panels on the
+	// float64 split path of every pool engine. Bitwise-inert; see
+	// core.Engine.PackPanels.
+	PackPanels bool
+
 	// Registry receives the bpar_serve_* and per-engine bpar_engine_*
 	// series. Nil metrics go to a private throwaway registry.
 	Registry *obs.Registry
@@ -187,6 +200,8 @@ func New(cfg Config) (*Server, error) {
 		rt := taskrt.New(taskrt.Options{Workers: cfg.WorkersPerEngine, Policy: taskrt.LocalityAware, Profile: cfg.Profile})
 		eng := core.NewEngine(cfg.Model, rt)
 		eng.MaxCachedSeqLens = cfg.MaxCachedSeqLens
+		eng.InferDType = cfg.InferDType
+		eng.PackPanels = cfg.PackPanels
 		eng.EnableObs(reg, "engine", strconv.Itoa(i))
 		s.rts = append(s.rts, rt)
 		s.engines = append(s.engines, eng)
@@ -200,7 +215,8 @@ func New(cfg Config) (*Server, error) {
 	obs.Logger("serve").Info("inference service started",
 		"engines", cfg.Engines, "workers_per_engine", cfg.WorkersPerEngine,
 		"batch_window", cfg.BatchWindow, "queue_cap", cfg.QueueCap,
-		"round_seq_to", cfg.RoundSeqTo, "model", cfg.Model.Cfg.String())
+		"round_seq_to", cfg.RoundSeqTo, "dtype", cfg.InferDType.String(),
+		"model", cfg.Model.Cfg.String())
 	return s, nil
 }
 

@@ -484,3 +484,41 @@ func TestServeStageMetricsAndProfile(t *testing.T) {
 		}
 	}
 }
+
+// TestServeF32WithinBand stands up a float32 service and checks the served
+// probabilities stay within the engine's documented f32 tolerance band of
+// the f64 ground truth (and are not bitwise-equal, which would mean the
+// dtype knob was dropped on the pool path).
+func TestServeF32WithinBand(t *testing.T) {
+	const f32ProbTol = 1e-4
+	m := testModel(t, core.ManyToOne)
+	s := makeSeq(5, m.Cfg.InputSize, 77)
+	want := directProbs(t, m, s)
+
+	_, ts := newTestServer(t, Config{
+		Model: m, Engines: 1, WorkersPerEngine: 2,
+		BatchWindow: time.Millisecond,
+		InferDType:  tensor.F32, PackPanels: true,
+	})
+	resp, out := post(t, ts.URL+"/v1/probs", [][][]float64{s})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := out.Results[0].Probs
+	worst := 0.0
+	for h := range want {
+		for j := range want[h] {
+			if d := got[h][j] - want[h][j]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	if worst > f32ProbTol {
+		t.Fatalf("served f32 probs off f64 ground truth by %g", worst)
+	}
+	if worst == 0 {
+		t.Fatal("served probs bitwise-equal to f64: InferDType not applied")
+	}
+}

@@ -13,34 +13,40 @@ func Sigmoid(x float64) float64 {
 	return e / (1 + e)
 }
 
+// The generic activations evaluate the transcendental in float64 and convert
+// the result back to E. At E = float64 the conversions are identities, so the
+// float64 instantiations are bitwise-identical to the pre-generic kernels; at
+// E = float32 only the final rounding differs from a hypothetical native-f32
+// implementation.
+
 // SigmoidInPlace applies Sigmoid element-wise.
-func SigmoidInPlace(m *Matrix) {
+func SigmoidInPlace[E Elt](m *Mat[E]) {
 	guardW(m)
 	for i, v := range m.Data {
-		m.Data[i] = Sigmoid(v)
+		m.Data[i] = E(Sigmoid(float64(v)))
 	}
 }
 
 // TanhInPlace applies tanh element-wise.
-func TanhInPlace(m *Matrix) {
+func TanhInPlace[E Elt](m *Mat[E]) {
 	guardW(m)
 	for i, v := range m.Data {
-		m.Data[i] = math.Tanh(v)
+		m.Data[i] = E(math.Tanh(float64(v)))
 	}
 }
 
 // SigmoidSlice applies Sigmoid to a sub-slice; gate kernels use it to
 // activate only their columns of a fused pre-activation buffer.
-func SigmoidSlice(s []float64) {
+func SigmoidSlice[E Elt](s []E) {
 	for i, v := range s {
-		s[i] = Sigmoid(v)
+		s[i] = E(Sigmoid(float64(v)))
 	}
 }
 
 // TanhSlice applies tanh to a sub-slice.
-func TanhSlice(s []float64) {
+func TanhSlice[E Elt](s []E) {
 	for i, v := range s {
-		s[i] = math.Tanh(v)
+		s[i] = E(math.Tanh(float64(v)))
 	}
 }
 
@@ -53,8 +59,9 @@ func DSigmoidFromY(y float64) float64 { return y * (1 - y) }
 func DTanhFromY(y float64) float64 { return 1 - y*y }
 
 // SoftmaxRows applies a numerically stable softmax to every row of m in
-// place: each row becomes a probability distribution.
-func SoftmaxRows(m *Matrix) {
+// place: each row becomes a probability distribution. The exponentials and
+// the normalizing sum are computed in float64 for both dtypes.
+func SoftmaxRows[E Elt](m *Mat[E]) {
 	guardW(m)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -66,13 +73,13 @@ func SoftmaxRows(m *Matrix) {
 		}
 		sum := 0.0
 		for j, v := range row {
-			e := math.Exp(v - max)
-			row[j] = e
+			e := math.Exp(float64(v - max))
+			row[j] = E(e)
 			sum += e
 		}
 		inv := 1 / sum
 		for j := range row {
-			row[j] *= inv
+			row[j] = E(float64(row[j]) * inv)
 		}
 	}
 }
@@ -85,7 +92,7 @@ const IgnoreLabel = -1
 // class per row, given row-wise probability distributions (after
 // SoftmaxRows). targets[i] is the class index for row i; rows labelled
 // IgnoreLabel contribute nothing (and do not count toward the mean).
-func CrossEntropyRows(probs *Matrix, targets []int) float64 {
+func CrossEntropyRows[E Elt](probs *Mat[E], targets []int) float64 {
 	if len(targets) != probs.Rows {
 		panic("tensor: CrossEntropyRows targets length mismatch")
 	}
@@ -97,7 +104,7 @@ func CrossEntropyRows(probs *Matrix, targets []int) float64 {
 		if t == IgnoreLabel {
 			continue
 		}
-		p := probs.At(i, t)
+		p := float64(probs.At(i, t))
 		loss -= math.Log(p + eps)
 		n++
 	}
@@ -110,7 +117,7 @@ func CrossEntropyRows(probs *Matrix, targets []int) float64 {
 // SoftmaxCrossEntropyBackward writes into dst the gradient of the mean
 // cross-entropy loss with respect to the softmax *inputs*: (p - onehot)/N.
 // probs must already contain softmax outputs.
-func SoftmaxCrossEntropyBackward(dst, probs *Matrix, targets []int) {
+func SoftmaxCrossEntropyBackward[E Elt](dst, probs *Mat[E], targets []int) {
 	checkSameShape2("SoftmaxCrossEntropyBackward", dst, probs)
 	if len(targets) != probs.Rows {
 		panic("tensor: SoftmaxCrossEntropyBackward targets length mismatch")
@@ -127,8 +134,8 @@ func SoftmaxCrossEntropyBackward(dst, probs *Matrix, targets []int) {
 		}
 		p := probs.Row(i)
 		for j, v := range p {
-			d[j] = v * invN
+			d[j] = E(float64(v) * invN)
 		}
-		d[targets[i]] -= invN
+		d[targets[i]] -= E(invN)
 	}
 }

@@ -1,0 +1,103 @@
+package tensor
+
+import "fmt"
+
+// Elt is the element-type constraint of the tensor backends. Two dtypes
+// exist: float64 (the training dtype, bitwise-pinned by the determinism
+// oracles) and float32 (the opt-in inference dtype, guarded by tolerance-band
+// equivalence against the float64 oracle).
+type Elt interface {
+	float32 | float64
+}
+
+// DType names a tensor element type at run time — the value threaded through
+// engine options and CLI flags.
+type DType int
+
+const (
+	// F64 is the default dtype; the zero value, so an unset option means
+	// "exactly today's float64 behavior".
+	F64 DType = iota
+	// F32 halves element width; inference-only.
+	F32
+)
+
+func (d DType) String() string {
+	switch d {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Size returns the element width in bytes.
+func (d DType) Size() int {
+	if d == F32 {
+		return 4
+	}
+	return 8
+}
+
+// ParseDType accepts the spellings used by CLI flags.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "f64", "float64", "fp64", "double":
+		return F64, nil
+	case "f32", "float32", "fp32", "single":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("tensor: unknown dtype %q (want f64 or f32)", s)
+}
+
+// DTypeOf returns the DType of a compile-time element type.
+func DTypeOf[E Elt]() DType {
+	var z E
+	if _, ok := any(z).(float32); ok {
+		return F32
+	}
+	return F64
+}
+
+// NewOf returns a zeroed rows x cols matrix of element type E.
+// NewOf[float64] is identical to New.
+func NewOf[E Elt](rows, cols int) *Mat[E] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Mat[E]{Rows: rows, Cols: cols, Data: make([]E, rows*cols)}
+}
+
+// ConvertInto copies src into dst element-by-element across dtypes; shapes
+// must match. It is the weight/input conversion kernel of the f32 inference
+// path (on-disk checkpoints and the training model stay float64).
+func ConvertInto[D, S Elt](dst *Mat[D], src *Mat[S]) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: ConvertInto shape mismatch %dx%d vs %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	guardW(dst)
+	guardR(src)
+	for i, v := range src.Data {
+		dst.Data[i] = D(v)
+	}
+}
+
+// ConvertSlice converts src into dst across dtypes; lengths must match.
+func ConvertSlice[D, S Elt](dst []D, src []S) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: ConvertSlice length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = D(v)
+	}
+}
+
+// ConvertedOf returns a freshly allocated E-typed copy of a float64 matrix.
+func ConvertedOf[E Elt](src *Matrix) *Mat[E] {
+	dst := NewOf[E](src.Rows, src.Cols)
+	ConvertInto(dst, src)
+	return dst
+}

@@ -39,12 +39,11 @@ func GemmAcc(dst, a, b *Matrix) {
 				arow := a.Data[i*k:]
 				drow := dst.Data[i*n : (i+1)*n]
 				for p := kk; p < kMax; p++ {
-					av := arow[p]
-					if av == 0 {
-						continue
-					}
-					brow := b.Data[p*n : (p+1)*n]
-					axpy(av, brow, drow)
+					// No zero-skip here: dense RNN activations are
+					// essentially never exactly zero, so a data-dependent
+					// branch only costs its misprediction. The sparse dW
+					// kernels (GemmATAcc and friends) keep theirs.
+					axpy(arow[p], b.Data[p*n:(p+1)*n], drow)
 				}
 			}
 		}

@@ -62,7 +62,7 @@ func GemmTAccColsBatch(dsts, as []*Matrix, bT *Matrix, lo int) {
 	}
 }
 
-func checkTCols(dst, a, bT *Matrix, lo int, name string) {
+func checkTCols[E Elt](dst, a, bT *Mat[E], lo int, name string) {
 	if dst.Rows != a.Rows || dst.Cols != bT.Rows || lo < 0 || lo+a.Cols > bT.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch dst %dx%d += a %dx%d * (b^T %dx%d)[:, %d:%d)",
 			name, dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols, lo, lo+a.Cols))
@@ -208,7 +208,7 @@ func GemmAccColsBatch(dsts, as []*Matrix, aLo, aHi int, b *Matrix, bLo int) {
 	}
 }
 
-func checkACols(dst, a *Matrix, aLo, aHi int, b *Matrix, bLo int, name string) {
+func checkACols[E Elt](dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int, name string) {
 	if aLo < 0 || aHi > a.Cols || aHi < aLo || b.Rows != aHi-aLo ||
 		dst.Rows != a.Rows || bLo < 0 || bLo+dst.Cols > b.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch dst %dx%d += (a %dx%d)[:, %d:%d) * (b %dx%d)[:, %d:%d)",
@@ -257,7 +257,7 @@ func GemmATAccColsBatch(dst *Matrix, dstLo int, as []*Matrix, aLo, aHi int, bs [
 	}
 }
 
-func checkATCols(dst *Matrix, dstLo int, a *Matrix, aLo, aHi int, b *Matrix, name string) {
+func checkATCols[E Elt](dst *Mat[E], dstLo int, a *Mat[E], aLo, aHi int, b *Mat[E], name string) {
 	if a.Rows != b.Rows || aLo < 0 || aHi > a.Cols || aHi < aLo ||
 		dst.Rows != aHi-aLo || dstLo < 0 || dstLo+b.Cols > dst.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch (dst %dx%d)[:, %d:%d) += ((a %dx%d)[:, %d:%d))^T * b %dx%d",
@@ -361,7 +361,7 @@ func GemmTAccDstCols(dst *Matrix, dstLo int, a, bT *Matrix) {
 // concatenation of srcs: dst[i][s*rows+r] = srcs[s][r][i]. It builds the
 // stacked operands of GemmTAccDstCols from a sequence of per-timestep
 // panels. All srcs must share dst.Rows columns and the same row count.
-func TransposeStackInto(dst *Matrix, srcs []*Matrix) {
+func TransposeStackInto[E Elt](dst *Mat[E], srcs []*Mat[E]) {
 	if len(srcs) == 0 {
 		return
 	}
@@ -390,7 +390,7 @@ func TransposeStackInto(dst *Matrix, srcs []*Matrix) {
 // CopyColsInto copies src[:, lo:lo+dst.Cols) into dst. It is the guarded
 // column-window counterpart of CopyFrom, used to seed chain-task gate buffers
 // from the precomputed preload panels.
-func CopyColsInto(dst, src *Matrix, lo int) {
+func CopyColsInto[E Elt](dst, src *Mat[E], lo int) {
 	if dst.Rows != src.Rows || lo < 0 || lo+dst.Cols > src.Cols {
 		panic(fmt.Sprintf("tensor: CopyColsInto shape mismatch dst %dx%d = (src %dx%d)[:, %d:%d)",
 			dst.Rows, dst.Cols, src.Rows, src.Cols, lo, lo+dst.Cols))

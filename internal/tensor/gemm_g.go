@@ -1,0 +1,529 @@
+package tensor
+
+import "fmt"
+
+// Generic mirrors of the GEMM family, plus the per-dtype kernel table that
+// dispatches between them and the hand-tuned float64 originals.
+//
+// The float64 kernels in gemm.go / gemm_cols.go are bitwise-pinned by the
+// determinism oracles, so they are NOT rewritten in terms of these generics.
+// Instead the table below routes float64 calls to the exact original
+// functions and float32 calls to the [float32] instantiations of the mirrors.
+// Each mirror replicates its original's blocking, unrolling, and accumulation
+// order statement-for-statement (accumulators typed E instead of float64), so
+// the [float64] instantiations — exercised by tests — are bitwise-identical
+// to the originals too.
+
+// gemmOps is the per-dtype kernel table for the GEMM family.
+type gemmOps[E Elt] struct {
+	matMul             func(dst, a, b *Mat[E])
+	gemmAcc            func(dst, a, b *Mat[E])
+	matMulT            func(dst, a, bT *Mat[E])
+	gemmTAcc           func(dst, a, bT *Mat[E])
+	gemmATAcc          func(dst, a, b *Mat[E])
+	gemmTAccCols       func(dst, a, bT *Mat[E], lo int)
+	matMulTCols        func(dst, a, bT *Mat[E], lo int)
+	gemmTAccColsBatch  func(dsts, as []*Mat[E], bT *Mat[E], lo int)
+	gemmAccCols        func(dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int)
+	matMulCols         func(dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int)
+	gemmAccColsBatch   func(dsts, as []*Mat[E], aLo, aHi int, b *Mat[E], bLo int)
+	gemmATAccCols      func(dst *Mat[E], dstLo int, a *Mat[E], aLo, aHi int, b *Mat[E])
+	gemmATAccColsBatch func(dst *Mat[E], dstLo int, as []*Mat[E], aLo, aHi int, bs []*Mat[E])
+	gemmTAccDstCols    func(dst *Mat[E], dstLo int, a, bT *Mat[E])
+}
+
+var gemmOpsF64 = &gemmOps[float64]{
+	matMul:             MatMul,
+	gemmAcc:            GemmAcc,
+	matMulT:            MatMulT,
+	gemmTAcc:           GemmTAcc,
+	gemmATAcc:          GemmATAcc,
+	gemmTAccCols:       GemmTAccCols,
+	matMulTCols:        MatMulTCols,
+	gemmTAccColsBatch:  GemmTAccColsBatch,
+	gemmAccCols:        GemmAccCols,
+	matMulCols:         MatMulCols,
+	gemmAccColsBatch:   GemmAccColsBatch,
+	gemmATAccCols:      GemmATAccCols,
+	gemmATAccColsBatch: GemmATAccColsBatch,
+	gemmTAccDstCols:    GemmTAccDstCols,
+}
+
+var gemmOpsF32 = &gemmOps[float32]{
+	matMul:             matMulG[float32],
+	gemmAcc:            gemmAccG[float32],
+	matMulT:            matMulTG[float32],
+	gemmTAcc:           gemmTAccG[float32],
+	gemmATAcc:          gemmATAccG[float32],
+	gemmTAccCols:       gemmTAccColsG[float32],
+	matMulTCols:        matMulTColsG[float32],
+	gemmTAccColsBatch:  gemmTAccColsBatchG[float32],
+	gemmAccCols:        gemmAccColsG[float32],
+	matMulCols:         matMulColsG[float32],
+	gemmAccColsBatch:   gemmAccColsBatchG[float32],
+	gemmATAccCols:      gemmATAccColsG[float32],
+	gemmATAccColsBatch: gemmATAccColsBatchG[float32],
+	gemmTAccDstCols:    gemmTAccDstColsG[float32],
+}
+
+// ops returns the kernel table for E.
+func ops[E Elt]() *gemmOps[E] {
+	var z E
+	if _, ok := any(z).(float64); ok {
+		return any(gemmOpsF64).(*gemmOps[E])
+	}
+	return any(gemmOpsF32).(*gemmOps[E])
+}
+
+// The ...Of functions are the dtype-generic entry points used by the generic
+// cell/core forward paths. At float64 they are the original kernels.
+
+// MatMulOf computes dst = a * b for either dtype.
+func MatMulOf[E Elt](dst, a, b *Mat[E]) { ops[E]().matMul(dst, a, b) }
+
+// GemmAccOf computes dst += a * b for either dtype.
+func GemmAccOf[E Elt](dst, a, b *Mat[E]) { ops[E]().gemmAcc(dst, a, b) }
+
+// MatMulTOf computes dst = a * bT^T for either dtype.
+func MatMulTOf[E Elt](dst, a, bT *Mat[E]) { ops[E]().matMulT(dst, a, bT) }
+
+// GemmTAccOf computes dst += a * bT^T for either dtype.
+func GemmTAccOf[E Elt](dst, a, bT *Mat[E]) { ops[E]().gemmTAcc(dst, a, bT) }
+
+// GemmATAccOf computes dst += a^T * b for either dtype.
+func GemmATAccOf[E Elt](dst, a, b *Mat[E]) { ops[E]().gemmATAcc(dst, a, b) }
+
+// GemmTAccColsOf computes dst += a * bT[:, lo:lo+k)^T for either dtype.
+func GemmTAccColsOf[E Elt](dst, a, bT *Mat[E], lo int) { ops[E]().gemmTAccCols(dst, a, bT, lo) }
+
+// MatMulTColsOf computes dst = a * bT[:, lo:lo+k)^T for either dtype.
+func MatMulTColsOf[E Elt](dst, a, bT *Mat[E], lo int) { ops[E]().matMulTCols(dst, a, bT, lo) }
+
+// GemmTAccColsBatchOf computes dst[s] += a[s] * bT[:, lo:lo+k)^T for either
+// dtype.
+func GemmTAccColsBatchOf[E Elt](dsts, as []*Mat[E], bT *Mat[E], lo int) {
+	ops[E]().gemmTAccColsBatch(dsts, as, bT, lo)
+}
+
+// GemmAccColsOf computes dst += a[:, aLo:aHi) * b[:, bLo:bLo+n) for either
+// dtype.
+func GemmAccColsOf[E Elt](dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int) {
+	ops[E]().gemmAccCols(dst, a, aLo, aHi, b, bLo)
+}
+
+// MatMulColsOf computes dst = a[:, aLo:aHi) * b[:, bLo:bLo+n) for either
+// dtype.
+func MatMulColsOf[E Elt](dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int) {
+	ops[E]().matMulCols(dst, a, aLo, aHi, b, bLo)
+}
+
+// GemmAccColsBatchOf is the batched GemmAccColsOf.
+func GemmAccColsBatchOf[E Elt](dsts, as []*Mat[E], aLo, aHi int, b *Mat[E], bLo int) {
+	ops[E]().gemmAccColsBatch(dsts, as, aLo, aHi, b, bLo)
+}
+
+// GemmATAccColsOf computes dst[:, dstLo:) += a[:, aLo:aHi)^T * b for either
+// dtype.
+func GemmATAccColsOf[E Elt](dst *Mat[E], dstLo int, a *Mat[E], aLo, aHi int, b *Mat[E]) {
+	ops[E]().gemmATAccCols(dst, dstLo, a, aLo, aHi, b)
+}
+
+// GemmATAccColsBatchOf is the batched GemmATAccColsOf.
+func GemmATAccColsBatchOf[E Elt](dst *Mat[E], dstLo int, as []*Mat[E], aLo, aHi int, bs []*Mat[E]) {
+	ops[E]().gemmATAccColsBatch(dst, dstLo, as, aLo, aHi, bs)
+}
+
+// GemmTAccDstColsOf computes dst[:, dstLo:) += a * bT^T for either dtype.
+func GemmTAccDstColsOf[E Elt](dst *Mat[E], dstLo int, a, bT *Mat[E]) {
+	ops[E]().gemmTAccDstCols(dst, dstLo, a, bT)
+}
+
+// dotG mirrors dot: inner product unrolled by four with the accumulators
+// summed s0+s1+s2+s3, so dotG[float64] is bitwise-identical to dot.
+func dotG[E Elt](a, b []E) E {
+	var s0, s1, s2, s3 E
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// axpyG mirrors axpy: y += alpha * x, unrolled by four.
+func axpyG[E Elt](alpha E, x, y []E) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// matMulG mirrors MatMul.
+func matMulG[E Elt](dst, a, b *Mat[E]) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch dst %dx%d = a %dx%d * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Zero()
+	gemmAccG(dst, a, b)
+}
+
+// gemmAccG mirrors GemmAcc.
+func gemmAccG[E Elt](dst, a, b *Mat[E]) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmAcc shape mismatch dst %dx%d += a %dx%d * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	guardWRR(dst, a, b)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	countGemmOf[E](2 * int64(m) * int64(k) * int64(n))
+	for kk := 0; kk < k; kk += blockK {
+		kMax := min(kk+blockK, k)
+		for ii := 0; ii < m; ii += blockM {
+			iMax := min(ii+blockM, m)
+			for i := ii; i < iMax; i++ {
+				arow := a.Data[i*k:]
+				drow := dst.Data[i*n : (i+1)*n]
+				for p := kk; p < kMax; p++ {
+					axpyG(arow[p], b.Data[p*n:(p+1)*n], drow)
+				}
+			}
+		}
+	}
+}
+
+// matMulTG mirrors MatMulT.
+func matMulTG[E Elt](dst, a, bT *Mat[E]) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch dst %dx%d = a %dx%d * (b^T) %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols))
+	}
+	dst.Zero()
+	gemmTAccG(dst, a, bT)
+}
+
+// gemmTAccG mirrors GemmTAcc.
+func gemmTAccG[E Elt](dst, a, bT *Mat[E]) {
+	if a.Cols != bT.Cols || dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		panic(fmt.Sprintf("tensor: GemmTAcc shape mismatch dst %dx%d += a %dx%d * (b^T) %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, bT.Rows, bT.Cols))
+	}
+	guardWRR(dst, a, bT)
+	m, k, n := a.Rows, a.Cols, bT.Rows
+	countGemmOf[E](2 * int64(m) * int64(k) * int64(n))
+	for ii := 0; ii < m; ii += blockM {
+		iMax := min(ii+blockM, m)
+		for jj := 0; jj < n; jj += blockN {
+			jMax := min(jj+blockN, n)
+			for i := ii; i < iMax; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				drow := dst.Data[i*n:]
+				for j := jj; j < jMax; j++ {
+					brow := bT.Data[j*k : (j+1)*k]
+					drow[j] += dotG(arow, brow)
+				}
+			}
+		}
+	}
+}
+
+// gemmATAccG mirrors GemmATAcc (including its zero-skip: gate gradients are
+// sparse under clipping/ignored labels, unlike forward activations).
+func gemmATAccG[E Elt](dst, a, b *Mat[E]) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmATAcc shape mismatch dst %dx%d += (a^T of %dx%d) * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	guardWRR(dst, a, b)
+	k, m, n := a.Rows, a.Cols, b.Cols
+	countGemmOf[E](2 * int64(m) * int64(k) * int64(n))
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			axpyG(av, brow, dst.Data[i*n:(i+1)*n])
+		}
+	}
+}
+
+// gemmTAccColsG mirrors GemmTAccCols.
+func gemmTAccColsG[E Elt](dst, a, bT *Mat[E], lo int) {
+	checkTCols(dst, a, bT, lo, "GemmTAccCols")
+	guardWRR(dst, a, bT)
+	m, k, n := a.Rows, a.Cols, bT.Rows
+	countGemmOf[E](2 * int64(m) * int64(k) * int64(n))
+	for jj := 0; jj < n; jj += blockN {
+		gemmTColsPanelG(dst, a, bT, lo, jj, min(jj+blockN, n))
+	}
+}
+
+// matMulTColsG mirrors MatMulTCols.
+func matMulTColsG[E Elt](dst, a, bT *Mat[E], lo int) {
+	checkTCols(dst, a, bT, lo, "MatMulTCols")
+	dst.Zero()
+	gemmTAccColsG(dst, a, bT, lo)
+}
+
+// gemmTAccColsBatchG mirrors GemmTAccColsBatch.
+func gemmTAccColsBatchG[E Elt](dsts, as []*Mat[E], bT *Mat[E], lo int) {
+	if len(dsts) != len(as) {
+		panic(fmt.Sprintf("tensor: GemmTAccColsBatch got %d destinations for %d operands", len(dsts), len(as)))
+	}
+	if len(dsts) == 0 {
+		return
+	}
+	var flops int64
+	for s := range dsts {
+		checkTCols(dsts[s], as[s], bT, lo, "GemmTAccColsBatch")
+		guardWRR(dsts[s], as[s], bT)
+		flops += 2 * int64(as[s].Rows) * int64(as[s].Cols) * int64(bT.Rows)
+	}
+	countGemmOf[E](flops)
+	n := bT.Rows
+	for jj := 0; jj < n; jj += blockN {
+		jMax := min(jj+blockN, n)
+		for s := range dsts {
+			gemmTColsPanelG(dsts[s], as[s], bT, lo, jj, jMax)
+		}
+	}
+}
+
+// gemmTColsPanelG mirrors gemmTColsPanel.
+func gemmTColsPanelG[E Elt](dst, a, bT *Mat[E], lo, jj, jMax int) {
+	m, k, n, kb := a.Rows, a.Cols, dst.Cols, bT.Cols
+	for ii := 0; ii < m; ii += blockM {
+		iMax := min(ii+blockM, m)
+		for i := ii; i < iMax; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*n:]
+			j := jj
+			for ; j+4 <= jMax; j += 4 {
+				b0 := bT.Data[j*kb+lo : j*kb+lo+k][:len(arow)]
+				b1 := bT.Data[(j+1)*kb+lo : (j+1)*kb+lo+k][:len(arow)]
+				b2 := bT.Data[(j+2)*kb+lo : (j+2)*kb+lo+k][:len(arow)]
+				b3 := bT.Data[(j+3)*kb+lo : (j+3)*kb+lo+k][:len(arow)]
+				var s0, s1, s2, s3 E
+				for p, av := range arow {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
+				}
+				drow[j] += s0
+				drow[j+1] += s1
+				drow[j+2] += s2
+				drow[j+3] += s3
+			}
+			for ; j < jMax; j++ {
+				drow[j] += dotG(arow, bT.Data[j*kb+lo:j*kb+lo+k])
+			}
+		}
+	}
+}
+
+// gemmAccColsG mirrors GemmAccCols.
+func gemmAccColsG[E Elt](dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int) {
+	checkACols(dst, a, aLo, aHi, b, bLo, "GemmAccCols")
+	guardWRR(dst, a, b)
+	m, kw, n := a.Rows, aHi-aLo, dst.Cols
+	countGemmOf[E](2 * int64(m) * int64(kw) * int64(n))
+	for kk := 0; kk < kw; kk += blockK {
+		gemmAColsBlockG(dst, a, aLo, b, bLo, kk, min(kk+blockK, kw))
+	}
+}
+
+// gemmAColsBlockG mirrors gemmAColsBlock.
+func gemmAColsBlockG[E Elt](dst, a *Mat[E], aLo int, b *Mat[E], bLo, kk, kMax int) {
+	m, n := a.Rows, dst.Cols
+	for ii := 0; ii < m; ii += blockM {
+		iMax := min(ii+blockM, m)
+		for i := ii; i < iMax; i++ {
+			arow := a.Data[i*a.Cols:]
+			drow := dst.Data[i*n : (i+1)*n]
+			p := kk
+			for ; p+4 <= kMax; p += 4 {
+				a0, a1 := arow[aLo+p], arow[aLo+p+1]
+				a2, a3 := arow[aLo+p+2], arow[aLo+p+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.Data[p*b.Cols+bLo : p*b.Cols+bLo+n][:len(drow)]
+				b1 := b.Data[(p+1)*b.Cols+bLo : (p+1)*b.Cols+bLo+n][:len(drow)]
+				b2 := b.Data[(p+2)*b.Cols+bLo : (p+2)*b.Cols+bLo+n][:len(drow)]
+				b3 := b.Data[(p+3)*b.Cols+bLo : (p+3)*b.Cols+bLo+n][:len(drow)]
+				for j, d := range drow {
+					d += a0 * b0[j]
+					d += a1 * b1[j]
+					d += a2 * b2[j]
+					d += a3 * b3[j]
+					drow[j] = d
+				}
+			}
+			for ; p < kMax; p++ {
+				av := arow[aLo+p]
+				if av == 0 {
+					continue
+				}
+				axpyG(av, b.Data[p*b.Cols+bLo:p*b.Cols+bLo+n], drow)
+			}
+		}
+	}
+}
+
+// matMulColsG mirrors MatMulCols.
+func matMulColsG[E Elt](dst, a *Mat[E], aLo, aHi int, b *Mat[E], bLo int) {
+	checkACols(dst, a, aLo, aHi, b, bLo, "MatMulCols")
+	dst.Zero()
+	gemmAccColsG(dst, a, aLo, aHi, b, bLo)
+}
+
+// gemmAccColsBatchG mirrors GemmAccColsBatch.
+func gemmAccColsBatchG[E Elt](dsts, as []*Mat[E], aLo, aHi int, b *Mat[E], bLo int) {
+	if len(dsts) != len(as) {
+		panic(fmt.Sprintf("tensor: GemmAccColsBatch got %d destinations for %d operands", len(dsts), len(as)))
+	}
+	if len(dsts) == 0 {
+		return
+	}
+	var flops int64
+	for s := range dsts {
+		checkACols(dsts[s], as[s], aLo, aHi, b, bLo, "GemmAccColsBatch")
+		guardWRR(dsts[s], as[s], b)
+		flops += 2 * int64(as[s].Rows) * int64(aHi-aLo) * int64(dsts[s].Cols)
+	}
+	countGemmOf[E](flops)
+	kw := aHi - aLo
+	for kk := 0; kk < kw; kk += blockK {
+		kMax := min(kk+blockK, kw)
+		for s := range dsts {
+			gemmAColsBlockG(dsts[s], as[s], aLo, b, bLo, kk, kMax)
+		}
+	}
+}
+
+// gemmATAccColsG mirrors GemmATAccCols.
+func gemmATAccColsG[E Elt](dst *Mat[E], dstLo int, a *Mat[E], aLo, aHi int, b *Mat[E]) {
+	checkATCols(dst, dstLo, a, aLo, aHi, b, "GemmATAccCols")
+	guardWRR(dst, a, b)
+	k, m, n := a.Rows, aHi-aLo, b.Cols
+	countGemmOf[E](2 * int64(m) * int64(k) * int64(n))
+	gemmATColsBlockG(dst, dstLo, a, aLo, b, 0, m)
+}
+
+// gemmATAccColsBatchG mirrors GemmATAccColsBatch.
+func gemmATAccColsBatchG[E Elt](dst *Mat[E], dstLo int, as []*Mat[E], aLo, aHi int, bs []*Mat[E]) {
+	if len(as) != len(bs) {
+		panic(fmt.Sprintf("tensor: GemmATAccColsBatch got %d gradient panels for %d inputs", len(as), len(bs)))
+	}
+	if len(as) == 0 {
+		return
+	}
+	var flops int64
+	for s := range as {
+		checkATCols(dst, dstLo, as[s], aLo, aHi, bs[s], "GemmATAccColsBatch")
+		guardWRR(dst, as[s], bs[s])
+		flops += 2 * int64(aHi-aLo) * int64(as[s].Rows) * int64(bs[s].Cols)
+	}
+	countGemmOf[E](flops)
+	m := aHi - aLo
+	for ii := 0; ii < m; ii += blockM {
+		iMax := min(ii+blockM, m)
+		for s := range as {
+			gemmATColsBlockG(dst, dstLo, as[s], aLo, bs[s], ii, iMax)
+		}
+	}
+}
+
+// gemmATColsBlockG mirrors gemmATColsBlock.
+func gemmATColsBlockG[E Elt](dst *Mat[E], dstLo int, a *Mat[E], aLo int, b *Mat[E], ii, iMax int) {
+	k, n := a.Rows, b.Cols
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*a.Cols:]
+		brow := b.Data[p*n : (p+1)*n]
+		i := ii
+		for ; i+4 <= iMax; i += 4 {
+			a0, a1 := arow[aLo+i], arow[aLo+i+1]
+			a2, a3 := arow[aLo+i+2], arow[aLo+i+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			d0 := dst.Data[i*dst.Cols+dstLo : i*dst.Cols+dstLo+n][:len(brow)]
+			d1 := dst.Data[(i+1)*dst.Cols+dstLo : (i+1)*dst.Cols+dstLo+n][:len(brow)]
+			d2 := dst.Data[(i+2)*dst.Cols+dstLo : (i+2)*dst.Cols+dstLo+n][:len(brow)]
+			d3 := dst.Data[(i+3)*dst.Cols+dstLo : (i+3)*dst.Cols+dstLo+n][:len(brow)]
+			for j, bv := range brow {
+				d0[j] += a0 * bv
+				d1[j] += a1 * bv
+				d2[j] += a2 * bv
+				d3[j] += a3 * bv
+			}
+		}
+		for ; i < iMax; i++ {
+			av := arow[aLo+i]
+			if av == 0 {
+				continue
+			}
+			axpyG(av, brow, dst.Data[i*dst.Cols+dstLo:i*dst.Cols+dstLo+n])
+		}
+	}
+}
+
+// gemmTAccDstColsG mirrors GemmTAccDstCols.
+func gemmTAccDstColsG[E Elt](dst *Mat[E], dstLo int, a, bT *Mat[E]) {
+	m, k, n := a.Rows, a.Cols, bT.Rows
+	if dst.Rows != m || bT.Cols != k || dstLo < 0 || dstLo+n > dst.Cols {
+		panic(fmt.Sprintf("tensor: GemmTAccDstCols shape mismatch (dst %dx%d)[:, %d:%d) += a %dx%d * (b^T %dx%d)",
+			dst.Rows, dst.Cols, dstLo, dstLo+n, m, k, bT.Rows, bT.Cols))
+	}
+	guardWRR(dst, a, bT)
+	countGemmOf[E](2 * int64(m) * int64(k) * int64(n))
+	for jj := 0; jj < n; jj += blockN {
+		jMax := min(jj+blockN, n)
+		for ii := 0; ii < m; ii += blockM {
+			iMax := min(ii+blockM, m)
+			for i := ii; i < iMax; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				drow := dst.Data[i*dst.Cols+dstLo:]
+				j := jj
+				for ; j+4 <= jMax; j += 4 {
+					b0 := bT.Data[j*k : (j+1)*k][:len(arow)]
+					b1 := bT.Data[(j+1)*k : (j+2)*k][:len(arow)]
+					b2 := bT.Data[(j+2)*k : (j+3)*k][:len(arow)]
+					b3 := bT.Data[(j+3)*k : (j+4)*k][:len(arow)]
+					var s0, s1, s2, s3 E
+					for p, av := range arow {
+						s0 += av * b0[p]
+						s1 += av * b1[p]
+						s2 += av * b2[p]
+						s3 += av * b3[p]
+					}
+					drow[j] += s0
+					drow[j+1] += s1
+					drow[j+2] += s2
+					drow[j+3] += s3
+				}
+				for ; j < jMax; j++ {
+					drow[j] += dotG(arow, bT.Data[j*k:(j+1)*k])
+				}
+			}
+		}
+	}
+}

@@ -7,9 +7,11 @@
 // each B-Par task executes a short sequence of these kernels sequentially,
 // and all parallelism comes from running many tasks concurrently.
 //
-// Matrices are dense, row-major, float64. Row-major keeps the inner GEMM
-// loops contiguous and makes [batch x features] activations cheap to slice
-// per sample.
+// Matrices are dense, row-major, and generic over the two supported element
+// types (see Elt). float64 is the training dtype — its kernels are
+// bitwise-pinned by the determinism oracles — while float32 is an opt-in
+// inference dtype. Row-major keeps the inner GEMM loops contiguous and makes
+// [batch x features] activations cheap to slice per sample.
 package tensor
 
 import (
@@ -17,19 +19,20 @@ import (
 	"math"
 )
 
-// Matrix is a dense row-major matrix.
-type Matrix struct {
+// Mat is a dense row-major matrix of element type E.
+type Mat[E Elt] struct {
 	Rows, Cols int
 	// Data holds Rows*Cols values; element (i, j) lives at Data[i*Cols+j].
-	Data []float64
+	Data []E
 }
 
-// New returns a zeroed rows x cols matrix.
+// Matrix is the float64 matrix — the dtype of training, checkpoints, and
+// every pre-existing kernel signature.
+type Matrix = Mat[float64]
+
+// New returns a zeroed rows x cols float64 matrix.
 func New(rows, cols int) *Matrix {
-	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
-	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return NewOf[float64](rows, cols)
 }
 
 // FromSlice wraps data (length must be rows*cols) without copying.
@@ -41,24 +44,24 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 }
 
 // At returns element (i, j).
-func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *Mat[E]) At(i, j int) E { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
-func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *Mat[E]) Set(i, j int, v E) { m.Data[i*m.Cols+j] = v }
 
 // Row returns row i as a slice aliasing the matrix storage.
-func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+func (m *Mat[E]) Row(i int) []E { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy.
-func (m *Matrix) Clone() *Matrix {
+func (m *Mat[E]) Clone() *Mat[E] {
 	guardR(m)
-	c := New(m.Rows, m.Cols)
+	c := NewOf[E](m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
 }
 
 // CopyFrom copies src into m; dimensions must match.
-func (m *Matrix) CopyFrom(src *Matrix) {
+func (m *Mat[E]) CopyFrom(src *Mat[E]) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
@@ -67,7 +70,7 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 }
 
 // Zero sets every element to zero.
-func (m *Matrix) Zero() {
+func (m *Mat[E]) Zero() {
 	guardW(m)
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -75,7 +78,7 @@ func (m *Matrix) Zero() {
 }
 
 // Fill sets every element to v.
-func (m *Matrix) Fill(v float64) {
+func (m *Mat[E]) Fill(v E) {
 	guardW(m)
 	for i := range m.Data {
 		m.Data[i] = v
@@ -83,7 +86,7 @@ func (m *Matrix) Fill(v float64) {
 }
 
 // Equal reports exact element-wise equality (including shape).
-func (m *Matrix) Equal(o *Matrix) bool {
+func (m *Mat[E]) Equal(o *Mat[E]) bool {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
 		return false
 	}
@@ -97,14 +100,14 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // AllClose reports element-wise closeness within absolute tolerance atol or
 // relative tolerance rtol, whichever is looser, NaN-unsafe.
-func (m *Matrix) AllClose(o *Matrix, rtol, atol float64) bool {
+func (m *Mat[E]) AllClose(o *Mat[E], rtol, atol float64) bool {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
 		return false
 	}
 	for i, v := range m.Data {
-		w := o.Data[i]
-		d := math.Abs(v - w)
-		if d > atol+rtol*math.Max(math.Abs(v), math.Abs(w)) {
+		w := float64(o.Data[i])
+		d := math.Abs(float64(v) - w)
+		if d > atol+rtol*math.Max(math.Abs(float64(v)), math.Abs(w)) {
 			return false
 		}
 	}
@@ -112,13 +115,13 @@ func (m *Matrix) AllClose(o *Matrix, rtol, atol float64) bool {
 }
 
 // MaxAbsDiff returns the largest absolute element-wise difference.
-func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+func (m *Mat[E]) MaxAbsDiff(o *Mat[E]) float64 {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
 		return math.Inf(1)
 	}
 	max := 0.0
 	for i, v := range m.Data {
-		if d := math.Abs(v - o.Data[i]); d > max {
+		if d := math.Abs(float64(v) - float64(o.Data[i])); d > max {
 			max = d
 		}
 	}
@@ -126,8 +129,8 @@ func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
 }
 
 // Transpose returns a newly allocated transpose of m.
-func (m *Matrix) Transpose() *Matrix {
-	t := New(m.Cols, m.Rows)
+func (m *Mat[E]) Transpose() *Mat[E] {
+	t := NewOf[E](m.Cols, m.Rows)
 	const block = 32
 	for ii := 0; ii < m.Rows; ii += block {
 		iMax := min(ii+block, m.Rows)
@@ -145,7 +148,7 @@ func (m *Matrix) Transpose() *Matrix {
 }
 
 // String renders small matrices for debugging.
-func (m *Matrix) String() string {
+func (m *Mat[E]) String() string {
 	if m.Rows*m.Cols > 256 {
 		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 	}
@@ -158,7 +161,7 @@ func (m *Matrix) String() string {
 			if j > 0 {
 				s += " "
 			}
-			s += fmt.Sprintf("%.4g", m.At(i, j))
+			s += fmt.Sprintf("%.4g", float64(m.At(i, j)))
 		}
 	}
 	return s + "]"
@@ -166,7 +169,7 @@ func (m *Matrix) String() string {
 
 // ConcatCols writes [a | b] into dst. dst must be a.Rows x (a.Cols+b.Cols).
 // It implements the [X_t, H_{t-1}] concatenation from Equations 1-4 and 7-9.
-func ConcatCols(dst, a, b *Matrix) {
+func ConcatCols[E Elt](dst, a, b *Mat[E]) {
 	if a.Rows != b.Rows || dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
 		panic(fmt.Sprintf("tensor: ConcatCols shape mismatch dst %dx%d, a %dx%d, b %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -182,7 +185,7 @@ func ConcatCols(dst, a, b *Matrix) {
 // SplitCols writes the first a.Cols columns of src into a and the remaining
 // b.Cols columns into b. It is the adjoint of ConcatCols, used in backward
 // propagation to split the gradient of [X_t, H_{t-1}].
-func SplitCols(src, a, b *Matrix) {
+func SplitCols[E Elt](src, a, b *Mat[E]) {
 	if a.Rows != b.Rows || src.Rows != a.Rows || src.Cols != a.Cols+b.Cols {
 		panic(fmt.Sprintf("tensor: SplitCols shape mismatch src %dx%d, a %dx%d, b %dx%d",
 			src.Rows, src.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -198,11 +201,11 @@ func SplitCols(src, a, b *Matrix) {
 
 // SliceRows returns a view of rows [lo, hi) sharing storage with m.
 // It is used to split a batch into mini-batches without copying.
-func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+func (m *Mat[E]) SliceRows(lo, hi int) *Mat[E] {
 	if lo < 0 || hi > m.Rows || lo > hi {
 		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, m.Rows))
 	}
-	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+	return &Mat[E]{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
 }
 
 func min(a, b int) int {

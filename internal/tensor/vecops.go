@@ -4,7 +4,7 @@ import "fmt"
 
 // AddBiasRows adds the bias vector to every row of m (broadcast add), the
 // "+ B" term of Equations 1-4 and 7-9.
-func AddBiasRows(m *Matrix, bias []float64) {
+func AddBiasRows[E Elt](m *Mat[E], bias []E) {
 	if len(bias) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddBiasRows bias[%d] vs %d cols", len(bias), m.Cols))
 	}
@@ -18,7 +18,7 @@ func AddBiasRows(m *Matrix, bias []float64) {
 }
 
 // Add computes dst = a + b element-wise.
-func Add(dst, a, b *Matrix) {
+func Add[E Elt](dst, a, b *Mat[E]) {
 	checkSameShape3("Add", dst, a, b)
 	guardWRR(dst, a, b)
 	for i, v := range a.Data {
@@ -27,7 +27,7 @@ func Add(dst, a, b *Matrix) {
 }
 
 // Sub computes dst = a - b element-wise.
-func Sub(dst, a, b *Matrix) {
+func Sub[E Elt](dst, a, b *Mat[E]) {
 	checkSameShape3("Sub", dst, a, b)
 	guardWRR(dst, a, b)
 	for i, v := range a.Data {
@@ -37,7 +37,7 @@ func Sub(dst, a, b *Matrix) {
 
 // Mul computes dst = a ⊙ b, the Hadamard product used by Equations 5, 6, 9
 // and 10.
-func Mul(dst, a, b *Matrix) {
+func Mul[E Elt](dst, a, b *Mat[E]) {
 	checkSameShape3("Mul", dst, a, b)
 	guardWRR(dst, a, b)
 	for i, v := range a.Data {
@@ -46,7 +46,7 @@ func Mul(dst, a, b *Matrix) {
 }
 
 // MulAcc computes dst += a ⊙ b.
-func MulAcc(dst, a, b *Matrix) {
+func MulAcc[E Elt](dst, a, b *Mat[E]) {
 	checkSameShape3("MulAcc", dst, a, b)
 	guardWRR(dst, a, b)
 	for i, v := range a.Data {
@@ -55,7 +55,7 @@ func MulAcc(dst, a, b *Matrix) {
 }
 
 // AddAcc computes dst += a.
-func AddAcc(dst, a *Matrix) {
+func AddAcc[E Elt](dst, a *Mat[E]) {
 	checkSameShape2("AddAcc", dst, a)
 	guardWR(dst, a)
 	for i, v := range a.Data {
@@ -64,7 +64,7 @@ func AddAcc(dst, a *Matrix) {
 }
 
 // Scale computes dst = alpha * a.
-func Scale(dst *Matrix, alpha float64, a *Matrix) {
+func Scale[E Elt](dst *Mat[E], alpha E, a *Mat[E]) {
 	checkSameShape2("Scale", dst, a)
 	guardWR(dst, a)
 	for i, v := range a.Data {
@@ -73,7 +73,7 @@ func Scale(dst *Matrix, alpha float64, a *Matrix) {
 }
 
 // ScaleInPlace multiplies every element of m by alpha.
-func ScaleInPlace(m *Matrix, alpha float64) {
+func ScaleInPlace[E Elt](m *Mat[E], alpha E) {
 	guardW(m)
 	for i := range m.Data {
 		m.Data[i] *= alpha
@@ -81,15 +81,15 @@ func ScaleInPlace(m *Matrix, alpha float64) {
 }
 
 // AxpyMatrix computes dst += alpha * a, the SGD update kernel.
-func AxpyMatrix(dst *Matrix, alpha float64, a *Matrix) {
+func AxpyMatrix[E Elt](dst *Mat[E], alpha E, a *Mat[E]) {
 	checkSameShape2("AxpyMatrix", dst, a)
 	guardWR(dst, a)
-	axpy(alpha, a.Data, dst.Data)
+	axpyG(alpha, a.Data, dst.Data)
 }
 
 // Average computes dst = (a + b) / 2, one of the merge operators of
 // Equation 11.
-func Average(dst, a, b *Matrix) {
+func Average[E Elt](dst, a, b *Mat[E]) {
 	checkSameShape3("Average", dst, a, b)
 	guardWRR(dst, a, b)
 	for i, v := range a.Data {
@@ -97,30 +97,31 @@ func Average(dst, a, b *Matrix) {
 	}
 }
 
-// Sum returns the sum of all elements.
-func (m *Matrix) Sum() float64 {
+// Sum returns the sum of all elements, accumulated in float64.
+func (m *Mat[E]) Sum() float64 {
 	s := 0.0
 	for _, v := range m.Data {
-		s += v
+		s += float64(v)
 	}
 	return s
 }
 
-// SumAbs returns the sum of absolute values (L1 norm of the flattened data).
-func (m *Matrix) SumAbs() float64 {
+// SumAbs returns the sum of absolute values (L1 norm of the flattened data),
+// accumulated in float64.
+func (m *Mat[E]) SumAbs() float64 {
 	s := 0.0
 	for _, v := range m.Data {
 		if v < 0 {
-			s -= v
+			s -= float64(v)
 		} else {
-			s += v
+			s += float64(v)
 		}
 	}
 	return s
 }
 
 // ArgmaxRows returns, for each row, the column index of the maximum value.
-func ArgmaxRows(m *Matrix) []int {
+func ArgmaxRows[E Elt](m *Mat[E]) []int {
 	guardR(m)
 	out := make([]int, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -137,7 +138,7 @@ func ArgmaxRows(m *Matrix) []int {
 }
 
 // ClipInPlace clamps every element into [-limit, limit]; gradient clipping.
-func ClipInPlace(m *Matrix, limit float64) {
+func ClipInPlace[E Elt](m *Mat[E], limit E) {
 	if limit <= 0 {
 		panic("tensor: ClipInPlace requires positive limit")
 	}
@@ -151,13 +152,13 @@ func ClipInPlace(m *Matrix, limit float64) {
 	}
 }
 
-func checkSameShape2(op string, a, b *Matrix) {
+func checkSameShape2[E Elt](op string, a, b *Mat[E]) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 }
 
-func checkSameShape3(op string, a, b, c *Matrix) {
+func checkSameShape3[E Elt](op string, a, b, c *Mat[E]) {
 	if a.Rows != b.Rows || a.Cols != b.Cols || a.Rows != c.Rows || a.Cols != c.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d, %dx%d, %dx%d",
 			op, a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))

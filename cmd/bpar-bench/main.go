@@ -79,7 +79,7 @@ func (f lgFlags) config(seqOverride int) (serve.LoadGenConfig, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, replay, policy, efficiency, sched, determinism, dtype, loadgen, loadgen-sweep")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, fig3..fig8, granularity, memory, ablation, projection, replay, policy, efficiency, sched, determinism, dtype, multihead, loadgen, loadgen-sweep")
 	seq := flag.Int("seq", 0, "override sequence length (0 = paper value, 100)")
 	replay := flag.Bool("replay", true, "use graph capture & replay in native-engine experiments")
 	noReplay := flag.Bool("no-replay", false, "force fresh task-graph emission every step (overrides -replay)")
@@ -379,6 +379,13 @@ func run(name string, o experiments.Opts, lg lgFlags) (any, error) {
 			return nil, err
 		}
 		experiments.PrintDType(w, r)
+		return r, nil
+	case "multihead":
+		r, err := experiments.RunMultiHead(o)
+		if err != nil {
+			return nil, err
+		}
+		experiments.PrintMultiHead(w, r)
 		return r, nil
 	case "projection":
 		r, err := experiments.RunProjection(o)

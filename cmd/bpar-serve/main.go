@@ -55,6 +55,7 @@ type options struct {
 	windowMS  float64
 	queueCap  int
 	roundSeq  int
+	buckets   string
 	maxSeq    int
 	maxCached int
 	dtype     string
@@ -82,7 +83,8 @@ func main() {
 	flag.IntVar(&o.engWorker, "engine-workers", 2, "task-runtime workers per engine")
 	flag.Float64Var(&o.windowMS, "batch-window-ms", 2, "micro-batch collection window in milliseconds")
 	flag.IntVar(&o.queueCap, "queue-cap", 0, "max sequences in flight before 429 (0 = 8*batch*engines)")
-	flag.IntVar(&o.roundSeq, "round-seq", 1, "round sequence lengths up to a multiple; >1 shrinks the bucket working set but changes numerics (the reverse direction sees the padding)")
+	flag.IntVar(&o.roundSeq, "round-seq", 1, "round sequence lengths up to a multiple; >1 shrinks the bucket working set (padding is masked, numerics unchanged)")
+	flag.StringVar(&o.buckets, "buckets", "", "comma-separated ascending sequence-length buckets; lengths pad up to their bucket (masked, numerics unchanged) and longer sequences are rejected. Mutually exclusive with -round-seq")
 	flag.IntVar(&o.maxSeq, "max-seq", 512, "reject sequences longer than this")
 	flag.IntVar(&o.maxCached, "max-cached-seqs", 16, "per-engine workspace/template LRU bound on distinct sequence lengths")
 	flag.StringVar(&o.dtype, "dtype", "f64", "inference dtype: f64 (bitwise-exact responses) or f32 (float32 mirror with packed weight panels; checkpoints stay f64)")
@@ -140,7 +142,7 @@ func loadModel(o options) (*core.Model, error) {
 	return core.NewModel(cfg)
 }
 
-func parseWarm(s string) ([]int, error) {
+func parseLens(flagName, s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -148,7 +150,7 @@ func parseWarm(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad -warm entry %q", part)
+			return nil, fmt.Errorf("bad %s entry %q", flagName, part)
 		}
 		out = append(out, n)
 	}
@@ -174,7 +176,11 @@ func run(o options) error {
 	if err := model.Cfg.Validate(); err != nil {
 		return err
 	}
-	warmLens, err := parseWarm(o.warm)
+	warmLens, err := parseLens("-warm", o.warm)
+	if err != nil {
+		return err
+	}
+	bucketLens, err := parseLens("-buckets", o.buckets)
 	if err != nil {
 		return err
 	}
@@ -200,6 +206,7 @@ func run(o options) error {
 		BatchWindow:      time.Duration(o.windowMS * float64(time.Millisecond)),
 		QueueCap:         o.queueCap,
 		RoundSeqTo:       o.roundSeq,
+		Buckets:          bucketLens,
 		MaxSeqLen:        o.maxSeq,
 		MaxCachedSeqLens: o.maxCached,
 		InferDType:       dtype,

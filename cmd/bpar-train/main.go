@@ -25,6 +25,8 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +42,7 @@ import (
 // options collects every flag so run stays a single-argument call.
 type options struct {
 	task, cell string
+	heads      string
 	layers     int
 	hidden     int
 	seq        int
@@ -68,7 +71,8 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.task, "task", "speech", "workload: speech (many-to-one) or text (many-to-many)")
+	flag.StringVar(&o.task, "task", "speech", "workload: speech (many-to-one), text (many-to-many), or tagging (variable-length, bucketed, every label kind)")
+	flag.StringVar(&o.heads, "heads", "", "comma-separated output heads sharing the trunk, each kind[:classes] with kind classify, tag, or generate (classes default to the task's class count); empty keeps the task's single legacy head. Per-frame heads need per-frame labels — use -task tagging or text")
 	flag.StringVar(&o.cell, "cell", "lstm", "cell type: lstm, gru, or rnn")
 	flag.IntVar(&o.layers, "layers", 2, "stacked BRNN layers")
 	flag.IntVar(&o.hidden, "hidden", 64, "hidden size")
@@ -159,8 +163,32 @@ func run(ctx context.Context, o options) error {
 		cfg.Classes = vocab
 		corpus := data.NewTextCorpus(vocab, 200_000, o.seed)
 		nextBatch = func() *core.Batch { return corpus.Batch(o.batch, o.seq) }
+	case "tagging":
+		// Variable-length sequences with every label kind at once: dominant
+		// symbol (classify), neighbour-sum tag (tag/generate). Lengths are
+		// bucketed to two boundaries; short rows ride masked via Batch.Lens.
+		if o.seq < 2 {
+			return fmt.Errorf("tagging needs -seq >= 2")
+		}
+		cfg.Arch = core.ManyToMany
+		const vocab = 16
+		cfg.InputSize = vocab
+		cfg.Classes = vocab
+		corpus := data.NewTagCorpus(vocab, 2, o.seq, o.seed)
+		bk, err := data.NewBucketer([]int{(o.seq + 1) / 2, o.seq})
+		if err != nil {
+			return err
+		}
+		nextBatch = data.NewBucketBatcher(corpus, bk, o.batch).Next
 	default:
 		return fmt.Errorf("unknown task %q", o.task)
+	}
+	if o.heads != "" {
+		heads, err := parseHeads(o.heads, cfg.Classes)
+		if err != nil {
+			return err
+		}
+		cfg.Heads = heads
 	}
 
 	model, err := core.NewModel(cfg)
@@ -234,6 +262,7 @@ func run(ctx context.Context, o options) error {
 		start := time.Now()
 		lossSum := 0.0
 		steps := 0
+		var headSums []float64
 		for s := 0; s < o.steps; s++ {
 			if ctx.Err() != nil {
 				interrupted = true
@@ -244,6 +273,14 @@ func run(ctx context.Context, o options) error {
 				return err
 			}
 			lossSum += loss
+			if hl := eng.HeadLosses(); len(hl) > 1 {
+				if headSums == nil {
+					headSums = make([]float64, len(hl))
+				}
+				for i, v := range hl {
+					headSums[i] += v
+				}
+			}
 			steps++
 		}
 		if steps == 0 {
@@ -260,12 +297,21 @@ func run(ctx context.Context, o options) error {
 			"epoch", epoch,
 			"train_loss", lossSum/float64(steps),
 			"eval_loss", evalLoss,
-			"accuracy", accuracy(preds, evalBatch, cfg.Arch),
+			"accuracy", accuracy(preds, evalBatch, cfg),
 			"duration", time.Since(start).Round(time.Millisecond),
 			"tasks_executed", st.Executed,
 			"overhead_ratio", st.OverheadRatio(),
 			"steals", st.Steals,
 			"gemm_flops", tensor.GEMMFlops())
+		if headSums != nil {
+			// Per-head training loss: how the shared trunk's heads fit
+			// individually (the epoch's train_loss is their pooled value).
+			parts := make([]string, len(headSums))
+			for h, spec := range cfg.HeadSpecs() {
+				parts[h] = fmt.Sprintf("h%d:%s=%.4f", h, spec.Kind, headSums[h]/float64(steps))
+			}
+			log.Info("epoch head losses", "epoch", epoch, "losses", strings.Join(parts, " "))
+		}
 	}
 
 	if interrupted {
@@ -332,23 +378,80 @@ func run(ctx context.Context, o options) error {
 	return nil
 }
 
-// accuracy computes label accuracy over all heads.
-func accuracy(preds [][]int, b *core.Batch, arch core.Arch) float64 {
-	correct, total := 0, 0
-	if arch == core.ManyToOne {
-		for i, p := range preds[0] {
-			if p == b.Targets[i] {
-				correct++
-			}
-			total++
+// parseHeads decodes the -heads flag: comma-separated kind[:classes] specs.
+func parseHeads(s string, defClasses int) ([]core.HeadSpec, error) {
+	var out []core.HeadSpec
+	for _, part := range strings.Split(s, ",") {
+		kindStr, classStr, hasClasses := strings.Cut(strings.TrimSpace(part), ":")
+		var kind core.HeadKind
+		switch kindStr {
+		case "classify":
+			kind = core.HeadClassify
+		case "tag":
+			kind = core.HeadTag
+		case "generate":
+			kind = core.HeadGenerate
+		default:
+			return nil, fmt.Errorf("unknown head kind %q (want classify, tag, or generate)", kindStr)
 		}
-	} else {
-		for t := range preds {
-			for i, p := range preds[t] {
-				if p == b.StepTargets[t][i] {
-					correct++
+		classes := defClasses
+		if hasClasses {
+			n, err := strconv.Atoi(classStr)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad head classes in %q", part)
+			}
+			classes = n
+		}
+		out = append(out, core.HeadSpec{Kind: kind, Classes: classes})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -heads")
+	}
+	return out, nil
+}
+
+// accuracy computes label accuracy pooled over every head's slots, skipping
+// IgnoreLabel frames (masked padding) and, for generate heads, scoring frame
+// t against the shifted label StepTargets[t+1].
+func accuracy(preds [][]int, b *core.Batch, cfg core.Config) float64 {
+	T := b.SeqLen()
+	correct, total := 0, 0
+	score := func(p, want int) {
+		if want == tensor.IgnoreLabel {
+			return
+		}
+		if p == want {
+			correct++
+		}
+		total++
+	}
+	for h, spec := range cfg.HeadSpecs() {
+		lo, n := cfg.HeadSlotRange(h, T)
+		switch spec.Kind {
+		case core.HeadClassify:
+			if b.Targets == nil {
+				continue
+			}
+			for i, p := range preds[lo] {
+				score(p, b.Targets[i])
+			}
+		case core.HeadTag:
+			if b.StepTargets == nil {
+				continue
+			}
+			for t := 0; t < n; t++ {
+				for i, p := range preds[lo+t] {
+					score(p, b.StepTargets[t][i])
 				}
-				total++
+			}
+		case core.HeadGenerate:
+			if b.StepTargets == nil {
+				continue
+			}
+			for t := 0; t+1 < T; t++ {
+				for i, p := range preds[lo+t] {
+					score(p, b.StepTargets[t+1][i])
+				}
 			}
 		}
 	}

@@ -192,6 +192,33 @@ func emitPackedDeclared(rt *taskrt.Runtime, ws *fixWS, pp *tensor.PackedPanel[fl
 	})
 }
 
+// emitMaskUndeclared mimics the masked variable-length batch tasks: the
+// row-masking, boundary-accumulate, and last-row gather kernels all write
+// their first argument, and each seed must fire on its own.
+func emitMaskUndeclared(rt *taskrt.Runtime, ws *fixWS, lens []int, srcs []*tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "bad-mask",
+		In:    []taskrt.Dep{ws.kMerged},
+		Fn: func() {
+			tensor.MaskRowsZero(ws.dMerged, lens, 3)              // want "task \"bad-mask\" writes ws.dMerged"
+			tensor.AddRowsWhere(ws.dGates, ws.merged, lens, 3, 7) // want "task \"bad-mask\" writes ws.dGates"
+			tensor.GatherRows(ws.pre, srcs, lens)                 // want "task \"bad-mask\" writes ws.pre"
+		},
+	})
+}
+
+// emitMaskDeclared declares every masked-kernel destination: silent.
+func emitMaskDeclared(rt *taskrt.Runtime, ws *fixWS, lens []int, srcs []*tensor.Matrix) {
+	rt.Submit(&taskrt.Task{
+		Label: "good-mask",
+		Out:   []taskrt.Dep{ws.kDMerged, ws.kPre},
+		Fn: func() {
+			tensor.MaskRowsZero(ws.dMerged, lens, 3) // declared: no diagnostic
+			tensor.GatherRows(ws.pre, srcs, lens)    // declared: no diagnostic
+		},
+	})
+}
+
 // emitOpaqueDecl has a declaration list the analyzer cannot resolve:
 // conservatively silent even though the write is real.
 func deps(ws *fixWS) []taskrt.Dep { return []taskrt.Dep{ws.kMerged} }

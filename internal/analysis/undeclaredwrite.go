@@ -80,6 +80,10 @@ func seedSummaries() map[string]*mutSummary {
 		// Packed-panel kernels and the cross-dtype conversion kernel.
 		"GemmTAccColsPacked", "MatMulTColsPacked", "GemmTAccColsPackedBatch",
 		"ConvertInto",
+		// Masked variable-length batch kernels: row masking, boundary-gated
+		// accumulation, and the final-state gather all write their first
+		// argument.
+		"MaskRowsZero", "AddRowsWhere", "GatherRows",
 	}
 	for _, name := range dst0 {
 		seeds[tp+"."+name] = &mutSummary{muts: map[mutKey]bool{{param: 0}: true}}

@@ -44,7 +44,7 @@ func (e *Engine) TrainStepBarrier(b *Batch, lr float64) (float64, error) {
 		return 0, err
 	}
 
-	scale := e.lossScale(T)
+	scale := e.lossScale(b)
 	loss := 0.0
 	for _, ws := range wss {
 		loss += ws.sumLosses()
@@ -106,11 +106,12 @@ func (e *Engine) emitBarrierGraph(wss []*workspace) error {
 		for i, ws := range wss {
 			if l == L-1 {
 				e.emitHeadBackward(ws, i)
+				if cfg.anyClassify() {
+					e.emitFinalMergeBackward(ws, i)
+				}
 			}
 			if cfg.hasMergePerTimestep(l) {
 				e.emitMergeBackward(ws, l, i)
-			} else {
-				e.emitFinalMergeBackward(ws, i)
 			}
 		}
 		if err := e.barrier(); err != nil {

@@ -37,7 +37,7 @@ func NewBSeq(m *Model, exec taskrt.Executor) *BSeq {
 		}
 		// Each sub-engine shares the parent's weights but sees its
 		// mini-batch as its whole world, executed inline.
-		subM := &Model{Cfg: m.Cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB, mut: m.mut}
+		subM := &Model{Cfg: m.Cfg, fwd: m.fwd, rev: m.rev, Heads: m.Heads, mut: m.mut}
 		subM.Cfg.Batch = rows
 		subM.Cfg.MiniBatches = 1
 		s.subs = append(s.subs, NewEngine(subM, taskrt.NewInline(nil)))
@@ -89,6 +89,10 @@ func (s *BSeq) TrainStep(b *Batch, lr float64) (float64, error) {
 				mb.StepTargets[t] = b.StepTargets[t][lo:hi]
 			}
 		}
+		if b.Lens != nil {
+			mb.Lens = b.Lens[lo:hi]
+		}
+		mb.Real = sliceReal(b.Real, lo, hi)
 		s.Exec.Submit(&taskrt.Task{
 			Label: fmt.Sprintf("bseq mb%d", i),
 			Kind:  "bseq",
@@ -116,19 +120,18 @@ func (s *BSeq) TrainStep(b *Batch, lr float64) (float64, error) {
 			w0.gradsFwd[l].addScaled(1, ws.gradsFwd[l])
 			w0.gradsRev[l].addScaled(1, ws.gradsRev[l])
 		}
-		tensor.AxpyMatrix(w0.headGrads.DW, 1, ws.headGrads.DW)
-		tensor.Axpy(1, ws.headGrads.DB, w0.headGrads.DB)
+		for h := range w0.headGrads {
+			tensor.AxpyMatrix(w0.headGrads[h].DW, 1, ws.headGrads[h].DW)
+			tensor.Axpy(1, ws.headGrads[h].DB, w0.headGrads[h].DB)
+		}
 	}
 
-	scale := float64(s.M.Cfg.Batch)
-	if s.M.Cfg.Arch == ManyToMany {
-		scale *= float64(T)
-	}
+	scale := s.M.Cfg.lossScale(b)
 	s.subs[0].applySGD(w0, lr, scale)
 	return loss / scale, nil
 }
 
-// sumLosses totals a workspace's per-head summed losses.
+// sumLosses totals a workspace's per-slot summed losses.
 func (w *workspace) sumLosses() float64 {
 	total := 0.0
 	for _, l := range w.losses {

@@ -71,6 +71,46 @@ func (a Arch) String() string {
 	}
 }
 
+// HeadKind selects what one output head computes on top of the shared
+// bidirectional trunk.
+type HeadKind int
+
+const (
+	// HeadClassify is many-to-one classification: one softmax over the
+	// final merged state of the whole sequence (the TIDIGITS shape).
+	HeadClassify HeadKind = iota
+	// HeadTag is many-to-many per-frame tagging: one softmax per timestep
+	// over that timestep's merged state, trained on Batch.StepTargets.
+	HeadTag
+	// HeadGenerate is next-token generation: per-frame softmaxes like
+	// HeadTag, but trained on the step-target stream shifted one frame
+	// left (frame t predicts StepTargets[t+1]; the final frame's label is
+	// tensor.IgnoreLabel).
+	HeadGenerate
+)
+
+func (k HeadKind) String() string {
+	switch k {
+	case HeadClassify:
+		return "classify"
+	case HeadTag:
+		return "tag"
+	case HeadGenerate:
+		return "generate"
+	default:
+		return fmt.Sprintf("HeadKind(%d)", int(k))
+	}
+}
+
+// PerFrame reports whether the head emits one output slot per timestep.
+func (k HeadKind) PerFrame() bool { return k == HeadTag || k == HeadGenerate }
+
+// HeadSpec configures one output head.
+type HeadSpec struct {
+	Kind    HeadKind
+	Classes int
+}
+
 // MergeOp selects how Equation 11 combines forward and reverse outputs.
 type MergeOp int
 
@@ -114,8 +154,16 @@ type Config struct {
 	InputSize, HiddenSize, Layers, SeqLen, Batch int
 
 	// Classes is the classifier-head output width (digit labels for
-	// TIDIGITS, vocabulary size for next-character prediction).
+	// TIDIGITS, vocabulary size for next-character prediction). It is only
+	// consulted when Heads is empty.
 	Classes int
+
+	// Heads configures the output heads sharing the bidirectional trunk.
+	// Empty derives the single legacy head from Arch: ManyToOne ⇒ one
+	// HeadClassify, ManyToMany ⇒ one HeadTag, each with Classes outputs —
+	// numerics, serialization and task-graph shape stay exactly as before
+	// the multi-head refactor.
+	Heads []HeadSpec
 
 	// MiniBatches is the data-parallel split: the batch is divided into
 	// this many mini-batches whose task graphs run concurrently (the
@@ -139,7 +187,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: SeqLen must be positive, got %d", c.SeqLen)
 	case c.Batch <= 0:
 		return fmt.Errorf("core: Batch must be positive, got %d", c.Batch)
-	case c.Classes <= 0:
+	case len(c.Heads) == 0 && c.Classes <= 0:
 		return fmt.Errorf("core: Classes must be positive, got %d", c.Classes)
 	case c.MiniBatches <= 0:
 		return fmt.Errorf("core: MiniBatches must be positive, got %d", c.MiniBatches)
@@ -152,7 +200,82 @@ func (c Config) Validate() error {
 	case c.Merge < MergeSum || c.Merge > MergeConcat:
 		return fmt.Errorf("core: unknown merge op %d", int(c.Merge))
 	}
+	for i, h := range c.Heads {
+		if h.Kind < HeadClassify || h.Kind > HeadGenerate {
+			return fmt.Errorf("core: head %d: unknown head kind %d", i, int(h.Kind))
+		}
+		if h.Classes <= 0 {
+			return fmt.Errorf("core: head %d: Classes must be positive, got %d", i, h.Classes)
+		}
+	}
 	return nil
+}
+
+// HeadSpecs returns the effective head configuration: Heads when set,
+// otherwise the single legacy head derived from Arch and Classes.
+func (c Config) HeadSpecs() []HeadSpec {
+	if len(c.Heads) > 0 {
+		return c.Heads
+	}
+	if c.Arch == ManyToMany {
+		return []HeadSpec{{Kind: HeadTag, Classes: c.Classes}}
+	}
+	return []HeadSpec{{Kind: HeadClassify, Classes: c.Classes}}
+}
+
+// anyPerFrame reports whether any effective head consumes per-timestep
+// merged states (and therefore whether the top layer emits merge cells at
+// every timestep).
+func (c Config) anyPerFrame() bool {
+	for _, h := range c.HeadSpecs() {
+		if h.Kind.PerFrame() {
+			return true
+		}
+	}
+	return false
+}
+
+// anyClassify reports whether any effective head consumes the sequence-final
+// merged state (and therefore whether the final-merge cell is emitted).
+func (c Config) anyClassify() bool {
+	for _, h := range c.HeadSpecs() {
+		if h.Kind == HeadClassify {
+			return true
+		}
+	}
+	return false
+}
+
+// HeadSlots returns the total number of output slots at sequence length T: a
+// classification head owns one slot, a per-frame head owns T.
+func (c Config) HeadSlots(T int) int {
+	n := 0
+	for _, h := range c.HeadSpecs() {
+		if h.Kind.PerFrame() {
+			n += T
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// HeadSlotRange returns head h's first output slot and slot count at
+// sequence length T. Slots are laid out head-major in declaration order;
+// per-frame heads own T consecutive slots indexed by timestep.
+func (c Config) HeadSlotRange(h, T int) (lo, n int) {
+	specs := c.HeadSpecs()
+	for i := 0; i < h; i++ {
+		if specs[i].Kind.PerFrame() {
+			lo += T
+		} else {
+			lo++
+		}
+	}
+	if specs[h].Kind.PerFrame() {
+		return lo, T
+	}
+	return lo, 1
 }
 
 // MergeDim returns the width of a merge cell's output.
@@ -198,27 +321,40 @@ func (c Config) ParamCount() int {
 	return total
 }
 
-// HeadParamCount returns the classifier-head parameter count.
+// HeadParamCount returns the total parameter count of all output heads.
 func (c Config) HeadParamCount() int {
-	return c.Classes*c.MergeDim() + c.Classes
+	total := 0
+	for _, h := range c.HeadSpecs() {
+		total += h.Classes*c.MergeDim() + h.Classes
+	}
+	return total
 }
 
 // CellTaskCount returns the number of cell + merge + head tasks one forward
 // propagation emits, matching the structure of Figures 1 and 2.
 func (c Config) CellTaskCount() int {
 	cells := 2 * c.Layers * c.SeqLen // forward + reverse order cells
-	var merges, heads int
-	if c.Arch == ManyToOne {
-		merges = (c.Layers-1)*c.SeqLen + 1
-		heads = 1
-	} else {
-		merges = c.Layers * c.SeqLen
-		heads = c.SeqLen
+	merges := (c.Layers - 1) * c.SeqLen
+	if c.anyPerFrame() {
+		merges += c.SeqLen
 	}
-	return cells + merges + heads
+	if c.anyClassify() {
+		merges++
+	}
+	return cells + merges + c.HeadSlots(c.SeqLen)
 }
 
 func (c Config) String() string {
-	return fmt.Sprintf("%s/%s in=%d hid=%d layers=%d seq=%d batch=%d mbs=%d merge=%s",
+	s := fmt.Sprintf("%s/%s in=%d hid=%d layers=%d seq=%d batch=%d mbs=%d merge=%s",
 		c.Cell, c.Arch, c.InputSize, c.HiddenSize, c.Layers, c.SeqLen, c.Batch, c.MiniBatches, c.Merge)
+	if len(c.Heads) > 0 {
+		s += " heads="
+		for i, h := range c.Heads {
+			if i > 0 {
+				s += "+"
+			}
+			s += fmt.Sprintf("%s:%d", h.Kind, h.Classes)
+		}
+	}
+	return s
 }

@@ -80,10 +80,14 @@ func (w *workspace) registerDeps(dc *taskrt.DepChecker, mbIdx int) {
 	}
 	reg(w.kFinalMerged, "finalMerged", w.finalMerged)
 	reg(w.kDFinalMerged, "dFinalMerged", w.dFinalMerged)
-	for h := range w.kProbs {
-		reg(w.kProbs[h], fmt.Sprintf("probs h%d", h), w.probs[h], w.logits[h])
+	reg(w.kDFinalHFwd, "dFinalHFwd", w.dFinalHFwd)
+	reg(w.kDFinalHRev, "dFinalHRev", w.dFinalHRev)
+	for s := range w.kProbs {
+		reg(w.kProbs[s], fmt.Sprintf("probs s%d", s), w.probs[s], w.logits[s])
 	}
-	reg(w.kHeadGrads, "headGrads", w.headGrads.DW)
+	for h := range w.kHeadGrads {
+		reg(w.kHeadGrads[h], fmt.Sprintf("headGrads h%d", h), w.headGrads[h].DW, w.dLogits[h])
+	}
 	if w.f32 != nil {
 		w.registerDepsF32(dc, mbIdx)
 	}

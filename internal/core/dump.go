@@ -47,10 +47,14 @@ func (w *workspace) keyNames(mbIdx int, into map[taskrt.Dep]string) {
 	}
 	name(w.kFinalMerged, "finalMerged")
 	name(w.kDFinalMerged, "dFinalMerged")
-	for h, k := range w.kProbs {
-		name(k, "probs h%d", h)
+	name(w.kDFinalHFwd, "dFinalHFwd")
+	name(w.kDFinalHRev, "dFinalHRev")
+	for s, k := range w.kProbs {
+		name(k, "probs s%d", s)
 	}
-	name(w.kHeadGrads, "headGrads")
+	for h, k := range w.kHeadGrads {
+		name(k, "headGrads h%d", h)
+	}
 }
 
 // DumpTemplates serializes every step template the engine currently has

@@ -22,12 +22,12 @@ func (e *Engine) emitBackward(ws *workspace, mbIdx int) {
 	for l := L - 1; l >= 0; l-- {
 		if l == L-1 {
 			e.emitHeadBackward(ws, mbIdx)
+			if cfg.anyClassify() {
+				e.emitFinalMergeBackward(ws, mbIdx)
+			}
 		}
 		if cfg.hasMergePerTimestep(l) {
 			e.emitMergeBackward(ws, l, mbIdx)
-		} else {
-			// Last layer of a many-to-one model: single final merge.
-			e.emitFinalMergeBackward(ws, mbIdx)
 		}
 		e.emitCellBackward(ws, l, mbIdx)
 	}
@@ -45,65 +45,77 @@ func (e *Engine) kindBwdCell() string {
 	}
 }
 
-// emitHeadBackward emits the head gradient tasks: dLogits = probs - onehot
-// (sum convention), head weight gradients, and the gradient flowing into the
-// final merge (many-to-one) or each timestep's merge slot (many-to-many).
+// emitHeadBackward emits the head gradient tasks of every head: dLogits =
+// probs - onehot (sum convention), head weight gradients, and the gradient
+// flowing into the final merge (classification heads) or the timestep's merge
+// slot (per-frame heads). The merge-gradient buffers are zeroed by
+// resetForStep and every head *accumulates* into them (inout), so heads
+// sharing the trunk serialize in declaration order — race-free and bitwise
+// deterministic — while a single head reproduces the legacy overwrite
+// (Zero + GemmAcc ≡ MatMul) exactly.
 func (e *Engine) emitHeadBackward(ws *workspace, mbIdx int) {
 	cfg := e.M.Cfg
 	D := cfg.MergeDim()
-	hFlops := 4 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
-	hWS := int64(8 * (2*ws.rows*D + ws.rows*cfg.Classes + 2*cfg.Classes*D))
-
-	if cfg.Arch == ManyToOne {
-		task := &taskrt.Task{
-			Label: fmt.Sprintf("head-bwd mb%d", mbIdx),
-			Kind:  "head-bwd",
-			In:    []taskrt.Dep{ws.kProbs[0], ws.kFinalMerged},
-			InOut: []taskrt.Dep{ws.kHeadGrads},
-			Out:   []taskrt.Dep{ws.kDFinalMerged},
-			Flops: hFlops, WorkingSet: hWS,
-		}
-		if !ws.phantom {
-			task.Fn = func() {
-				e.headBackward(ws, 0, ws.finalMerged, ws.bind.targets, ws.dFinalMerged)
-			}
-		}
-		e.Exec.Submit(task)
-		return
-	}
-
 	L, T := cfg.Layers, ws.T
-	batch := make([]*taskrt.Task, 0, T)
-	for t := T - 1; t >= 0; t-- {
-		task := &taskrt.Task{
-			Label: fmt.Sprintf("head-bwd t%d mb%d", t, mbIdx),
-			Kind:  "head-bwd",
-			In:    []taskrt.Dep{ws.kProbs[t], ws.kMerged[L-1][t]},
-			InOut: []taskrt.Dep{ws.kHeadGrads},
-			Out:   []taskrt.Dep{ws.kDMerged[L-1][t]},
-			Flops: hFlops, WorkingSet: hWS,
-		}
-		if !ws.phantom {
-			t := t
-			task.Fn = func() {
-				e.headBackward(ws, t, ws.merged[L-1][t], ws.bind.stepTargets[t], ws.dMerged[L-1][t])
+
+	for h, spec := range cfg.HeadSpecs() {
+		h, spec := h, spec
+		lo, _ := cfg.HeadSlotRange(h, T)
+		hFlops := 4 * float64(ws.rows) * float64(D) * float64(spec.Classes)
+		hWS := int64(8 * (2*ws.rows*D + ws.rows*spec.Classes + 2*spec.Classes*D))
+
+		if !spec.Kind.PerFrame() {
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("head%d-bwd mb%d", h, mbIdx),
+				Kind:  "head-bwd",
+				In:    []taskrt.Dep{ws.kProbs[lo], ws.kFinalMerged},
+				InOut: []taskrt.Dep{ws.kHeadGrads[h], ws.kDFinalMerged},
+				Flops: hFlops, WorkingSet: hWS,
 			}
+			if !ws.phantom {
+				task.Fn = func() {
+					e.headBackward(ws, h, lo, ws.finalMerged, ws.bind.targets, ws.dFinalMerged)
+				}
+			}
+			e.Exec.Submit(task)
+			continue
 		}
-		batch = append(batch, task)
+
+		batch := make([]*taskrt.Task, 0, T)
+		for t := T - 1; t >= 0; t-- {
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("head%d-bwd t%d mb%d", h, t, mbIdx),
+				Kind:  "head-bwd",
+				In:    []taskrt.Dep{ws.kProbs[lo+t], ws.kMerged[L-1][t]},
+				InOut: []taskrt.Dep{ws.kHeadGrads[h], ws.kDMerged[L-1][t]},
+				Flops: hFlops, WorkingSet: hWS,
+			}
+			if !ws.phantom {
+				t := t
+				task.Fn = func() {
+					e.headBackward(ws, h, lo+t, ws.merged[L-1][t], ws.headTargetsAt(spec.Kind, t), ws.dMerged[L-1][t])
+				}
+			}
+			batch = append(batch, task)
+		}
+		taskrt.SubmitBatch(e.Exec, batch)
 	}
-	taskrt.SubmitBatch(e.Exec, batch)
 }
 
-// headBackward computes, for head slot h: dLogits = probs - onehot(targets),
-// accumulates head weight gradients, and writes dInput = dLogits * HeadW.
-func (e *Engine) headBackward(ws *workspace, h int, input *tensor.Matrix, targets []int, dInput *tensor.Matrix) {
-	// ws.dLogits is shared across head slots; safe because every head-bwd
-	// task is serialized by the inout dependency on kHeadGrads.
-	dLogits := ws.dLogits
-	dLogits.CopyFrom(ws.probs[h])
+// headBackward computes, for head h's slot `slot`: dLogits = probs -
+// onehot(targets), accumulates head h's weight gradients, and accumulates
+// dInput += dLogits * W (the caller zeroes dInput once per step; heads
+// sharing a merge slot are serialized by their inout dependency on it).
+func (e *Engine) headBackward(ws *workspace, h, slot int, input *tensor.Matrix, targets []int, dInput *tensor.Matrix) {
+	// ws.dLogits[h] is shared across head h's slots; safe because the head's
+	// backward tasks are serialized by the inout dependency on kHeadGrads[h].
+	head := &e.M.Heads[h]
+	dLogits := ws.dLogits[h]
+	dLogits.CopyFrom(ws.probs[slot])
 	for i, tgt := range targets {
 		if tgt == tensor.IgnoreLabel {
-			// Padding rows of variable-length sequences carry no gradient.
+			// Padding rows and frames of variable-length sequences carry no
+			// gradient.
 			for j := 0; j < dLogits.Cols; j++ {
 				dLogits.Set(i, j, 0)
 			}
@@ -111,38 +123,47 @@ func (e *Engine) headBackward(ws *workspace, h int, input *tensor.Matrix, target
 		}
 		dLogits.Set(i, tgt, dLogits.At(i, tgt)-1)
 	}
-	tensor.GemmATAcc(ws.headGrads.DW, dLogits, input)
+	tensor.GemmATAcc(ws.headGrads[h].DW, dLogits, input)
 	for i := 0; i < dLogits.Rows; i++ {
 		row := dLogits.Row(i)
 		for j, v := range row {
-			ws.headGrads.DB[j] += v
+			ws.headGrads[h].DB[j] += v
 		}
 	}
-	tensor.MatMul(dInput, dLogits, e.M.HeadW)
+	tensor.GemmAcc(dInput, dLogits, head.W)
 }
 
-// emitFinalMergeBackward splits the final-merge gradient into the two
-// direction-specific gradients of the last layer's boundary cells.
+// emitFinalMergeBackward splits the accumulated final-merge gradient into the
+// two direction-specific gradients dFinalHFwd/dFinalHRev. These are dedicated
+// buffers (not the per-timestep merge-gradient slots) so classification heads
+// coexist with per-frame heads on the same trunk; the top layer's chain tasks
+// inject them at each row's true boundary step. The task re-runs the forward
+// gather (GatherRows reads every top-layer forward state under Lens, and the
+// multiplicative merge consumes the gathered values), so like the final merge
+// it conservatively depends on every top-layer forward cell plus the reverse
+// boundary cell — one In set for every merge op and lens shape, keeping the
+// template replayable across masked and full-length batches.
 func (e *Engine) emitFinalMergeBackward(ws *workspace, mbIdx int) {
 	cfg := e.M.Cfg
 	L, T := cfg.Layers, ws.T
 	in := []taskrt.Dep{ws.kDFinalMerged}
-	if cfg.Merge == MergeMul {
-		in = append(in, ws.kFwdSt[L-1][T-1], ws.kRevSt[L-1][0])
+	for t := 0; t < T; t++ {
+		in = append(in, ws.kFwdSt[L-1][t])
 	}
+	in = append(in, ws.kRevSt[L-1][0])
 	task := &taskrt.Task{
 		Label:      fmt.Sprintf("merge-final-bwd mb%d", mbIdx),
 		Kind:       "merge-bwd",
 		In:         in,
-		Out:        []taskrt.Dep{ws.kDHMergeFwd[L-1][T-1], ws.kDHMergeRev[L-1][0]},
+		Out:        []taskrt.Dep{ws.kDFinalHFwd, ws.kDFinalHRev},
 		Flops:      mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize),
 		WorkingSet: mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize),
 	}
 	if !ws.phantom {
 		task.Fn = func() {
 			mergeBackward(cfg.Merge, ws.dFinalMerged,
-				ws.fwdSt[L-1][T-1].H(), ws.revSt[L-1][0].H(),
-				ws.dHMergeFwd[L-1][T-1], ws.dHMergeRev[L-1][0])
+				ws.gatherLastHFwd(), ws.revSt[L-1][0].H(),
+				ws.dFinalHFwd, ws.dFinalHRev)
 		}
 	}
 	e.Exec.Submit(task)
@@ -327,10 +348,17 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 	cellWS := lF.taskWorkingSet(ws.rows)
 	kind := e.kindBwdCell()
 	isLSTM := cfg.Cell == LSTM
+	// The top layer's chain injects the final-merge gradient at each row's
+	// true boundary step (row i's last real forward step is lens[i]-1, or
+	// T-1 with no lens bound), so every chain task reads dFinalHFwd.
+	classify := cfg.anyClassify() && l == cfg.Layers-1
 
 	batch := make([]*taskrt.Task, 0, T)
 	for t := T - 1; t >= 0; t-- {
 		in := []taskrt.Dep{ws.kFwdSt[l][t], ws.kDHMergeFwd[l][t], ws.kDHChainFwd[l][t]}
+		if classify {
+			in = append(in, ws.kDFinalHFwd)
+		}
 		if isLSTM {
 			in = append(in, ws.kDCChainFwd[l][t])
 		}
@@ -362,6 +390,9 @@ func (e *Engine) emitFwdCellBackward(ws *workspace, l, mbIdx int) {
 			l, t := l, t
 			task.Fn = func() {
 				tensor.Add(ws.dHSumFwd[l], ws.dHMergeFwd[l][t], ws.dHChainFwd[l][t])
+				if classify {
+					tensor.AddRowsWhere(ws.dHSumFwd[l], ws.dFinalHFwd, ws.bind.lens, t, ws.T-1)
+				}
 				hPrev, cPrev := ws.zeroH, ws.zeroC
 				if t > 0 {
 					hPrev = ws.fwdSt[l][t-1].H()
@@ -412,10 +443,17 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 	cellWS := lR.taskWorkingSet(ws.rows)
 	kind := e.kindBwdCell()
 	isLSTM := cfg.Cell == LSTM
+	// The reverse direction's final processed state is always t=0 (masking
+	// restarts each short row's chain, so its t=0 state is its true reverse
+	// output), so the top layer's t=0 chain task injects all of dFinalHRev.
+	classify := cfg.anyClassify() && l == cfg.Layers-1
 
 	batch := make([]*taskrt.Task, 0, T)
 	for t := 0; t < T; t++ {
 		in := []taskrt.Dep{ws.kRevSt[l][t], ws.kDHMergeRev[l][t], ws.kDHChainRev[l][t]}
+		if classify && t == 0 {
+			in = append(in, ws.kDFinalHRev)
+		}
 		if isLSTM {
 			in = append(in, ws.kDCChainRev[l][t])
 		}
@@ -447,6 +485,9 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 			l, t := l, t
 			task.Fn = func() {
 				tensor.Add(ws.dHSumRev[l], ws.dHMergeRev[l][t], ws.dHChainRev[l][t])
+				if classify && t == 0 {
+					tensor.AddAcc(ws.dHSumRev[l], ws.dFinalHRev)
+				}
 				hPrev, cPrev := ws.zeroH, ws.zeroC
 				if t < T-1 {
 					hPrev = ws.revSt[l][t+1].H()
@@ -469,6 +510,15 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 						tensor.AddAcc(ws.dMerged[l-1][t], ws.dXScratchRev[l])
 					}
 				}
+				if t < T-1 {
+					// The gradient w.r.t. a masked (constant-zero) boundary
+					// state must not leak into the padded steps' chain: zero
+					// the rows whose reverse chain restarted at this step.
+					tensor.MaskRowsZero(ws.dHChainRev[l][t+1], ws.bind.lens, t+1)
+					if isLSTM {
+						tensor.MaskRowsZero(ws.dCChainRev[l][t+1], ws.bind.lens, t+1)
+					}
+				}
 			}
 		}
 		batch = append(batch, task)
@@ -483,7 +533,7 @@ func (e *Engine) emitRevCellBackward(ws *workspace, l, mbIdx int) {
 }
 
 // emitReduce emits the mini-batch gradient reduction tasks: one task per
-// layer and direction (plus one for the head) that folds every mini-batch's
+// layer and direction (plus one per head) that folds every mini-batch's
 // gradients into workspace 0. These are the dependencies that, in the
 // paper's words, "enforce gradient synchronization among model replicas" —
 // expressed purely as dataflow, with no barrier.
@@ -533,26 +583,31 @@ func (e *Engine) emitReduce(wss []*workspace) {
 		}
 	}
 
-	var in []taskrt.Dep
-	for _, ws := range wss[1:] {
-		in = append(in, ws.kHeadGrads)
-	}
-	task := &taskrt.Task{
-		Label:      "reduce head",
-		Kind:       "reduce",
-		In:         in,
-		InOut:      []taskrt.Dep{w0.kHeadGrads},
-		Flops:      2 * float64(cfg.HeadParamCount()) * float64(len(wss)-1),
-		WorkingSet: int64(cfg.HeadParamCount()) * 8 * int64(len(wss)),
-	}
-	if !w0.phantom {
-		task.Fn = func() {
-			for _, ws := range wss[1:] {
-				tensor.AxpyMatrix(w0.headGrads.DW, 1, ws.headGrads.DW)
-				tensor.Axpy(1, ws.headGrads.DB, w0.headGrads.DB)
+	D := cfg.MergeDim()
+	for h, spec := range cfg.HeadSpecs() {
+		h := h
+		params := spec.Classes*D + spec.Classes
+		var in []taskrt.Dep
+		for _, ws := range wss[1:] {
+			in = append(in, ws.kHeadGrads[h])
+		}
+		task := &taskrt.Task{
+			Label:      fmt.Sprintf("reduce head%d", h),
+			Kind:       "reduce",
+			In:         in,
+			InOut:      []taskrt.Dep{w0.kHeadGrads[h]},
+			Flops:      2 * float64(params) * float64(len(wss)-1),
+			WorkingSet: int64(params) * 8 * int64(len(wss)),
+		}
+		if !w0.phantom {
+			task.Fn = func() {
+				for _, ws := range wss[1:] {
+					tensor.AxpyMatrix(w0.headGrads[h].DW, 1, ws.headGrads[h].DW)
+					tensor.Axpy(1, ws.headGrads[h].DB, w0.headGrads[h].DB)
+				}
 			}
 		}
+		batch = append(batch, task)
 	}
-	batch = append(batch, task)
 	taskrt.SubmitBatch(e.Exec, batch)
 }

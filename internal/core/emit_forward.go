@@ -174,6 +174,14 @@ func (e *Engine) emitProjection(ws *workspace, mbIdx, l int, rev, f32 bool) {
 // (Algorithm 3). In split mode the chain task consumes the gate preload
 // instead of the raw input, so its only serial dependency is the previous
 // state.
+//
+// Variable-length batches: each body masks its state rows to zero where
+// timestep t is padding (lens[i] <= t), so row i's reverse chain effectively
+// restarts from the zero boundary state at its true last timestep lens[i]-1 —
+// bitwise-identical to running that row at its own length. The forward
+// direction needs no mask: padded-tail garbage stays confined to rows whose
+// real outputs never read it (rows are independent, and padded frames carry
+// IgnoreLabel losses and zero gradients).
 func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int, f32 bool) {
 	T := ws.T
 	cellKind := e.kindFwdCell()
@@ -217,6 +225,7 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int, f32 bool) {
 						cPrev = ws.f32.revSt[l][t+1].C()
 					}
 					d32.forwardPre(pre, hPrev, cPrev, ws.f32.revSt[l][t])
+					ws.maskRevState32(l, t)
 				}
 			case f32:
 				d32 := e.fm32[lR]
@@ -227,6 +236,7 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int, f32 bool) {
 						cPrev = ws.f32.revSt[l][t+1].C()
 					}
 					d32.forward(ws.inputF32(l, t), hPrev, cPrev, ws.f32.revSt[l][t])
+					ws.maskRevState32(l, t)
 				}
 			case ws.split:
 				pre := ws.preRev[l][t]
@@ -237,6 +247,7 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int, f32 bool) {
 						cPrev = ws.revSt[l][t+1].C()
 					}
 					e.runForwardPre(lR, pre, hPrev, cPrev, ws.revSt[l][t])
+					ws.maskRevState(l, t)
 				}
 			default:
 				task.Fn = func() {
@@ -246,6 +257,7 @@ func (e *Engine) emitRevCells(ws *workspace, mbIdx, l int, f32 bool) {
 						cPrev = ws.revSt[l][t+1].C()
 					}
 					lR.forward(ws.input(l, t), hPrev, cPrev, ws.revSt[l][t])
+					ws.maskRevState(l, t)
 				}
 			}
 		}
@@ -371,34 +383,44 @@ func (e *Engine) emitMergeCells(ws *workspace, mbIdx, l int, f32 bool) {
 	}
 }
 
-// emitFinalMerge emits the single final merge of a many-to-one model:
-// cells 9f and 9r of Figure 1 — the last forward-order cell and the
-// last-processed reverse cell. No-op for many-to-many.
+// emitFinalMerge emits the single final merge feeding the classification
+// heads: cells 9f and 9r of Figure 1 — the forward direction's sequence-final
+// state and the last-processed reverse cell. Under a lens binding the
+// sequence-final forward state is per-row fwdSt[L-1][lens[i]-1], so the task
+// conservatively depends on every top-layer forward cell (one template serves
+// both full-length and masked batches of the same T) and gathers the rows it
+// needs at run time. No-op when no head classifies.
 func (e *Engine) emitFinalMerge(ws *workspace, mbIdx int, f32 bool) {
 	cfg := e.M.Cfg
 	L, T := cfg.Layers, ws.T
-	if cfg.Arch == ManyToOne {
-		task := &taskrt.Task{
-			Label:      fmt.Sprintf("merge-final mb%d", mbIdx),
-			Kind:       "merge",
-			In:         []taskrt.Dep{ws.kFwdSt[L-1][T-1], ws.kRevSt[L-1][0]},
-			Out:        []taskrt.Dep{ws.kFinalMerged},
-			Flops:      mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize),
-			WorkingSet: mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize),
-		}
-		if !ws.phantom {
-			if f32 {
-				task.Fn = func() {
-					mergeForward(cfg.Merge, ws.f32.finalMerged, ws.f32.fwdSt[L-1][T-1].H(), ws.f32.revSt[L-1][0].H())
-				}
-			} else {
-				task.Fn = func() {
-					mergeForward(cfg.Merge, ws.finalMerged, ws.fwdSt[L-1][T-1].H(), ws.revSt[L-1][0].H())
-				}
+	if !cfg.anyClassify() {
+		return
+	}
+	in := make([]taskrt.Dep, 0, T+1)
+	for t := 0; t < T; t++ {
+		in = append(in, ws.kFwdSt[L-1][t])
+	}
+	in = append(in, ws.kRevSt[L-1][0])
+	task := &taskrt.Task{
+		Label:      fmt.Sprintf("merge-final mb%d", mbIdx),
+		Kind:       "merge",
+		In:         in,
+		Out:        []taskrt.Dep{ws.kFinalMerged},
+		Flops:      mergeFlops(cfg.Merge, ws.rows, cfg.HiddenSize),
+		WorkingSet: mergeWorkingSetBytes(cfg.Merge, ws.rows, cfg.HiddenSize),
+	}
+	if !ws.phantom {
+		if f32 {
+			task.Fn = func() {
+				mergeForward(cfg.Merge, ws.f32.finalMerged, ws.gatherLastHFwd32(), ws.f32.revSt[L-1][0].H())
+			}
+		} else {
+			task.Fn = func() {
+				mergeForward(cfg.Merge, ws.finalMerged, ws.gatherLastHFwd(), ws.revSt[L-1][0].H())
 			}
 		}
-		e.Exec.Submit(task)
 	}
+	e.Exec.Submit(task)
 }
 
 // inputKey returns the dependency key of the input consumed by layer l at
@@ -414,79 +436,87 @@ func (e *Engine) inputKey(ws *workspace, l, t int, f32 bool) taskrt.Dep {
 	return ws.kMerged[l-1][t]
 }
 
-// emitHeadForward emits classifier-head tasks: logits, softmax and summed
-// cross-entropy for the final merge (many-to-one) or every timestep's merge
-// (many-to-many). Labels are read from the step binding at run time, so the
-// same task serves labeled and unlabeled batches across replays.
+// emitHeadForward emits one task per output slot of every head: logits,
+// softmax and summed cross-entropy, fed by the final merge (classification
+// heads) or the timestep's merge (per-frame heads). Labels are read from the
+// step binding at run time, so the same task serves labeled and unlabeled
+// batches across replays. Slot layout is head-major (Config.HeadSlotRange).
 func (e *Engine) emitHeadForward(ws *workspace, mbIdx int, f32 bool) {
 	cfg := e.M.Cfg
 	D := cfg.MergeDim()
-	hFlops := 2 * float64(ws.rows) * float64(D) * float64(cfg.Classes)
-	hWS := int64(8 * (ws.rows*D + ws.rows*cfg.Classes + cfg.Classes*D))
-
-	if cfg.Arch == ManyToOne {
-		task := &taskrt.Task{
-			Label: fmt.Sprintf("head mb%d", mbIdx),
-			Kind:  "head",
-			In:    []taskrt.Dep{ws.kFinalMerged},
-			Out:   []taskrt.Dep{ws.kProbs[0]},
-			Flops: hFlops, WorkingSet: hWS,
-		}
-		if !ws.phantom {
-			if f32 {
-				task.Fn = func() { e.headForward32(ws, 0, ws.f32.finalMerged, ws.bind.targets) }
-			} else {
-				task.Fn = func() { e.headForward(ws, 0, ws.finalMerged, ws.bind.targets) }
-			}
-		}
-		e.Exec.Submit(task)
-		return
-	}
-
 	L, T := cfg.Layers, ws.T
-	batch := make([]*taskrt.Task, 0, T)
-	for t := 0; t < T; t++ {
-		task := &taskrt.Task{
-			Label: fmt.Sprintf("head t%d mb%d", t, mbIdx),
-			Kind:  "head",
-			In:    []taskrt.Dep{ws.kMerged[L-1][t]},
-			Out:   []taskrt.Dep{ws.kProbs[t]},
-			Flops: hFlops, WorkingSet: hWS,
-		}
-		if !ws.phantom {
-			t := t
-			if f32 {
-				task.Fn = func() { e.headForward32(ws, t, ws.f32.merged[L-1][t], ws.stepTargetsAt(t)) }
-			} else {
-				task.Fn = func() { e.headForward(ws, t, ws.merged[L-1][t], ws.stepTargetsAt(t)) }
+
+	for h, spec := range cfg.HeadSpecs() {
+		h, spec := h, spec
+		lo, _ := cfg.HeadSlotRange(h, T)
+		hFlops := 2 * float64(ws.rows) * float64(D) * float64(spec.Classes)
+		hWS := int64(8 * (ws.rows*D + ws.rows*spec.Classes + spec.Classes*D))
+
+		if !spec.Kind.PerFrame() {
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("head%d mb%d", h, mbIdx),
+				Kind:  "head",
+				In:    []taskrt.Dep{ws.kFinalMerged},
+				Out:   []taskrt.Dep{ws.kProbs[lo]},
+				Flops: hFlops, WorkingSet: hWS,
 			}
+			if !ws.phantom {
+				if f32 {
+					task.Fn = func() { e.headForward32(ws, h, lo, ws.f32.finalMerged, ws.bind.targets) }
+				} else {
+					task.Fn = func() { e.headForward(ws, h, lo, ws.finalMerged, ws.bind.targets) }
+				}
+			}
+			e.Exec.Submit(task)
+			continue
 		}
-		batch = append(batch, task)
+
+		batch := make([]*taskrt.Task, 0, T)
+		for t := 0; t < T; t++ {
+			task := &taskrt.Task{
+				Label: fmt.Sprintf("head%d t%d mb%d", h, t, mbIdx),
+				Kind:  "head",
+				In:    []taskrt.Dep{ws.kMerged[L-1][t]},
+				Out:   []taskrt.Dep{ws.kProbs[lo+t]},
+				Flops: hFlops, WorkingSet: hWS,
+			}
+			if !ws.phantom {
+				t := t
+				if f32 {
+					task.Fn = func() { e.headForward32(ws, h, lo+t, ws.f32.merged[L-1][t], ws.headTargetsAt(spec.Kind, t)) }
+				} else {
+					task.Fn = func() { e.headForward(ws, h, lo+t, ws.merged[L-1][t], ws.headTargetsAt(spec.Kind, t)) }
+				}
+			}
+			batch = append(batch, task)
+		}
+		taskrt.SubmitBatch(e.Exec, batch)
 	}
-	taskrt.SubmitBatch(e.Exec, batch)
 }
 
 // headForward computes logits, probabilities, and (when labels are present)
-// the summed cross-entropy for head slot h fed by input.
-func (e *Engine) headForward(ws *workspace, h int, input *tensor.Matrix, targets []int) {
-	tensor.MatMulT(ws.logits[h], input, e.M.HeadW)
-	tensor.AddBiasRows(ws.logits[h], e.M.HeadB)
-	ws.probs[h].CopyFrom(ws.logits[h])
-	tensor.SoftmaxRows(ws.probs[h])
+// the summed cross-entropy for head h's output slot writing into slot index
+// `slot`, fed by input.
+func (e *Engine) headForward(ws *workspace, h, slot int, input *tensor.Matrix, targets []int) {
+	head := &e.M.Heads[h]
+	tensor.MatMulT(ws.logits[slot], input, head.W)
+	tensor.AddBiasRows(ws.logits[slot], head.B)
+	ws.probs[slot].CopyFrom(ws.logits[slot])
+	tensor.SoftmaxRows(ws.probs[slot])
 	if targets != nil {
-		ws.losses[h] = sumCrossEntropy(ws.probs[h], targets)
+		ws.losses[slot] = sumCrossEntropy(ws.probs[slot], targets)
 	}
 }
 
 // headForward32 is headForward against the float32 head mirror.
-func (e *Engine) headForward32(ws *workspace, h int, input *tensor.Mat[float32], targets []int) {
+func (e *Engine) headForward32(ws *workspace, h, slot int, input *tensor.Mat[float32], targets []int) {
 	s := ws.f32
-	tensor.MatMulTOf(s.logits[h], input, e.head32W)
-	tensor.AddBiasRows(s.logits[h], e.head32B)
-	s.probs[h].CopyFrom(s.logits[h])
-	tensor.SoftmaxRows(s.probs[h])
+	tensor.MatMulTOf(s.logits[slot], input, e.head32W[h])
+	tensor.AddBiasRows(s.logits[slot], e.head32B[h])
+	s.probs[slot].CopyFrom(s.logits[slot])
+	tensor.SoftmaxRows(s.probs[slot])
 	if targets != nil {
-		ws.losses[h] = sumCrossEntropy(s.probs[h], targets)
+		ws.losses[slot] = sumCrossEntropy(s.probs[slot], targets)
 	}
 }
 

@@ -32,10 +32,21 @@ type Batch struct {
 	// Real is the number of leading rows that carry real sequences; rows
 	// [Real, Batch) are padding added to fill a partial batch (the serving
 	// path pads micro-batches up to Cfg.Batch). Zero means every row is
-	// real. Padding rows are still computed — row independence of the
-	// forward pass makes them numerically inert — but throughput metrics
-	// count only real rows.
+	// real; negative means every row is padding (a value mini-batch slicing
+	// produces when a partial batch's real rows all land in earlier slices).
+	// Padding rows are still computed — row independence of the forward pass
+	// makes them numerically inert — but throughput metrics count only real
+	// rows.
 	Real int
+
+	// Lens, when non-nil, gives each row's true sequence length (1 ≤
+	// Lens[i] ≤ SeqLen): row i's timesteps [Lens[i], SeqLen) are padding.
+	// The engine masks the reverse direction's state at padded steps and
+	// gathers each row's forward output at its own boundary, so a masked
+	// row trains and infers bitwise-equal (under ==) to running it at its
+	// true length. Per-frame labels beyond a row's length must be
+	// tensor.IgnoreLabel. Nil means every row spans the full SeqLen.
+	Lens []int
 }
 
 // SeqLen returns the batch's sequence length.
@@ -44,10 +55,14 @@ func (b *Batch) SeqLen() int { return len(b.X) }
 // realRows returns the number of non-padding rows given the configured
 // batch size.
 func (b *Batch) realRows(batch int) int {
-	if b.Real > 0 {
+	switch {
+	case b.Real > 0:
 		return b.Real
+	case b.Real < 0:
+		return 0
+	default:
+		return batch
 	}
-	return batch
 }
 
 // Engine drives B-Par execution of one model on one executor: it emits the
@@ -150,10 +165,14 @@ type Engine struct {
 	// steps; task bodies only read them.
 	pack64     map[*dirParams]*cell.PackSet[float64]
 	fm32       map[*dirParams]*dirF32
-	head32W    *tensor.Mat[float32]
-	head32B    []float32
+	head32W    []*tensor.Mat[float32] // one mirror per head
+	head32B    [][]float32
 	cacheVer   uint64
 	cachesInit bool
+
+	// lastHeadLosses caches the per-head mean losses of the most recent
+	// labeled step; read through HeadLosses.
+	lastHeadLosses []float64
 }
 
 // tplKey identifies one cached step template: training (forward + backward +
@@ -305,11 +324,15 @@ func (e *Engine) refreshWeightCaches() {
 	}
 	if needF32 {
 		if e.head32W == nil {
-			e.head32W = tensor.NewOf[float32](e.M.HeadW.Rows, e.M.HeadW.Cols)
-			e.head32B = make([]float32, len(e.M.HeadB))
+			for h := range e.M.Heads {
+				e.head32W = append(e.head32W, tensor.NewOf[float32](e.M.Heads[h].W.Rows, e.M.Heads[h].W.Cols))
+				e.head32B = append(e.head32B, make([]float32, len(e.M.Heads[h].B)))
+			}
 		}
-		tensor.ConvertInto(e.head32W, e.M.HeadW)
-		tensor.ConvertSlice(e.head32B, e.M.HeadB)
+		for h := range e.M.Heads {
+			tensor.ConvertInto(e.head32W[h], e.M.Heads[h].W)
+			tensor.ConvertSlice(e.head32B[h], e.M.Heads[h].B)
+		}
 	}
 	e.cacheVer = ver
 	e.cachesInit = true
@@ -368,13 +391,17 @@ func (e *Engine) beginStep() error {
 
 func (e *Engine) endStep() { e.inStep.Store(false) }
 
-// hasLabels reports whether b carries the labels the configured architecture
-// trains against — the condition under which a step's loss is meaningful.
+// hasLabels reports whether b carries the labels the configured heads train
+// against — the condition under which a step's loss is meaningful.
 func (e *Engine) hasLabels(b *Batch) bool {
-	if e.M.Cfg.Arch == ManyToOne {
-		return b.Targets != nil
+	cfg := e.M.Cfg
+	if cfg.anyClassify() && b.Targets == nil {
+		return false
 	}
-	return b.StepTargets != nil
+	if cfg.anyPerFrame() && b.StepTargets == nil {
+		return false
+	}
+	return true
 }
 
 func (e *Engine) checkBatch(b *Batch, needTargets bool) error {
@@ -382,7 +409,7 @@ func (e *Engine) checkBatch(b *Batch, needTargets bool) error {
 	if len(b.X) == 0 {
 		return fmt.Errorf("core: empty batch")
 	}
-	if b.Real < 0 || b.Real > cfg.Batch {
+	if b.Real > cfg.Batch {
 		return fmt.Errorf("core: Real = %d out of range [0, %d]", b.Real, cfg.Batch)
 	}
 	for t, x := range b.X {
@@ -390,17 +417,22 @@ func (e *Engine) checkBatch(b *Batch, needTargets bool) error {
 			return fmt.Errorf("core: X[%d] is %dx%d, want %dx%d", t, x.Rows, x.Cols, cfg.Batch, cfg.InputSize)
 		}
 	}
-	if cfg.Arch == ManyToOne {
-		if b.Targets == nil && !needTargets {
-			return nil
+	if b.Lens != nil {
+		if len(b.Lens) != cfg.Batch {
+			return fmt.Errorf("core: got %d lens, want %d", len(b.Lens), cfg.Batch)
 		}
+		for i, n := range b.Lens {
+			if n < 1 || n > len(b.X) {
+				return fmt.Errorf("core: Lens[%d] = %d out of range [1, %d]", i, n, len(b.X))
+			}
+		}
+	}
+	if cfg.anyClassify() && (b.Targets != nil || needTargets) {
 		if len(b.Targets) != cfg.Batch {
 			return fmt.Errorf("core: got %d targets, want %d", len(b.Targets), cfg.Batch)
 		}
-	} else {
-		if b.StepTargets == nil && !needTargets {
-			return nil
-		}
+	}
+	if cfg.anyPerFrame() && (b.StepTargets != nil || needTargets) {
 		if len(b.StepTargets) != len(b.X) {
 			return fmt.Errorf("core: got %d step-target rows, want %d", len(b.StepTargets), len(b.X))
 		}
@@ -414,11 +446,23 @@ func (e *Engine) checkBatch(b *Batch, needTargets bool) error {
 }
 
 // lossScale is the normalizer turning summed per-row losses/gradients into
-// means: batch size, times sequence length for many-to-many.
-func (e *Engine) lossScale(T int) float64 {
-	s := float64(e.M.Cfg.Batch)
-	if e.M.Cfg.Arch == ManyToMany {
-		s *= float64(T)
+// means: batch size, times sequence length when any head is per-frame — or,
+// for a masked variable-length batch, the total count of real frames, so a
+// uniformly short masked batch scales identically to the same batch run at
+// its true length.
+func (e *Engine) lossScale(b *Batch) float64 { return e.M.Cfg.lossScale(b) }
+
+func (cfg Config) lossScale(b *Batch) float64 {
+	s := float64(cfg.Batch)
+	if cfg.anyPerFrame() {
+		if b.Lens != nil {
+			s = 0
+			for _, n := range b.Lens {
+				s += float64(min(n, b.SeqLen()))
+			}
+		} else {
+			s *= float64(b.SeqLen())
+		}
 	}
 	return s
 }
@@ -455,12 +499,13 @@ func (e *Engine) TrainStep(b *Batch, lr float64) (float64, error) {
 		return 0, err
 	}
 
-	scale := e.lossScale(T)
+	scale := e.lossScale(b)
 	loss := 0.0
 	for _, ws := range wss {
 		loss += ws.sumLosses()
 	}
 	loss /= scale
+	e.recordHeadLosses(wss, T, scale)
 
 	e.applySGD(wss[0], lr, scale)
 	e.finishStep(dc)
@@ -564,9 +609,12 @@ func (e *Engine) finishStep(dc *taskrt.DepChecker) {
 	}
 }
 
-// Infer runs forward propagation only and returns, per head, the predicted
-// class of every sequence, plus the mean loss when labels are present.
-// Many-to-one returns one row; many-to-many returns one row per timestep.
+// Infer runs forward propagation only and returns, per output slot, the
+// predicted class of every sequence, plus the mean loss when labels are
+// present. Slots are laid out head-major (Config.HeadSlotRange): a
+// classification head owns one slot, a per-frame head one per timestep — so
+// a legacy many-to-one model returns one row and a legacy many-to-many model
+// one row per timestep, exactly as before.
 func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	if e.phantom {
 		return nil, 0, fmt.Errorf("core: Infer on a phantom engine; use EmitInferGraph")
@@ -595,18 +643,15 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 		return nil, 0, err
 	}
 
-	nHeads := 1
-	if e.M.Cfg.Arch == ManyToMany {
-		nHeads = T
-	}
-	preds := make([][]int, nHeads)
-	for h := 0; h < nHeads; h++ {
-		preds[h] = make([]int, 0, e.M.Cfg.Batch)
+	nSlots := e.M.Cfg.HeadSlots(T)
+	preds := make([][]int, nSlots)
+	for s := 0; s < nSlots; s++ {
+		preds[s] = make([]int, 0, e.M.Cfg.Batch)
 		for _, ws := range wss {
 			if f32 {
-				preds[h] = append(preds[h], tensor.ArgmaxRows(ws.f32.probs[h])...)
+				preds[s] = append(preds[s], tensor.ArgmaxRows(ws.f32.probs[s])...)
 			} else {
-				preds[h] = append(preds[h], tensor.ArgmaxRows(ws.probs[h])...)
+				preds[s] = append(preds[s], tensor.ArgmaxRows(ws.probs[s])...)
 			}
 		}
 	}
@@ -614,17 +659,19 @@ func (e *Engine) Infer(b *Batch) ([][]int, float64, error) {
 	for _, ws := range wss {
 		loss += ws.sumLosses()
 	}
-	loss /= e.lossScale(T)
+	scale := e.lossScale(b)
+	loss /= scale
+	e.recordHeadLosses(wss, T, scale)
 	e.finishStep(dc)
 	e.recordStep(stepStart, loss, true, e.hasLabels(b), b.realRows(e.M.Cfg.Batch))
 	return preds, loss, nil
 }
 
-// InferProbs runs forward propagation and returns, per head, the full
-// class-probability matrix ([Batch x Classes]) for every sequence, plus the
-// mean loss when labels are present. Useful for sampling-based generation
-// and calibration analysis; Infer is the argmax convenience on top of the
-// same forward pass.
+// InferProbs runs forward propagation and returns, per output slot, the full
+// class-probability matrix ([Batch x head Classes]) for every sequence, plus
+// the mean loss when labels are present. Slots are head-major, as in Infer.
+// Useful for sampling-based generation and calibration analysis; Infer is the
+// argmax convenience on top of the same forward pass.
 func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	if e.phantom {
 		return nil, 0, fmt.Errorf("core: InferProbs on a phantom engine")
@@ -652,23 +699,23 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	if err := e.Exec.Wait(); err != nil {
 		return nil, 0, err
 	}
-	nHeads := 1
-	if e.M.Cfg.Arch == ManyToMany {
-		nHeads = T
-	}
-	probs := make([]*tensor.Matrix, nHeads)
-	for h := 0; h < nHeads; h++ {
-		probs[h] = tensor.New(e.M.Cfg.Batch, e.M.Cfg.Classes)
-		row := 0
-		for _, ws := range wss {
-			rows := ws.probs[h].Rows
-			for r := 0; r < rows; r++ {
-				if f32 {
-					tensor.ConvertSlice(probs[h].Row(row), ws.f32.probs[h].Row(r))
-				} else {
-					copy(probs[h].Row(row), ws.probs[h].Row(r))
+	cfg := e.M.Cfg
+	probs := make([]*tensor.Matrix, cfg.HeadSlots(T))
+	for h, spec := range cfg.HeadSpecs() {
+		lo, n := cfg.HeadSlotRange(h, T)
+		for s := lo; s < lo+n; s++ {
+			probs[s] = tensor.New(cfg.Batch, spec.Classes)
+			row := 0
+			for _, ws := range wss {
+				rows := ws.probs[s].Rows
+				for r := 0; r < rows; r++ {
+					if f32 {
+						tensor.ConvertSlice(probs[s].Row(row), ws.f32.probs[s].Row(r))
+					} else {
+						copy(probs[s].Row(row), ws.probs[s].Row(r))
+					}
+					row++
 				}
-				row++
 			}
 		}
 	}
@@ -676,7 +723,9 @@ func (e *Engine) InferProbs(b *Batch) ([]*tensor.Matrix, float64, error) {
 	for _, ws := range wss {
 		loss += ws.sumLosses()
 	}
-	loss /= e.lossScale(T)
+	scale := e.lossScale(b)
+	loss /= scale
+	e.recordHeadLosses(wss, T, scale)
 	e.finishStep(dc)
 	e.recordStep(stepStart, loss, true, e.hasLabels(b), b.realRows(e.M.Cfg.Batch))
 	return probs, loss, nil
@@ -727,7 +776,27 @@ func (e *Engine) sliceBatch(b *Batch, lo, hi int) *Batch {
 			mb.StepTargets[t] = b.StepTargets[t][lo:hi]
 		}
 	}
+	if b.Lens != nil {
+		mb.Lens = b.Lens[lo:hi]
+	}
+	mb.Real = sliceReal(b.Real, lo, hi)
 	return mb
+}
+
+// sliceReal maps a batch's Real count onto the row slice [lo, hi): 0 (all
+// real) stays 0, a positive count clamps to the slice, and a slice left with
+// no real rows reports the all-padding sentinel -1.
+func sliceReal(real, lo, hi int) int {
+	switch {
+	case real == 0:
+		return 0
+	case real < 0 || real <= lo:
+		return -1
+	case real >= hi:
+		return 0
+	default:
+		return real - lo
+	}
 }
 
 // applySGD folds mini-batch gradients (already reduced into workspace 0),
@@ -745,9 +814,11 @@ func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
 				}
 			}
 		}
-		tensor.ScaleInPlace(e.M.HeadW, decay)
-		for i := range e.M.HeadB {
-			e.M.HeadB[i] *= decay
+		for h := range e.M.Heads {
+			tensor.ScaleInPlace(e.M.Heads[h].W, decay)
+			for i := range e.M.Heads[h].B {
+				e.M.Heads[h].B[i] *= decay
+			}
 		}
 	}
 	inv := 1.0 / scale
@@ -757,9 +828,11 @@ func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
 			scaleDirGrads(ws.gradsFwd[l], inv)
 			scaleDirGrads(ws.gradsRev[l], inv)
 		}
-		tensor.ScaleInPlace(ws.headGrads.DW, inv)
-		for i := range ws.headGrads.DB {
-			ws.headGrads.DB[i] *= inv
+		for _, g := range ws.headGrads {
+			tensor.ScaleInPlace(g.DW, inv)
+			for i := range g.DB {
+				g.DB[i] *= inv
+			}
 		}
 		inv = 1
 	}
@@ -768,8 +841,10 @@ func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
 			ws.gradsFwd[l].clip(e.GradClip)
 			ws.gradsRev[l].clip(e.GradClip)
 		}
-		tensor.ClipInPlace(ws.headGrads.DW, e.GradClip)
-		clipSlice(ws.headGrads.DB, e.GradClip)
+		for _, g := range ws.headGrads {
+			tensor.ClipInPlace(g.DW, e.GradClip)
+			clipSlice(g.DB, e.GradClip)
+		}
 	}
 	if e.Adam != nil {
 		e.applyAdam(ws, lr)
@@ -789,13 +864,15 @@ func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
 			e.M.fwd[l].applySGD(lr, vF)
 			e.M.rev[l].applySGD(lr, vR)
 		}
-		tensor.ScaleInPlace(e.vel.headW, mu)
-		tensor.AxpyMatrix(e.vel.headW, 1, ws.headGrads.DW)
-		for i := range e.vel.headB {
-			e.vel.headB[i] = mu*e.vel.headB[i] + ws.headGrads.DB[i]
+		for h := range e.M.Heads {
+			tensor.ScaleInPlace(e.vel.headW[h], mu)
+			tensor.AxpyMatrix(e.vel.headW[h], 1, ws.headGrads[h].DW)
+			for i := range e.vel.headB[h] {
+				e.vel.headB[h][i] = mu*e.vel.headB[h][i] + ws.headGrads[h].DB[i]
+			}
+			tensor.AxpyMatrix(e.M.Heads[h].W, -lr, e.vel.headW[h])
+			tensor.Axpy(-lr, e.vel.headB[h], e.M.Heads[h].B)
 		}
-		tensor.AxpyMatrix(e.M.HeadW, -lr, e.vel.headW)
-		tensor.Axpy(-lr, e.vel.headB, e.M.HeadB)
 		return
 	}
 	eff := lr * inv
@@ -803,8 +880,10 @@ func (e *Engine) applySGD(ws *workspace, lr, scale float64) {
 		e.M.fwd[l].applySGD(eff, ws.gradsFwd[l])
 		e.M.rev[l].applySGD(eff, ws.gradsRev[l])
 	}
-	tensor.AxpyMatrix(e.M.HeadW, -eff, ws.headGrads.DW)
-	tensor.Axpy(-eff, ws.headGrads.DB, e.M.HeadB)
+	for h := range e.M.Heads {
+		tensor.AxpyMatrix(e.M.Heads[h].W, -eff, ws.headGrads[h].DW)
+		tensor.Axpy(-eff, ws.headGrads[h].DB, e.M.Heads[h].B)
+	}
 }
 
 func scaleDirGrads(g *dirGrads, alpha float64) {
@@ -813,6 +892,41 @@ func scaleDirGrads(g *dirGrads, alpha float64) {
 	for i := range db {
 		db[i] *= alpha
 	}
+}
+
+// recordHeadLosses refreshes lastHeadLosses: head h's summed slot losses
+// across all mini-batch workspaces, divided by the step's loss scale. The
+// total step loss is computed separately (workspace-major) so its summation
+// order — and therefore its bit pattern — is unchanged from the single-head
+// engine.
+func (e *Engine) recordHeadLosses(wss []*workspace, T int, scale float64) {
+	cfg := e.M.Cfg
+	specs := cfg.HeadSpecs()
+	if len(e.lastHeadLosses) != len(specs) {
+		e.lastHeadLosses = make([]float64, len(specs))
+	}
+	for h := range specs {
+		lo, n := cfg.HeadSlotRange(h, T)
+		sum := 0.0
+		for _, ws := range wss {
+			for s := lo; s < lo+n; s++ {
+				sum += ws.losses[s]
+			}
+		}
+		e.lastHeadLosses[h] = sum / scale
+	}
+}
+
+// HeadLosses returns the per-head mean losses of the most recent labeled
+// step, in head declaration order. Nil before the first step. The values sum
+// to the step's reported loss (up to summation-order rounding).
+func (e *Engine) HeadLosses() []float64 {
+	if e.lastHeadLosses == nil {
+		return nil
+	}
+	out := make([]float64, len(e.lastHeadLosses))
+	copy(out, e.lastHeadLosses)
+	return out
 }
 
 // TemplateStats returns the cumulative template-cache lookup counts: hits

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -169,7 +170,7 @@ func checkModelGradients(t *testing.T, m *Model, b *Batch, name string) {
 		t.Fatal(err)
 	}
 	ws := e.workspaces(b.SeqLen())[0]
-	scale := e.lossScale(b.SeqLen())
+	scale := e.lossScale(b)
 
 	const h = 1e-6
 	const tol = 2e-5
@@ -204,8 +205,11 @@ func checkModelGradients(t *testing.T, m *Model, b *Batch, name string) {
 			check(tag+"B", bias, db, []int{0, len(bias) - 1})
 		}
 	}
-	check("headW", m.HeadW.Data, ws.headGrads.DW.Data, []int{0, len(m.HeadW.Data) - 1})
-	check("headB", m.HeadB, ws.headGrads.DB, []int{0, len(m.HeadB) - 1})
+	for hh := range m.Heads {
+		w, bias := m.Heads[hh].W, m.Heads[hh].B
+		check(fmt.Sprintf("head%dW", hh), w.Data, ws.headGrads[hh].DW.Data, []int{0, len(w.Data) - 1})
+		check(fmt.Sprintf("head%dB", hh), bias, ws.headGrads[hh].DB, []int{0, len(bias) - 1})
+	}
 }
 
 // TestAllMergeOpsGradients runs the end-to-end gradient check once per merge

@@ -413,18 +413,29 @@ func clipSlice(s []float64, limit float64) {
 	}
 }
 
+// Head is one trained output head on the shared bidirectional trunk: a
+// [Classes x MergeDim] affine projection plus softmax, applied either to the
+// sequence-final merged state (HeadClassify) or to every timestep's merged
+// state (HeadTag, HeadGenerate).
+type Head struct {
+	Kind    HeadKind
+	Classes int
+	W       *tensor.Matrix // [Classes x MergeDim]
+	B       []float64
+}
+
 // Model holds the parameters of one BRNN: per layer, one forward-order and
 // one reverse-order parameter set (the paper's two sets of weights and
-// biases), plus the classifier head. Weights are shared across all unrolled
+// biases), plus the output heads. Weights are shared across all unrolled
 // timestamps of a layer — the working-set optimization of Section II.
 type Model struct {
 	Cfg Config
 
 	fwd, rev []*dirParams // per layer
 
-	// HeadW is [Classes x MergeDim]; HeadB is the head bias.
-	HeadW *tensor.Matrix
-	HeadB []float64
+	// Heads are the output heads, in Cfg.HeadSpecs() order. Single-head
+	// configs hold exactly the pre-refactor classifier parameters.
+	Heads []Head
 
 	// mut counts weight updates. Engines key their derived weight caches
 	// (packed panels, float32 mirrors) on it so a cache is rebuilt exactly
@@ -462,11 +473,13 @@ func NewModel(cfg Config) (*Model, error) {
 		m.rev = append(m.rev, newDirParams(cfg.Cell, in, cfg.HiddenSize, r.Split()))
 	}
 	d := cfg.MergeDim()
-	m.HeadW = tensor.New(cfg.Classes, d)
-	hr := r.Split()
 	scale := 1.0 / sqrtF(float64(d))
-	hr.FillUniform(m.HeadW.Data, -scale, scale)
-	m.HeadB = make([]float64, cfg.Classes)
+	for _, spec := range cfg.HeadSpecs() {
+		h := Head{Kind: spec.Kind, Classes: spec.Classes, W: tensor.New(spec.Classes, d), B: make([]float64, spec.Classes)}
+		hr := r.Split()
+		hr.FillUniform(h.W.Data, -scale, scale)
+		m.Heads = append(m.Heads, h)
+	}
 	return m, nil
 }
 
@@ -482,7 +495,10 @@ func (m *Model) ParamCount() int {
 
 // Clone returns a deep copy of the model (same config, copied weights).
 func (m *Model) Clone() *Model {
-	c := &Model{Cfg: m.Cfg, HeadW: m.HeadW.Clone(), HeadB: append([]float64(nil), m.HeadB...), mut: new(atomic.Uint64)}
+	c := &Model{Cfg: m.Cfg, mut: new(atomic.Uint64)}
+	for _, h := range m.Heads {
+		c.Heads = append(c.Heads, Head{Kind: h.Kind, Classes: h.Classes, W: h.W.Clone(), B: append([]float64(nil), h.B...)})
+	}
 	for l := range m.fwd {
 		c.fwd = append(c.fwd, cloneDir(m.fwd[l]))
 		c.rev = append(c.rev, cloneDir(m.rev[l]))
@@ -518,7 +534,7 @@ func (m *Model) WithBatch(batch, miniBatches int) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{Cfg: cfg, fwd: m.fwd, rev: m.rev, HeadW: m.HeadW, HeadB: m.HeadB, mut: m.mut}, nil
+	return &Model{Cfg: cfg, fwd: m.fwd, rev: m.rev, Heads: m.Heads, mut: m.mut}, nil
 }
 
 // WeightsEqual reports bitwise equality of all parameters — the
@@ -532,12 +548,17 @@ func (m *Model) WeightsEqual(o *Model) bool {
 			return false
 		}
 	}
-	if !m.HeadW.Equal(o.HeadW) {
+	if len(m.Heads) != len(o.Heads) {
 		return false
 	}
-	for i, v := range m.HeadB {
-		if v != o.HeadB[i] {
+	for h := range m.Heads {
+		if !m.Heads[h].W.Equal(o.Heads[h].W) {
 			return false
+		}
+		for i, v := range m.Heads[h].B {
+			if v != o.Heads[h].B[i] {
+				return false
+			}
 		}
 	}
 	return true
@@ -577,8 +598,10 @@ func (m *Model) WeightsMaxAbsDiff(o *Model) float64 {
 			upd(sliceMaxAbsDiff(ab, bb))
 		}
 	}
-	upd(m.HeadW.MaxAbsDiff(o.HeadW))
-	upd(sliceMaxAbsDiff(m.HeadB, o.HeadB))
+	for h := range m.Heads {
+		upd(m.Heads[h].W.MaxAbsDiff(o.Heads[h].W))
+		upd(sliceMaxAbsDiff(m.Heads[h].B, o.Heads[h].B))
+	}
 	return max
 }
 

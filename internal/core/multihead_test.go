@@ -1,0 +1,484 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bpar/internal/rng"
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// multiHeadCfg is smallCfg with three heads of distinct kinds and widths
+// sharing the bidirectional trunk: the shape every shared-trunk claim in
+// this file is proven on.
+func multiHeadCfg(cell CellKind, mbs int) Config {
+	cfg := smallCfg(cell, ManyToMany, mbs)
+	cfg.Heads = []HeadSpec{
+		{Kind: HeadClassify, Classes: 3},
+		{Kind: HeadTag, Classes: 4},
+		{Kind: HeadGenerate, Classes: 5},
+	}
+	return cfg
+}
+
+// makeMultiBatch builds a deterministic batch carrying both label kinds the
+// three heads consume; when withLens is set, rows get lengths spanning
+// [SeqLen/2, SeqLen] with zeroed input tails and IgnoreLabel step targets.
+func makeMultiBatch(cfg Config, seed uint64, withLens bool) *Batch {
+	b := makeBatch(cfg, seed)
+	r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	b.Targets = make([]int, cfg.Batch)
+	for i := range b.Targets {
+		b.Targets[i] = r.Intn(cfg.Classes)
+	}
+	if !withLens {
+		return b
+	}
+	b.Lens = make([]int, cfg.Batch)
+	lo := max(1, cfg.SeqLen/2)
+	for i := range b.Lens {
+		b.Lens[i] = lo + int(uint64(i)*(seed|1))%(cfg.SeqLen-lo+1)
+		for t := b.Lens[i]; t < cfg.SeqLen; t++ {
+			b.StepTargets[t][i] = tensor.IgnoreLabel
+			for j := 0; j < cfg.InputSize; j++ {
+				b.X[t].Set(i, j, 0)
+			}
+		}
+	}
+	return b
+}
+
+// trainNMulti trains a fresh multi-head model for n steps on makeMultiBatch
+// batches with explicit gate-mode and replay switches.
+func trainNMulti(t *testing.T, cfg Config, withLens, fused, noReplay bool, mkExec func() taskrt.Executor, n int) (*Model, float64) {
+	t.Helper()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := mkExec()
+	if rt, ok := exec.(*taskrt.Runtime); ok {
+		defer rt.Shutdown()
+	}
+	e := NewEngine(m, exec)
+	e.FusedGates = fused
+	e.NoReplay = noReplay
+	var loss float64
+	for i := 0; i < n; i++ {
+		b := makeMultiBatch(cfg, uint64(100+i), withLens)
+		loss, err = e.TrainStep(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, loss
+}
+
+// multiHeadExecs is the worker {1,4} × policy {breadth-first, locality-aware}
+// grid the issue's equivalence claims quantify over.
+var multiHeadExecs = []struct {
+	name string
+	mk   func() taskrt.Executor
+}{
+	{"w1-bf", parallelExec(1, taskrt.BreadthFirst)},
+	{"w4-bf", parallelExec(4, taskrt.BreadthFirst)},
+	{"w1-la", parallelExec(1, taskrt.LocalityAware)},
+	{"w4-la", parallelExec(4, taskrt.LocalityAware)},
+}
+
+// TestMultiHeadParallelMatchesSequentialBitwise extends the paper's central
+// no-accuracy-loss claim to shared-trunk multi-head training: the per-head
+// backward tasks accumulate into the trunk's merge gradients through inout
+// dependencies, so every schedule sums them in declaration order and the
+// parallel update is bitwise the sequential one — with and without masked
+// variable-length rows.
+func TestMultiHeadParallelMatchesSequentialBitwise(t *testing.T) {
+	for _, withLens := range []bool{false, true} {
+		cfg := multiHeadCfg(LSTM, 2)
+		name := "full"
+		if withLens {
+			name = "masked"
+		}
+		seqM, seqLoss := trainNMulti(t, cfg, withLens, false, false, inlineExec, 4)
+		for _, ex := range multiHeadExecs {
+			ex := ex
+			t.Run(name+"/"+ex.name, func(t *testing.T) {
+				parM, parLoss := trainNMulti(t, cfg, withLens, false, false, ex.mk, 4)
+				if !seqM.WeightsEqual(parM) {
+					t.Fatalf("weights diverged: max |diff| = %g", seqM.WeightsMaxAbsDiff(parM))
+				}
+				if seqLoss != parLoss {
+					t.Fatalf("loss diverged: %g vs %g", seqLoss, parLoss)
+				}
+			})
+		}
+	}
+}
+
+// TestMultiHeadReplayMatchesFreshBitwise: the captured template of a
+// multi-head masked step — including the new head-gradient accumulation
+// joins and the lens-dependent masking tasks — replays bitwise identically
+// to fresh per-step emission on every worker count and policy.
+func TestMultiHeadReplayMatchesFreshBitwise(t *testing.T) {
+	for _, cell := range []CellKind{LSTM, GRU} {
+		for _, withLens := range []bool{false, true} {
+			cfg := multiHeadCfg(cell, 2)
+			name := fmt.Sprintf("%v-full", cell)
+			if withLens {
+				name = fmt.Sprintf("%v-masked", cell)
+			}
+			for _, ex := range multiHeadExecs {
+				ex := ex
+				t.Run(name+"/"+ex.name, func(t *testing.T) {
+					freshM, freshLoss := trainNMulti(t, cfg, withLens, false, true, ex.mk, 4)
+					replayM, replayLoss := trainNMulti(t, cfg, withLens, false, false, ex.mk, 4)
+					if !freshM.WeightsEqual(replayM) {
+						t.Fatalf("replay diverged from fresh emission: max |diff| = %g",
+							freshM.WeightsMaxAbsDiff(replayM))
+					}
+					if freshLoss != replayLoss {
+						t.Fatalf("loss diverged: fresh %g vs replay %g", freshLoss, replayLoss)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMultiHeadSplitMatchesFusedWeights: the split-gate decomposition stays
+// within rounding error of the fused path on multi-head and masked batches
+// (same tolerance contract as the single-head suite — split reorders the
+// gate summation, so bitwise equality is not expected).
+func TestMultiHeadSplitMatchesFusedWeights(t *testing.T) {
+	const tol = 1e-9
+	for _, withLens := range []bool{false, true} {
+		name := "full"
+		if withLens {
+			name = "masked"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := multiHeadCfg(LSTM, 2)
+			fusedM, fusedLoss := trainNMulti(t, cfg, withLens, true, false, inlineExec, 4)
+			splitM, splitLoss := trainNMulti(t, cfg, withLens, false, false, inlineExec, 4)
+			if d := fusedM.WeightsMaxAbsDiff(splitM); d > tol {
+				t.Fatalf("fused vs split weights differ by %g > %g", d, tol)
+			}
+			if d := fusedLoss - splitLoss; d > tol || d < -tol {
+				t.Fatalf("fused vs split loss differ: %g vs %g", fusedLoss, splitLoss)
+			}
+		})
+	}
+}
+
+// TestMultiHeadDepCheckClean runs shared-trunk masked training and inference
+// under the runtime dependency sanitizer: every tensor the head and masking
+// tasks touch must be declared, or the step fails loudly.
+func TestMultiHeadDepCheckClean(t *testing.T) {
+	for _, cell := range []CellKind{LSTM, GRU} {
+		t.Run(cell.String(), func(t *testing.T) {
+			cfg := multiHeadCfg(cell, 2)
+			m, err := NewModel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := taskrt.New(taskrt.Options{Workers: 3, DepCheck: true})
+			defer rt.Shutdown()
+			defer tensor.SetAccessHook(nil)
+			eng := NewEngine(m, rt)
+			for i := 0; i < 3; i++ {
+				if _, err := eng.TrainStep(makeMultiBatch(cfg, uint64(100+i), true), 0.05); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			if _, _, err := eng.Infer(makeMultiBatch(cfg, 55, true)); err != nil {
+				t.Fatalf("infer: %v", err)
+			}
+		})
+	}
+}
+
+// uniformLenBatches builds the masked/per-length pair of the equivalence
+// claim: the same rows once padded to cfg.SeqLen with Lens=L everywhere, and
+// once as an exact-length batch of T=L.
+func uniformLenBatches(cfg Config, seed uint64, L int) (masked, short *Batch) {
+	masked = makeMultiBatch(cfg, seed, false)
+	masked.Lens = make([]int, cfg.Batch)
+	for i := range masked.Lens {
+		masked.Lens[i] = L
+	}
+	short = &Batch{
+		X:           masked.X[:L],
+		Targets:     masked.Targets,
+		StepTargets: masked.StepTargets[:L],
+	}
+	for t := L; t < cfg.SeqLen; t++ {
+		for i := 0; i < cfg.Batch; i++ {
+			masked.StepTargets[t][i] = tensor.IgnoreLabel
+			for j := 0; j < cfg.InputSize; j++ {
+				masked.X[t].Set(i, j, 0)
+			}
+		}
+	}
+	return masked, short
+}
+
+// TestMaskedMatchesPerLengthBitwise is the masking contract: a batch whose
+// rows all carry length L, padded to the template length T with Lens set,
+// must train bitwise identically to feeding the unpadded T=L batch — the
+// padded timesteps are inert in forward, loss, and every gradient.
+func TestMaskedMatchesPerLengthBitwise(t *testing.T) {
+	for _, cell := range []CellKind{LSTM, GRU, RNN} {
+		t.Run(cell.String(), func(t *testing.T) {
+			cfg := multiHeadCfg(cell, 2)
+			const L = 3
+			run := func(maskedRun bool) (*Model, float64) {
+				m, err := NewModel(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := NewEngine(m, taskrt.NewInline(nil))
+				var loss float64
+				for i := 0; i < 3; i++ {
+					masked, short := uniformLenBatches(cfg, uint64(200+i), L)
+					b := short
+					if maskedRun {
+						b = masked
+					}
+					loss, err = e.TrainStep(b, 0.05)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				return m, loss
+			}
+			maskedM, maskedLoss := run(true)
+			shortM, shortLoss := run(false)
+			if !maskedM.WeightsEqual(shortM) {
+				t.Fatalf("masked training diverged from per-length run: max |diff| = %g",
+					maskedM.WeightsMaxAbsDiff(shortM))
+			}
+			if maskedLoss != shortLoss {
+				t.Fatalf("loss diverged: masked %g vs per-length %g", maskedLoss, shortLoss)
+			}
+		})
+	}
+}
+
+// TestMaskedInferMatchesPerLengthRows checks mixed lengths in one batch: each
+// row of a masked InferProbs equals the same row inferred in an exact-length
+// batch of its own length, for every head slot the row is live in.
+func TestMaskedInferMatchesPerLengthRows(t *testing.T) {
+	cfg := multiHeadCfg(LSTM, 1)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const L = 3 // rows [0,3) get length L, rows [3,Batch) stay full
+	b := makeMultiBatch(cfg, 7, false)
+	b.Lens = make([]int, cfg.Batch)
+	for i := range b.Lens {
+		if i < 3 {
+			b.Lens[i] = L
+			for t := L; t < cfg.SeqLen; t++ {
+				b.StepTargets[t][i] = tensor.IgnoreLabel
+				for j := 0; j < cfg.InputSize; j++ {
+					b.X[t].Set(i, j, 0)
+				}
+			}
+		} else {
+			b.Lens[i] = cfg.SeqLen
+		}
+	}
+	eng := NewEngine(m, taskrt.NewInline(nil))
+	probs, _, err := eng.InferProbs(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact-length batch: the same rows truncated to T=L (the engine wants
+	// the configured row count; inference is row-independent, so only the
+	// rows that really have length L are compared below).
+	shortX := make([]*tensor.Matrix, L)
+	for t := range shortX {
+		shortX[t] = b.X[t]
+	}
+	shortProbs, _, err := eng.InferProbs(&Batch{X: shortX})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for h, spec := range cfg.HeadSpecs() {
+		lo, _ := cfg.HeadSlotRange(h, cfg.SeqLen)
+		shortLo, _ := cfg.HeadSlotRange(h, L)
+		slots := 1
+		if spec.Kind.PerFrame() {
+			slots = L
+		}
+		for s := 0; s < slots; s++ {
+			got, want := probs[lo+s], shortProbs[shortLo+s]
+			for i := 0; i < 3; i++ {
+				for j := 0; j < spec.Classes; j++ {
+					if got.At(i, j) != want.At(i, j) {
+						t.Fatalf("head %d slot %d row %d col %d: masked %g vs per-length %g",
+							h, s, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLoadV1Checkpoint hand-crafts a version-1 byte stream — magic, the 11
+// int64 config fields with no head table, layer weights, then the single
+// baked-in head — and requires LoadModel to reconstruct the model exactly.
+func TestLoadV1Checkpoint(t *testing.T) {
+	cfg := smallCfg(LSTM, ManyToOne, 2)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("BPAR0001")
+	header := []int64{
+		int64(cfg.Cell), int64(cfg.Arch), int64(cfg.Merge),
+		int64(cfg.InputSize), int64(cfg.HiddenSize), int64(cfg.Layers),
+		int64(cfg.SeqLen), int64(cfg.Batch), int64(cfg.Classes),
+		int64(cfg.MiniBatches), int64(cfg.Seed),
+	}
+	for _, v := range header {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		for _, p := range []*dirParams{m.fwd[l], m.rev[l]} {
+			w, bias := p.wParams()
+			if err := binary.Write(&buf, binary.LittleEndian, w.Data); err != nil {
+				t.Fatal(err)
+			}
+			if err := binary.Write(&buf, binary.LittleEndian, bias); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, m.Heads[0].W.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, m.Heads[0].B); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if !reflect.DeepEqual(loaded.Cfg, cfg) {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.Cfg, cfg)
+	}
+	if !loaded.WeightsEqual(m) {
+		t.Fatalf("weights not bitwise preserved: %g", loaded.WeightsMaxAbsDiff(m))
+	}
+	b := makeBatch(cfg, 99)
+	_, lossA, err := NewEngine(m, taskrt.NewInline(nil)).Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lossB, err := NewEngine(loaded, taskrt.NewInline(nil)).Infer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossA != lossB {
+		t.Fatalf("loaded v1 model diverges: %g vs %g", lossA, lossB)
+	}
+}
+
+// TestMultiHeadSaveLoadRoundtrip: the version-2 head table survives a save /
+// load cycle on a trained three-head model.
+func TestMultiHeadSaveLoadRoundtrip(t *testing.T) {
+	cfg := multiHeadCfg(GRU, 2)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m, taskrt.NewInline(nil))
+	for i := 0; i < 3; i++ {
+		if _, err := e.TrainStep(makeMultiBatch(cfg, uint64(i), true), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Cfg, cfg) {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.Cfg, cfg)
+	}
+	if len(loaded.Heads) != 3 {
+		t.Fatalf("loaded %d heads, want 3", len(loaded.Heads))
+	}
+	if !loaded.WeightsEqual(m) {
+		t.Fatalf("weights not bitwise preserved: %g", loaded.WeightsMaxAbsDiff(m))
+	}
+}
+
+// TestBSeqMatchesBParMultiHeadMasked: the data-parallel-only baseline slices
+// Lens and both label kinds through its microbatch splits, so it still
+// computes bitwise the same masked multi-head update as B-Par.
+func TestBSeqMatchesBParMultiHeadMasked(t *testing.T) {
+	cfg := multiHeadCfg(LSTM, 3)
+	parM, parLoss := trainNMulti(t, cfg, true, false, false, parallelExec(4, taskrt.BreadthFirst), 3)
+
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Options{Workers: 4})
+	bs := NewBSeq(m, rt)
+	var loss float64
+	for i := 0; i < 3; i++ {
+		b := makeMultiBatch(cfg, uint64(100+i), true)
+		loss, err = bs.TrainStep(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	if !m.WeightsEqual(parM) {
+		t.Fatalf("BSeq diverged from B-Par: %g", m.WeightsMaxAbsDiff(parM))
+	}
+	if loss != parLoss {
+		t.Fatalf("losses differ: %g vs %g", loss, parLoss)
+	}
+}
+
+// TestSliceRealSentinel pins the Real-sentinel arithmetic microbatch slicing
+// relies on: 0 keeps every row real, negative means none, and positive
+// counts are clamped into the slice window.
+func TestSliceRealSentinel(t *testing.T) {
+	cases := []struct {
+		real, lo, hi, want int
+	}{
+		{0, 0, 4, 0},   // unset: all rows real
+		{-1, 0, 4, -1}, // explicit none stays none
+		{2, 2, 4, -1},  // real rows end at the slice start: none real here
+		{1, 2, 4, -1},
+		{4, 0, 4, 0}, // covers the whole slice: all real
+		{6, 2, 4, 0}, // beyond the slice: all real
+		{3, 2, 4, 1}, // straddles: one real row remains
+		{3, 0, 2, 0}, // fully real prefix slice
+		{2, 0, 4, 2}, // plain count within window
+	}
+	for _, c := range cases {
+		if got := sliceReal(c.real, c.lo, c.hi); got != c.want {
+			t.Errorf("sliceReal(%d, %d, %d) = %d, want %d", c.real, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -62,6 +62,8 @@ func (e *Engine) applyAdam(ws *workspace, lr float64) {
 			adamUpdate(bias, db, mB, vB, lr, e.Adam, c1, c2)
 		}
 	}
-	adamUpdate(e.M.HeadW.Data, ws.headGrads.DW.Data, st.m.headW.Data, st.v.headW.Data, lr, e.Adam, c1, c2)
-	adamUpdate(e.M.HeadB, ws.headGrads.DB, st.m.headB, st.v.headB, lr, e.Adam, c1, c2)
+	for h := range e.M.Heads {
+		adamUpdate(e.M.Heads[h].W.Data, ws.headGrads[h].DW.Data, st.m.headW[h].Data, st.v.headW[h].Data, lr, e.Adam, c1, c2)
+		adamUpdate(e.M.Heads[h].B, ws.headGrads[h].DB, st.m.headB[h], st.v.headB[h], lr, e.Adam, c1, c2)
+	}
 }

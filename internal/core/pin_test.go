@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// weightFingerprint hashes the exact bit patterns of every parameter in the
+// model, in a fixed traversal order (per layer: fwd W, fwd B, rev W, rev B;
+// then each head's W and B). Any single-ULP deviation changes the hash.
+func weightFingerprint(m *Model) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	add := func(vals []float64) {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			h.Write(buf)
+		}
+	}
+	for l := 0; l < m.Cfg.Layers; l++ {
+		for _, p := range []*dirParams{m.fwd[l], m.rev[l]} {
+			w, b := p.wParams()
+			add(w.Data)
+			add(b)
+		}
+	}
+	for i := range m.Heads {
+		add(m.Heads[i].W.Data)
+		add(m.Heads[i].B)
+	}
+	return h.Sum64()
+}
+
+// TestSingleHeadBitwisePin pins single-head training numerics to the exact
+// bit patterns produced before the multi-head refactor. The fingerprints
+// below were captured from the pre-refactor implementation (one baked-in
+// classifier head); the refactored engine must reproduce them bit for bit.
+func TestSingleHeadBitwisePin(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      Config
+		wantHash uint64
+		wantLoss uint64 // Float64bits of the final step loss
+	}{
+		{
+			name:     "lstm-m2o",
+			cfg:      smallCfg(LSTM, ManyToOne, 2),
+			wantHash: 0x16c656dc4d298ae9,
+			wantLoss: 0x3ff1a22987862915,
+		},
+		{
+			name:     "gru-m2m",
+			cfg:      smallCfg(GRU, ManyToMany, 1),
+			wantHash: 0xa5c5e1a8e85e003f,
+			wantLoss: 0x3ff12d42a288f81b,
+		},
+		{
+			name:     "rnn-m2o-fused",
+			cfg:      smallCfg(RNN, ManyToOne, 1),
+			wantHash: 0x22fb9a510f1d0cf8,
+			wantLoss: 0x3ff1c033a9015381,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewModel(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(m, inlineExec())
+			if tc.name == "rnn-m2o-fused" {
+				e.FusedGates = true
+			}
+			var loss float64
+			for i := 0; i < 3; i++ {
+				b := makeBatch(tc.cfg, uint64(100+i))
+				loss, err = e.TrainStep(b, 0.05)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			gotHash := weightFingerprint(m)
+			gotLoss := math.Float64bits(loss)
+			if gotHash != tc.wantHash || gotLoss != tc.wantLoss {
+				t.Fatalf("numerics drifted from pre-refactor pin:\n  hash 0x%x want 0x%x\n  loss 0x%x want 0x%x",
+					gotHash, tc.wantHash, gotLoss, tc.wantLoss)
+			}
+		})
+	}
+}

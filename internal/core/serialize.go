@@ -12,8 +12,13 @@ import (
 // serialization format: a fixed magic/version header, the configuration as
 // int64 fields, then every parameter tensor as little-endian float64s in a
 // fixed order (per layer: forward W, forward B, reverse W, reverse B; then
-// head W, head B).
-const modelMagic = "BPAR0001"
+// per head: W, B). Version 2 adds a head table (count, then kind/classes per
+// head) between the config header and the weights; version 1 checkpoints —
+// one implicit classifier head derived from Arch/Classes — still load.
+const (
+	modelMagic   = "BPAR0002"
+	modelMagicV1 = "BPAR0001"
+)
 
 // Save writes the model (configuration and all weights) to w.
 func (m *Model) Save(w io.Writer) error {
@@ -27,6 +32,10 @@ func (m *Model) Save(w io.Writer) error {
 		int64(cfg.InputSize), int64(cfg.HiddenSize), int64(cfg.Layers),
 		int64(cfg.SeqLen), int64(cfg.Batch), int64(cfg.Classes),
 		int64(cfg.MiniBatches), int64(cfg.Seed),
+		int64(len(cfg.Heads)),
+	}
+	for _, h := range cfg.Heads {
+		header = append(header, int64(h.Kind), int64(h.Classes))
 	}
 	for _, v := range header {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -47,28 +56,37 @@ func (m *Model) Save(w io.Writer) error {
 			}
 		}
 	}
-	if err := writeF64(m.HeadW.Data); err != nil {
-		return err
-	}
-	if err := writeF64(m.HeadB); err != nil {
-		return err
+	for h := range m.Heads {
+		if err := writeF64(m.Heads[h].W.Data); err != nil {
+			return err
+		}
+		if err := writeF64(m.Heads[h].B); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
-// LoadModel reads a model previously written by Save.
+// LoadModel reads a model previously written by Save, accepting both the
+// current format and version 1 (single baked-in classifier head).
 func LoadModel(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(modelMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: load magic: %w", err)
 	}
-	if string(magic) != modelMagic {
-		return nil, fmt.Errorf("core: bad magic %q (want %q)", magic, modelMagic)
+	if string(magic) != modelMagic && string(magic) != modelMagicV1 {
+		return nil, fmt.Errorf("core: bad magic %q (want %q or %q)", magic, modelMagic, modelMagicV1)
+	}
+	readI64 := func() (int64, error) {
+		var v int64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
 	}
 	header := make([]int64, 11)
 	for i := range header {
-		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+		var err error
+		if header[i], err = readI64(); err != nil {
 			return nil, fmt.Errorf("core: load header: %w", err)
 		}
 	}
@@ -77,6 +95,23 @@ func LoadModel(r io.Reader) (*Model, error) {
 		InputSize: int(header[3]), HiddenSize: int(header[4]), Layers: int(header[5]),
 		SeqLen: int(header[6]), Batch: int(header[7]), Classes: int(header[8]),
 		MiniBatches: int(header[9]), Seed: uint64(header[10]),
+	}
+	if string(magic) == modelMagic {
+		nHeads, err := readI64()
+		if err != nil {
+			return nil, fmt.Errorf("core: load head table: %w", err)
+		}
+		for i := int64(0); i < nHeads; i++ {
+			kind, err := readI64()
+			if err != nil {
+				return nil, fmt.Errorf("core: load head %d kind: %w", i, err)
+			}
+			classes, err := readI64()
+			if err != nil {
+				return nil, fmt.Errorf("core: load head %d classes: %w", i, err)
+			}
+			cfg.Heads = append(cfg.Heads, HeadSpec{Kind: HeadKind(kind), Classes: int(classes)})
+		}
 	}
 	m, err := NewModel(cfg)
 	if err != nil {
@@ -96,11 +131,15 @@ func LoadModel(r io.Reader) (*Model, error) {
 			}
 		}
 	}
-	if err := readF64(m.HeadW.Data); err != nil {
-		return nil, fmt.Errorf("core: load head weights: %w", err)
-	}
-	if err := readF64(m.HeadB); err != nil {
-		return nil, fmt.Errorf("core: load head bias: %w", err)
+	// Version 1 bodies carry exactly one head's W and B, which is also the
+	// effective-head layout NewModel derives for a headless config.
+	for h := range m.Heads {
+		if err := readF64(m.Heads[h].W.Data); err != nil {
+			return nil, fmt.Errorf("core: load head %d weights: %w", h, err)
+		}
+		if err := readF64(m.Heads[h].B); err != nil {
+			return nil, fmt.Errorf("core: load head %d bias: %w", h, err)
+		}
 	}
 	return m, nil
 }
@@ -108,14 +147,15 @@ func LoadModel(r io.Reader) (*Model, error) {
 // velocity holds momentum state matching one model's parameters.
 type velocity struct {
 	dirs  []*dirGrads // fwd then rev per layer, same layout as gradients
-	headW *tensor.Matrix
-	headB []float64
+	headW []*tensor.Matrix
+	headB [][]float64
 }
 
 func newVelocity(m *Model) *velocity {
-	v := &velocity{
-		headW: tensor.New(m.HeadW.Rows, m.HeadW.Cols),
-		headB: make([]float64, len(m.HeadB)),
+	v := &velocity{}
+	for h := range m.Heads {
+		v.headW = append(v.headW, tensor.New(m.Heads[h].W.Rows, m.Heads[h].W.Cols))
+		v.headB = append(v.headB, make([]float64, len(m.Heads[h].B)))
 	}
 	for l := range m.fwd {
 		v.dirs = append(v.dirs, m.fwd[l].newGrads(), m.rev[l].newGrads())

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if loaded.Cfg != cfg {
+		if !reflect.DeepEqual(loaded.Cfg, cfg) {
 			t.Fatalf("config mismatch: %+v vs %+v", loaded.Cfg, cfg)
 		}
 		if !loaded.WeightsEqual(m) {
@@ -222,7 +223,7 @@ func TestWeightDecayShrinksNorms(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		norm := m.HeadW.SumAbs()
+		norm := m.Heads[0].W.SumAbs()
 		for l := range m.fwd {
 			w, _ := m.fwd[l].wParams()
 			norm += w.SumAbs()

@@ -5,7 +5,7 @@ import (
 	"bpar/internal/tensor"
 )
 
-// headGrads accumulates classifier-head gradients.
+// headGrads accumulates one output head's gradients.
 type headGrads struct {
 	DW *tensor.Matrix
 	DB []float64
@@ -29,6 +29,8 @@ type stepBinding struct {
 	x           []*tensor.Matrix // layer-0 input views, one per timestep
 	targets     []int            // many-to-one labels; nil for unlabeled inference
 	stepTargets [][]int          // many-to-many labels, [timestep][sequence]
+	lens        []int            // per-row real lengths; nil for full-length batches
+	genTargets  [][]int          // stepTargets shifted one frame left (generate heads)
 }
 
 // workspace holds the unrolled activations, caches and gradient buffers for
@@ -61,9 +63,11 @@ type workspace struct {
 	kRevSt        [][]taskrt.Dep
 	kMerged       [][]taskrt.Dep
 	kFinalMerged  taskrt.Dep
-	kProbs        []taskrt.Dep
+	kProbs        []taskrt.Dep // one per output slot (see Config.HeadSlots)
 	kDMerged      [][]taskrt.Dep
 	kDFinalMerged taskrt.Dep
+	kDFinalHFwd   taskrt.Dep // final-merge grad w.r.t. the forward direction
+	kDFinalHRev   taskrt.Dep // final-merge grad w.r.t. the reverse direction
 	kDHMergeFwd   [][]taskrt.Dep
 	kDHMergeRev   [][]taskrt.Dep
 	kDHChainFwd   [][]taskrt.Dep
@@ -72,7 +76,7 @@ type workspace struct {
 	kDCChainRev   [][]taskrt.Dep
 	kGradsFwd     []taskrt.Dep
 	kGradsRev     []taskrt.Dep
-	kHeadGrads    taskrt.Dep
+	kHeadGrads    []taskrt.Dep // one per head
 
 	// Split-gate decomposition keys, always present so phantom graphs can be
 	// emitted in either mode. kPre*[l][t] names the gate-preload panel
@@ -88,10 +92,11 @@ type workspace struct {
 	fwdSt, revSt             [][]*cellSt
 	merged                   [][]*tensor.Matrix
 	finalMerged              *tensor.Matrix
-	logits, probs            []*tensor.Matrix
-	losses                   []float64
+	logits, probs            []*tensor.Matrix // one per output slot
+	losses                   []float64        // one per output slot
 	dMerged                  [][]*tensor.Matrix
 	dFinalMerged             *tensor.Matrix
+	dFinalHFwd, dFinalHRev   *tensor.Matrix // final-merge backward outputs
 	dHMergeFwd, dHMergeRev   [][]*tensor.Matrix
 	dHChainFwd, dCChainFwd   [][]*tensor.Matrix
 	dHChainRev, dCChainRev   [][]*tensor.Matrix
@@ -102,8 +107,24 @@ type workspace struct {
 	dHSinkRev, dCSinkRev     []*tensor.Matrix
 	zeroH, zeroC, zeroChainH *tensor.Matrix
 	gradsFwd, gradsRev       []*dirGrads
-	headGrads                *headGrads
-	dLogits                  *tensor.Matrix // head-backward scratch (serialized by kHeadGrads)
+	headGrads                []*headGrads     // one per head
+	dLogits                  []*tensor.Matrix // per-head backward scratch (serialized by kHeadGrads[h])
+
+	// Variable-length final-merge support: with a bound lens the forward
+	// direction's sequence-final state is row i of fwdSt[L-1][lens[i]-1], not
+	// fwdSt[L-1][T-1]. gatherH assembles it (via gatherIdx = lens[i]-1 over
+	// the lastHFwd views); written by the final-merge forward task and reread
+	// by the final-merge backward task, which the head tasks already order,
+	// so it stays unregistered with the dependency sanitizer.
+	lastHFwd  []*tensor.Matrix // views of fwdSt[L-1][t].H()
+	gatherH   *tensor.Matrix
+	gatherIdx []int
+
+	// genTargets/ignoreRow back the generate heads' shifted label binding:
+	// bindStep points genTargets[t] at stepTargets[t+1] and the final frame
+	// at ignoreRow (all tensor.IgnoreLabel).
+	genTargets [][]int
+	ignoreRow  []int
 
 	// Pooled split-gate panels, allocated only when split && !phantom.
 	// Indexing: [layer][timestep], each [rows x G*H].
@@ -134,9 +155,12 @@ type f32Space struct {
 	fwdSt, revSt [][]*cellSt32
 	merged       [][]*tensor.Mat[float32]
 	finalMerged  *tensor.Mat[float32]
-	logits       []*tensor.Mat[float32]
+	logits       []*tensor.Mat[float32] // one per output slot
 	probs        []*tensor.Mat[float32]
 	zeroH, zeroC *tensor.Mat[float32]
+	// lastHFwd/gatherH mirror the f64 variable-length final-merge gather.
+	lastHFwd []*tensor.Mat[float32]
+	gatherH  *tensor.Mat[float32]
 	// preFwd/preRev pool the split-gate preload panels; nil when fused.
 	preFwd, preRev [][]*tensor.Mat[float32]
 }
@@ -147,10 +171,10 @@ type token struct{ _ byte }
 func newToken() taskrt.Dep { return &token{} }
 
 // hasMergePerTimestep reports whether layer l has a merge cell at every
-// timestep (true for all layers except the last layer of a many-to-one
-// model, which has the single final merge).
+// timestep (true for all layers except the top layer of a model with no
+// per-frame head, which has only the single final merge).
 func (c Config) hasMergePerTimestep(l int) bool {
-	return l < c.Layers-1 || c.Arch == ManyToMany
+	return l < c.Layers-1 || c.anyPerFrame()
 }
 
 // newWorkspace builds a workspace for one mini-batch of `rows` sequences of
@@ -190,12 +214,14 @@ func newWorkspace(m *Model, rows, T int, phantom, split, f32 bool) *workspace {
 	w.kDHChainFwd, w.kDCChainFwd = grid(), grid()
 	w.kDHChainRev, w.kDCChainRev = grid(), grid()
 	w.kFinalMerged, w.kDFinalMerged = newToken(), newToken()
-	w.kHeadGrads = newToken()
-	nHeads := 1
-	if cfg.Arch == ManyToMany {
-		nHeads = T
+	w.kDFinalHFwd, w.kDFinalHRev = newToken(), newToken()
+	specs := cfg.HeadSpecs()
+	nSlots := cfg.HeadSlots(T)
+	w.kHeadGrads = make([]taskrt.Dep, len(specs))
+	for i := range w.kHeadGrads {
+		w.kHeadGrads[i] = newToken()
 	}
-	w.kProbs = make([]taskrt.Dep, nHeads)
+	w.kProbs = make([]taskrt.Dep, nSlots)
 	for i := range w.kProbs {
 		w.kProbs[i] = newToken()
 	}
@@ -205,7 +231,7 @@ func newWorkspace(m *Model, rows, T int, phantom, split, f32 bool) *workspace {
 		w.kGradsFwd[l] = newToken()
 		w.kGradsRev[l] = newToken()
 	}
-	w.losses = make([]float64, nHeads)
+	w.losses = make([]float64, nSlots)
 	if phantom {
 		return w
 	}
@@ -243,15 +269,26 @@ func newWorkspace(m *Model, rows, T int, phantom, split, f32 bool) *workspace {
 		w.dHChainRev[l] = matRow(T, rows, H)
 		w.dCChainRev[l] = matRow(T, rows, H)
 	}
-	if cfg.Arch == ManyToOne {
+	if cfg.anyClassify() {
 		w.finalMerged = tensor.New(rows, D)
 		w.dFinalMerged = tensor.New(rows, D)
+		w.dFinalHFwd = tensor.New(rows, H)
+		w.dFinalHRev = tensor.New(rows, H)
+		w.gatherH = tensor.New(rows, H)
+		w.gatherIdx = make([]int, rows)
+		w.lastHFwd = make([]*tensor.Matrix, T)
+		for t := 0; t < T; t++ {
+			w.lastHFwd[t] = w.fwdSt[L-1][t].H()
+		}
 	}
-	w.logits = make([]*tensor.Matrix, nHeads)
-	w.probs = make([]*tensor.Matrix, nHeads)
-	for i := range w.logits {
-		w.logits[i] = tensor.New(rows, cfg.Classes)
-		w.probs[i] = tensor.New(rows, cfg.Classes)
+	w.logits = make([]*tensor.Matrix, nSlots)
+	w.probs = make([]*tensor.Matrix, nSlots)
+	for h, spec := range specs {
+		lo, n := cfg.HeadSlotRange(h, T)
+		for s := lo; s < lo+n; s++ {
+			w.logits[s] = tensor.New(rows, spec.Classes)
+			w.probs[s] = tensor.New(rows, spec.Classes)
+		}
 	}
 
 	w.dXScratchFwd = make([]*tensor.Matrix, L)
@@ -276,8 +313,22 @@ func newWorkspace(m *Model, rows, T int, phantom, split, f32 bool) *workspace {
 		w.gradsFwd[l] = m.fwd[l].newGrads()
 		w.gradsRev[l] = m.rev[l].newGrads()
 	}
-	w.headGrads = &headGrads{DW: tensor.New(cfg.Classes, D), DB: make([]float64, cfg.Classes)}
-	w.dLogits = tensor.New(rows, cfg.Classes)
+	w.headGrads = make([]*headGrads, len(specs))
+	w.dLogits = make([]*tensor.Matrix, len(specs))
+	for h, spec := range specs {
+		w.headGrads[h] = &headGrads{DW: tensor.New(spec.Classes, D), DB: make([]float64, spec.Classes)}
+		w.dLogits[h] = tensor.New(rows, spec.Classes)
+	}
+	for _, spec := range specs {
+		if spec.Kind == HeadGenerate {
+			w.genTargets = make([][]int, T)
+			w.ignoreRow = make([]int, rows)
+			for i := range w.ignoreRow {
+				w.ignoreRow[i] = tensor.IgnoreLabel
+			}
+			break
+		}
+	}
 
 	if split {
 		w.preFwd = make([][]*tensor.Matrix, L)
@@ -330,15 +381,25 @@ func newF32Space(m *Model, rows, T int, split bool) *f32Space {
 			s.merged[l] = matRow32(T, rows, D)
 		}
 	}
-	if cfg.Arch == ManyToOne {
+	if cfg.anyClassify() {
 		s.finalMerged = tensor.NewOf[float32](rows, D)
+		s.gatherH = tensor.NewOf[float32](rows, H)
+		s.lastHFwd = make([]*tensor.Mat[float32], T)
+		for t := 0; t < T; t++ {
+			s.lastHFwd[t] = s.fwdSt[L-1][t].H()
+		}
 	}
-	nHeads := 1
-	if cfg.Arch == ManyToMany {
-		nHeads = T
+	specs := cfg.HeadSpecs()
+	nSlots := cfg.HeadSlots(T)
+	s.logits = make([]*tensor.Mat[float32], nSlots)
+	s.probs = make([]*tensor.Mat[float32], nSlots)
+	for h, spec := range specs {
+		lo, n := cfg.HeadSlotRange(h, T)
+		for sl := lo; sl < lo+n; sl++ {
+			s.logits[sl] = tensor.NewOf[float32](rows, spec.Classes)
+			s.probs[sl] = tensor.NewOf[float32](rows, spec.Classes)
+		}
 	}
-	s.logits = matRow32(nHeads, rows, cfg.Classes)
-	s.probs = matRow32(nHeads, rows, cfg.Classes)
 	s.zeroH = tensor.NewOf[float32](rows, H)
 	s.zeroC = tensor.NewOf[float32](rows, H)
 	if split {
@@ -376,6 +437,15 @@ func (w *workspace) bindStep(mb *Batch) {
 	w.bind.x = mb.X
 	w.bind.targets = mb.Targets
 	w.bind.stepTargets = mb.StepTargets
+	w.bind.lens = mb.Lens
+	w.bind.genTargets = nil
+	if w.genTargets != nil && mb.StepTargets != nil {
+		for t := 0; t < w.T-1; t++ {
+			w.genTargets[t] = mb.StepTargets[t+1]
+		}
+		w.genTargets[w.T-1] = w.ignoreRow
+		w.bind.genTargets = w.genTargets
+	}
 }
 
 // input returns the matrix feeding layer l at timestep t: the bound batch
@@ -407,10 +477,64 @@ func (w *workspace) stepTargetsAt(t int) []int {
 	return w.bind.stepTargets[t]
 }
 
+// headTargetsAt returns the labels a per-frame head of the given kind trains
+// on at timestep t: the bound step targets for tagging, the shifted stream
+// for generation; nil when the current batch is unlabeled.
+func (w *workspace) headTargetsAt(kind HeadKind, t int) []int {
+	if kind == HeadGenerate {
+		if w.bind.genTargets == nil {
+			return nil
+		}
+		return w.bind.genTargets[t]
+	}
+	return w.stepTargetsAt(t)
+}
+
+// maskRevState zeroes the rows of reverse state (l,t) for which timestep t
+// is padding under the current lens binding (no-op with no lens bound), so
+// the next reverse cell's hPrev/cPrev restart each short row's chain from
+// the zero boundary state.
+func (w *workspace) maskRevState(l, t int) {
+	tensor.MaskRowsZero(w.revSt[l][t].H(), w.bind.lens, t)
+	tensor.MaskRowsZero(w.revSt[l][t].C(), w.bind.lens, t)
+}
+
+// maskRevState32 is maskRevState for the float32 mirror.
+func (w *workspace) maskRevState32(l, t int) {
+	tensor.MaskRowsZero(w.f32.revSt[l][t].H(), w.bind.lens, t)
+	tensor.MaskRowsZero(w.f32.revSt[l][t].C(), w.bind.lens, t)
+}
+
+// gatherLastHFwd assembles the forward direction's sequence-final hidden
+// state under the current lens binding into gatherH and returns it; with no
+// lens bound it returns the T-1 state directly (the full-length fast path).
+func (w *workspace) gatherLastHFwd() *tensor.Matrix {
+	if w.bind.lens == nil {
+		return w.lastHFwd[w.T-1]
+	}
+	for i, n := range w.bind.lens {
+		w.gatherIdx[i] = n - 1
+	}
+	tensor.GatherRows(w.gatherH, w.lastHFwd, w.gatherIdx)
+	return w.gatherH
+}
+
+// gatherLastHFwd32 is gatherLastHFwd for the float32 mirror.
+func (w *workspace) gatherLastHFwd32() *tensor.Mat[float32] {
+	if w.bind.lens == nil {
+		return w.f32.lastHFwd[w.T-1]
+	}
+	for i, n := range w.bind.lens {
+		w.gatherIdx[i] = n - 1
+	}
+	tensor.GatherRows(w.f32.gatherH, w.f32.lastHFwd, w.gatherIdx)
+	return w.f32.gatherH
+}
+
 // resetForStep zeroes the buffers that accumulate across tasks within one
-// training step: dMerged (summed into by forward- and reverse-cell backward
-// tasks) and the per-mini-batch gradients. Chain and merge-grad buffers at
-// graph boundaries stay zero by construction.
+// training step: dMerged and dFinalMerged (summed into by cell-backward and
+// head-backward tasks) and the per-mini-batch gradients. Chain and merge-grad
+// buffers at graph boundaries stay zero by construction.
 func (w *workspace) resetForStep() {
 	if w.phantom {
 		return
@@ -422,11 +546,16 @@ func (w *workspace) resetForStep() {
 			}
 		}
 	}
+	if w.dFinalMerged != nil {
+		w.dFinalMerged.Zero()
+	}
 	for l := range w.gradsFwd {
 		w.gradsFwd[l].zero()
 		w.gradsRev[l].zero()
 	}
-	w.headGrads.zero()
+	for _, g := range w.headGrads {
+		g.zero()
+	}
 	for i := range w.losses {
 		w.losses[i] = 0
 	}
@@ -494,11 +623,15 @@ func (w *workspace) phantomWorkingSetBytes() int64 {
 		}
 		total += 6 * T * rows * H * 8 // merge-grad and chain buffers
 	}
-	if cfg.Arch == ManyToOne {
+	if cfg.anyClassify() {
 		total += 2 * rows * D * 8
-		total += 2 * rows * int64(cfg.Classes) * 8
-	} else {
-		total += 2 * T * rows * int64(cfg.Classes) * 8
+	}
+	for _, spec := range cfg.HeadSpecs() {
+		slots := int64(1)
+		if spec.Kind.PerFrame() {
+			slots = T
+		}
+		total += 2 * slots * rows * int64(spec.Classes) * 8
 	}
 	return total
 }

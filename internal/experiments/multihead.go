@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bpar/internal/core"
+	"bpar/internal/taskrt"
+	"bpar/internal/tensor"
+)
+
+// MultiHeadRow is one configuration of the multi-head consolidation study.
+type MultiHeadRow struct {
+	// Mode names the configuration: three separate single-head models, one
+	// shared-trunk three-head model, or the shared trunk fed masked
+	// variable-length batches.
+	Mode string
+	// StepsSec is training steps per second (a "step" covers all three
+	// heads: three TrainSteps for the separate mode, one otherwise).
+	StepsSec float64
+	// Speedup is StepsSec over the separate-models row's.
+	Speedup float64
+}
+
+// MultiHeadResult describes the measured configuration alongside its rows.
+type MultiHeadResult struct {
+	Input, Hidden, Layers, Batch, Seq int
+	Rows                              []MultiHeadRow
+}
+
+// RunMultiHead measures what sharing the bidirectional trunk buys: training
+// classify + tag + generate heads as three separate models repeats the
+// trunk's forward/backward three times, while one multi-head model pays for
+// it once and adds only the per-head loss/gradient tasks. The third row
+// feeds the shared model masked variable-length batches (Batch.Lens), the
+// shape bucketed production batches take.
+func RunMultiHead(o Opts) (*MultiHeadResult, error) {
+	const classes = 11
+	base := core.Config{
+		Cell: core.LSTM, Arch: core.ManyToMany, Merge: core.MergeSum,
+		InputSize: 64, HiddenSize: 128, Layers: 2, SeqLen: o.seq(32),
+		Batch: 16, Classes: classes, MiniBatches: 2, Seed: 1,
+	}
+	heads := []core.HeadSpec{
+		{Kind: core.HeadClassify, Classes: classes},
+		{Kind: core.HeadTag, Classes: classes},
+		{Kind: core.HeadGenerate, Classes: classes},
+	}
+	const warmup, timed = 2, 6
+	full := make([]*core.Batch, warmup+timed)
+	masked := make([]*core.Batch, warmup+timed)
+	for i := range full {
+		full[i] = synthMultiBatch(base, uint64(i)+1, false)
+		masked[i] = synthMultiBatch(base, uint64(i)+1, true)
+	}
+	res := &MultiHeadResult{
+		Input: base.InputSize, Hidden: base.HiddenSize, Layers: base.Layers,
+		Batch: base.Batch, Seq: base.SeqLen,
+	}
+
+	// Separate: one single-head model per kind, all three trained per step.
+	var sepCfgs []core.Config
+	for _, h := range heads {
+		c := base
+		c.Heads = []core.HeadSpec{h}
+		sepCfgs = append(sepCfgs, c)
+	}
+	sepSec, err := timeMultiTrainSteps(o, sepCfgs, full)
+	if err != nil {
+		return nil, fmt.Errorf("separate models: %w", err)
+	}
+	res.Rows = append(res.Rows, MultiHeadRow{Mode: "separate (3 models)", StepsSec: sepSec, Speedup: 1})
+
+	// Shared trunk, full-length batches.
+	shared := base
+	shared.Heads = heads
+	sharedSec, err := timeMultiTrainSteps(o, []core.Config{shared}, full)
+	if err != nil {
+		return nil, fmt.Errorf("shared trunk: %w", err)
+	}
+	res.Rows = append(res.Rows, MultiHeadRow{Mode: "shared trunk (3 heads)", StepsSec: sharedSec, Speedup: sharedSec / sepSec})
+
+	// Shared trunk, masked variable-length batches.
+	maskedSec, err := timeMultiTrainSteps(o, []core.Config{shared}, masked)
+	if err != nil {
+		return nil, fmt.Errorf("shared trunk masked: %w", err)
+	}
+	res.Rows = append(res.Rows, MultiHeadRow{Mode: "shared trunk, masked", StepsSec: maskedSec, Speedup: maskedSec / sepSec})
+	return res, nil
+}
+
+// timeMultiTrainSteps trains every config one batch per step (a step runs each
+// config once, back to back) and returns timed steps per second.
+func timeMultiTrainSteps(o Opts, cfgs []core.Config, batches []*core.Batch) (float64, error) {
+	const warmup = 2
+	var engines []*core.Engine
+	for _, cfg := range cfgs {
+		m, err := core.NewModel(cfg)
+		if err != nil {
+			return 0, err
+		}
+		rt := taskrt.New(taskrt.Options{Workers: 4, Policy: taskrt.LocalityAware, Profile: o.Profile})
+		defer rt.Shutdown()
+		eng := core.NewEngine(m, rt)
+		eng.NoReplay = o.NoReplay
+		engines = append(engines, eng)
+	}
+	var start time.Time
+	for i, b := range batches {
+		if i == warmup {
+			start = time.Now()
+		}
+		for _, eng := range engines {
+			if _, err := eng.TrainStep(b, 0.05); err != nil {
+				return 0, fmt.Errorf("step %d: %w", i, err)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("degenerate timing")
+	}
+	return float64(len(batches)-warmup) / elapsed, nil
+}
+
+// synthMultiBatch builds a deterministic batch carrying every label kind —
+// per-sequence targets and per-frame step targets — and, when masked, row
+// lengths spanning [SeqLen/2, SeqLen] with IgnoreLabel-padded tails.
+func synthMultiBatch(cfg core.Config, seed uint64, withLens bool) *core.Batch {
+	b := synthTrainBatch(cfg, seed)
+	b.StepTargets = make([][]int, cfg.SeqLen)
+	for t := range b.StepTargets {
+		b.StepTargets[t] = make([]int, cfg.Batch)
+		for i := range b.StepTargets[t] {
+			b.StepTargets[t][i] = int(uint64(t+i+1)*(seed|1)) % cfg.Classes
+		}
+	}
+	if !withLens {
+		return b
+	}
+	b.Lens = make([]int, cfg.Batch)
+	lo := max(1, cfg.SeqLen/2)
+	for i := range b.Lens {
+		b.Lens[i] = lo + int(uint64(i)*(seed|1))%(cfg.SeqLen-lo+1)
+		for t := b.Lens[i]; t < cfg.SeqLen; t++ {
+			b.StepTargets[t][i] = tensor.IgnoreLabel
+			for j := 0; j < cfg.InputSize; j++ {
+				b.X[t].Row(i)[j] = 0
+			}
+		}
+	}
+	return b
+}
+
+// PrintMultiHead renders the study.
+func PrintMultiHead(w io.Writer, r *MultiHeadResult) {
+	fprintf(w, "Multi-head trunk sharing — classify + tag + generate on one BRNN\n")
+	fprintf(w, "BLSTM %d layers, input %d, hidden %d, batch %d, seq %d\n",
+		r.Layers, r.Input, r.Hidden, r.Batch, r.Seq)
+	fprintf(w, "%-24s %-12s %s\n", "mode", "steps/s", "speedup")
+	for _, row := range r.Rows {
+		fprintf(w, "%-24s %-12.3f %.2f\n", row.Mode, row.StepsSec, row.Speedup)
+	}
+}

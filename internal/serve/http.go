@@ -20,12 +20,25 @@ type InferRequest struct {
 	Sequences [][][]float64 `json:"sequences"`
 }
 
-// SequenceResult is one sequence's answer. Probs is populated by /v1/probs:
-// one row per head (a single row for many-to-one models, one per timestep
-// for many-to-many), each Classes wide. Labels is populated by /v1/classify
-// with the argmax of the same rows.
+// SequenceResult is one sequence's answer. For single-head models the flat
+// fields carry the payload, exactly as before multi-head support: Probs is
+// populated by /v1/probs — one row for many-to-one models, one per timestep
+// for many-to-many, each Classes wide — and Labels by /v1/classify with the
+// argmax of the same rows. Models with more than one configured head answer
+// with Heads instead, one entry per head in declaration order.
 type SequenceResult struct {
-	SeqLen int         `json:"seq_len"`
+	SeqLen int          `json:"seq_len"`
+	Probs  [][]float64  `json:"probs,omitempty"`
+	Labels []int        `json:"labels,omitempty"`
+	Heads  []HeadResult `json:"heads,omitempty"`
+}
+
+// HeadResult is one head's slice of a multi-head answer. Kind is the head
+// kind ("classify", "tag", "generate"); Probs/Labels follow the same
+// endpoint split as the flat fields, with one row (classify) or one per
+// real timestep (tag, generate).
+type HeadResult struct {
+	Kind   string      `json:"kind"`
 	Probs  [][]float64 `json:"probs,omitempty"`
 	Labels []int       `json:"labels,omitempty"`
 }
@@ -125,16 +138,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, classify bo
 				writeError(w, http.StatusInternalServerError, "inference failed: %v", res.err)
 				return
 			}
-			sr := SequenceResult{SeqLen: it.origT}
-			if classify {
-				sr.Labels = make([]int, len(res.probs))
-				for h, row := range res.probs {
-					sr.Labels[h] = argmax(row)
-				}
-			} else {
-				sr.Probs = res.probs
-			}
-			resp.Results[i] = sr
+			resp.Results[i] = buildResult(it.origT, res.heads, classify)
 		case <-r.Context().Done():
 			// Client gone; the remaining items complete into their buffered
 			// channels and are garbage collected.
@@ -177,6 +181,40 @@ func (s *Server) buildItems(seqs [][][]float64) ([]*item, error) {
 		}
 	}
 	return items, nil
+}
+
+// buildResult shapes one sequence's answer: flat fields for single-head
+// models (the pre-multi-head wire format, unchanged), per-head entries
+// otherwise.
+func buildResult(origT int, heads []headProbs, classify bool) SequenceResult {
+	sr := SequenceResult{SeqLen: origT}
+	if len(heads) == 1 {
+		if classify {
+			sr.Labels = argmaxRows(heads[0].rows)
+		} else {
+			sr.Probs = heads[0].rows
+		}
+		return sr
+	}
+	sr.Heads = make([]HeadResult, len(heads))
+	for h, hp := range heads {
+		hr := HeadResult{Kind: hp.kind.String()}
+		if classify {
+			hr.Labels = argmaxRows(hp.rows)
+		} else {
+			hr.Probs = hp.rows
+		}
+		sr.Heads[h] = hr
+	}
+	return sr
+}
+
+func argmaxRows(rows [][]float64) []int {
+	out := make([]int, len(rows))
+	for i, row := range rows {
+		out[i] = argmax(row)
+	}
+	return out
 }
 
 // argmax matches tensor.ArgmaxRows tie-breaking: first maximum wins.

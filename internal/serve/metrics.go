@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"strconv"
+	"sync"
 	"time"
 
 	"bpar/internal/obs"
@@ -36,10 +38,55 @@ type metrics struct {
 	stageBatchWait  *obs.Histogram
 	stageCompute    *obs.Histogram
 	paddingOverhead *obs.Histogram
+
+	// Per-bucket occupancy and padding cost, labeled by bucketed sequence
+	// length. Series are registered lazily on a bucket's first dispatch —
+	// the bucket working set is request-driven (RoundSeqTo, exact lengths)
+	// unless Config.Buckets pins it.
+	reg      *obs.Registry
+	bmu      sync.Mutex
+	byBucket map[int]*bucketMetrics
+}
+
+// bucketMetrics is one length bucket's occupancy view: how many sequences
+// and micro-batches it carried, how full its batches ran, and what fraction
+// of its computed cells were padding.
+type bucketMetrics struct {
+	rows        *obs.Counter
+	batches     *obs.Counter
+	fill        *obs.Histogram
+	padOverhead *obs.Histogram
+}
+
+// forBucket returns bucket T's metric set, registering the series on first
+// use. Safe for concurrent workers.
+func (m *metrics) forBucket(T int) *bucketMetrics {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	if bm, ok := m.byBucket[T]; ok {
+		return bm
+	}
+	label := strconv.Itoa(T)
+	bm := &bucketMetrics{
+		rows: m.reg.MustCounter("bpar_serve_bucket_rows_total",
+			"Sequences dispatched per length bucket.", "bucket", label),
+		batches: m.reg.MustCounter("bpar_serve_bucket_batches_total",
+			"Micro-batches dispatched per length bucket.", "bucket", label),
+		fill: m.reg.MustHistogram("bpar_serve_bucket_fill",
+			"Real rows over batch capacity per micro-batch, by length bucket.",
+			fillBuckets, 0, "bucket", label),
+		padOverhead: m.reg.MustHistogram("bpar_serve_bucket_padding_overhead",
+			"Padded-cell fraction per micro-batch, by length bucket.",
+			fillBuckets, 0, "bucket", label),
+	}
+	m.byBucket[T] = bm
+	return bm
 }
 
 func newMetrics(reg *obs.Registry, s *Server) *metrics {
 	m := &metrics{
+		reg:      reg,
+		byBucket: make(map[int]*bucketMetrics),
 		reqOK: reg.MustCounter("bpar_serve_requests_total",
 			"Inference requests by outcome.", "code", "200"),
 		reqBad: reg.MustCounter("bpar_serve_requests_total",

@@ -14,10 +14,14 @@
 //
 // Row padding is numerically inert: the forward pass is row-independent, so
 // a sequence's probabilities are bitwise identical whether it rides in a
-// full batch, a padded one, or alone. Sequence-length padding (RoundSeqTo >
-// 1) is NOT inert for a bidirectional model — the reverse direction consumes
-// the zero padding before the real frames — so exact-length bucketing is the
-// default and rounding is an explicit opt-in documented to change numerics.
+// full batch, a padded one, or alone. Sequence-length padding (RoundSeqTo or
+// Buckets) is made inert through the engine's masked-batch path: every
+// micro-batch carries Batch.Lens with each row's true length, the engine
+// masks the reverse direction at padded steps and gathers each row's final
+// forward state at its own boundary, so a bucketed response stays bitwise
+// identical to a direct Engine.InferProbs call at the exact length. Buckets
+// is the production shape — a handful of fixed lengths keeps the per-(T)
+// template cache hot regardless of request-length diversity.
 package serve
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"bpar/internal/core"
+	"bpar/internal/data"
 	"bpar/internal/obs"
 	"bpar/internal/taskrt"
 	"bpar/internal/tensor"
@@ -60,13 +65,24 @@ type Config struct {
 	QueueCap int
 
 	// RoundSeqTo, when > 1, rounds sequence lengths up to the next multiple
-	// with zero-frame padding, trading bitwise exactness for a smaller
-	// bucket working set. 0 or 1 keeps exact-length buckets (the default):
-	// responses are then bitwise identical to a direct Engine.InferProbs
-	// call on the same sequence.
+	// with zero-frame padding, shrinking the bucket working set. 0 or 1
+	// keeps exact-length buckets (the default). Padded frames are masked
+	// through Batch.Lens, so responses stay bitwise identical to a direct
+	// Engine.InferProbs call at the exact length either way.
 	RoundSeqTo int
 
-	// MaxSeqLen rejects longer sequences with 400. Defaults to 512.
+	// Buckets, when non-empty, fixes the admissible sequence lengths to an
+	// explicit strictly-increasing boundary set: each sequence is padded up
+	// to the smallest boundary >= its length (masked via Batch.Lens, so
+	// numerics are unchanged) and sequences beyond the largest boundary are
+	// rejected with 400. Mutually exclusive with RoundSeqTo > 1. This is
+	// the recommended production setting: the engine's workspace and
+	// template caches then hold at most len(Buckets) entries no matter how
+	// diverse the request lengths are.
+	Buckets []int
+
+	// MaxSeqLen rejects longer sequences with 400. Defaults to 512, or to
+	// the largest bucket when Buckets is set (and is capped by it).
 	MaxSeqLen int
 
 	// MaxCachedSeqLens is passed through to each engine's workspace LRU
@@ -119,6 +135,18 @@ func (c *Config) withDefaults() error {
 	if c.RoundSeqTo <= 0 {
 		c.RoundSeqTo = 1
 	}
+	if len(c.Buckets) > 0 {
+		if c.RoundSeqTo > 1 {
+			return fmt.Errorf("serve: Buckets and RoundSeqTo are mutually exclusive")
+		}
+		bk, err := data.NewBucketer(c.Buckets)
+		if err != nil {
+			return err
+		}
+		if c.MaxSeqLen <= 0 || c.MaxSeqLen > bk.Max() {
+			c.MaxSeqLen = bk.Max()
+		}
+	}
 	if c.MaxSeqLen <= 0 {
 		c.MaxSeqLen = 512
 	}
@@ -140,8 +168,16 @@ type item struct {
 	dispatched time.Time
 }
 
+// headProbs is one head's slice of a sequence answer: a single row for a
+// classification head, origT rows (one per real timestep) for a per-frame
+// head, each the head's Classes wide.
+type headProbs struct {
+	kind core.HeadKind
+	rows [][]float64
+}
+
 type itemResult struct {
-	probs [][]float64 // per head: 1 (many-to-one) or origT (many-to-many) rows of Classes
+	heads []headProbs // one entry per model head, declaration order
 	err   error
 }
 
@@ -155,6 +191,7 @@ type microBatch struct {
 // Server is the micro-batching inference service.
 type Server struct {
 	cfg   Config
+	bk    *data.Bucketer // nil unless Config.Buckets is set
 	start time.Time
 
 	// mu serializes admission against drain: handlers hold the read side
@@ -190,6 +227,10 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *item, cfg.QueueCap),
 		jobs:  make(chan *microBatch, cfg.Engines),
 	}
+	if len(cfg.Buckets) > 0 {
+		// Already validated by withDefaults.
+		s.bk, _ = data.NewBucketer(cfg.Buckets)
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -220,8 +261,14 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// bucketLen returns the bucketed sequence length for an original length.
+// bucketLen returns the bucketed sequence length for an original length:
+// the enclosing bucket boundary when Buckets is set, otherwise the next
+// RoundSeqTo multiple. Admission has already bounded origT by MaxSeqLen,
+// which withDefaults capped at the largest bucket.
 func (s *Server) bucketLen(origT int) int {
+	if s.bk != nil {
+		return s.bk.Round(origT)
+	}
 	r := s.cfg.RoundSeqTo
 	return (origT + r - 1) / r * r
 }
@@ -289,29 +336,51 @@ func (s *Server) runBatch(eng *core.Engine, mb *microBatch) {
 	for t := range X {
 		X[t] = tensor.New(cfg.Batch, cfg.InputSize)
 	}
+	short := false
 	for r, it := range mb.items {
 		for t, frame := range it.frames {
 			copy(X[t].Row(r), frame)
 		}
+		if it.origT < mb.T {
+			short = true
+		}
 		// Frames [len(it.frames), T) — rounded-up length padding — and rows
 		// [len(items), Batch) — partial-batch padding — stay zero.
 	}
-	probs, _, err := eng.InferProbs(&core.Batch{X: X, Real: len(mb.items)})
+	// Lens makes length padding bitwise-inert; nil when every row spans the
+	// full T keeps the exact legacy path (the template is shared either way).
+	var lens []int
+	if short {
+		lens = make([]int, cfg.Batch)
+		for r := range lens {
+			lens[r] = mb.T // partial-batch padding rows: full length, inert
+		}
+		for r, it := range mb.items {
+			lens[r] = it.origT
+		}
+	}
+	probs, _, err := eng.InferProbs(&core.Batch{X: X, Real: len(mb.items), Lens: lens})
 	if err != nil {
 		for _, it := range mb.items {
 			it.done <- itemResult{err: err}
 		}
 	} else {
+		specs := cfg.HeadSpecs()
 		for r, it := range mb.items {
-			heads := 1
-			if cfg.Arch == core.ManyToMany {
-				heads = it.origT // drop rounded-up padding heads
+			heads := make([]headProbs, len(specs))
+			for h, spec := range specs {
+				lo, _ := cfg.HeadSlotRange(h, mb.T)
+				rows := 1
+				if spec.Kind.PerFrame() {
+					rows = it.origT // drop rounded-up padding frames
+				}
+				out := make([][]float64, rows)
+				for j := range out {
+					out[j] = append([]float64(nil), probs[lo+j].Row(r)...)
+				}
+				heads[h] = headProbs{kind: spec.Kind, rows: out}
 			}
-			out := make([][]float64, heads)
-			for h := 0; h < heads; h++ {
-				out[h] = append([]float64(nil), probs[h].Row(r)...)
-			}
-			it.done <- itemResult{probs: out}
+			it.done <- itemResult{heads: heads}
 		}
 	}
 	s.inflight.Add(-int64(len(mb.items)))
@@ -321,8 +390,9 @@ func (s *Server) runBatch(eng *core.Engine, mb *microBatch) {
 	s.met.stageCompute.Observe(time.Since(computeStart).Seconds())
 	// Padding overhead: the fraction of computed cells (batch rows × frames)
 	// that were zero padding — row padding up to cfg.Batch plus rounded-up
-	// sequence-length padding. The engine computes all of them; this is the
-	// throughput cost of batching.
+	// sequence-length padding. Masking keeps the numerics exact but the
+	// engine still computes every padded cell; this is the throughput cost
+	// of batching, reported both overall and per length bucket.
 	useful := 0
 	for _, it := range mb.items {
 		useful += it.origT
@@ -330,6 +400,11 @@ func (s *Server) runBatch(eng *core.Engine, mb *microBatch) {
 	total := cfg.Batch * mb.T
 	if total > 0 {
 		s.met.paddingOverhead.Observe(1 - float64(useful)/float64(total))
+		bm := s.met.forBucket(mb.T)
+		bm.rows.Add(int64(len(mb.items)))
+		bm.batches.Inc()
+		bm.fill.Observe(float64(len(mb.items)) / float64(cfg.Batch))
+		bm.padOverhead.Observe(1 - float64(useful)/float64(total))
 	}
 }
 

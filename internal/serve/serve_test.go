@@ -522,3 +522,167 @@ func TestServeF32WithinBand(t *testing.T) {
 		t.Fatal("served probs bitwise-equal to f64: InferDType not applied")
 	}
 }
+
+// TestServeBucketsBitwiseExact: with an explicit bucket set, sequences of
+// arbitrary admissible length are padded up to their bucket yet answered
+// bitwise-equal to a direct exact-length engine call — the masked-batch
+// (Batch.Lens) guarantee surfacing through the whole serving pipeline.
+func TestServeBucketsBitwiseExact(t *testing.T) {
+	for _, arch := range []core.Arch{core.ManyToOne, core.ManyToMany} {
+		t.Run(arch.String(), func(t *testing.T) {
+			m := testModel(t, arch)
+			_, ts := newTestServer(t, Config{
+				Model:   m,
+				Engines: 2,
+				Buckets: []int{4, 8},
+			})
+			for _, origT := range []int{2, 3, 4, 5, 7, 8} {
+				frames := makeSeq(origT, m.Cfg.InputSize, uint64(100+origT))
+				want := directProbs(t, m, frames)
+				resp, out := post(t, ts.URL+"/v1/probs", [][][]float64{frames})
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("T=%d: status %d", origT, resp.StatusCode)
+				}
+				got := out.Results[0]
+				if got.SeqLen != origT {
+					t.Fatalf("T=%d: seq_len %d", origT, got.SeqLen)
+				}
+				if len(got.Probs) != len(want) {
+					t.Fatalf("T=%d: %d prob rows, want %d", origT, len(got.Probs), len(want))
+				}
+				for h := range want {
+					for j := range want[h] {
+						if got.Probs[h][j] != want[h][j] {
+							t.Fatalf("T=%d head %d class %d: %v != %v (bucketed response not bitwise-equal)",
+								origT, h, j, got.Probs[h][j], want[h][j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestServeBucketsRejectAndValidate: sequences beyond the largest bucket are
+// rejected 400, and invalid bucket configurations fail construction.
+func TestServeBucketsRejectAndValidate(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	_, ts := newTestServer(t, Config{Model: m, Engines: 1, Buckets: []int{4, 8}})
+	resp, _ := post(t, ts.URL+"/v1/probs", [][][]float64{makeSeq(9, m.Cfg.InputSize, 1)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-long sequence: status %d, want 400", resp.StatusCode)
+	}
+
+	if _, err := New(Config{Model: m, Buckets: []int{4, 8}, RoundSeqTo: 2}); err == nil {
+		t.Fatal("Buckets + RoundSeqTo should be rejected")
+	}
+	if _, err := New(Config{Model: m, Buckets: []int{8, 4}}); err == nil {
+		t.Fatal("unsorted buckets should be rejected")
+	}
+	if _, err := New(Config{Model: m, Buckets: []int{0}}); err == nil {
+		t.Fatal("non-positive bucket should be rejected")
+	}
+}
+
+// TestServeBucketMetrics: dispatches record per-bucket occupancy series, one
+// set per bucket length actually used.
+func TestServeBucketMetrics(t *testing.T) {
+	m := testModel(t, core.ManyToOne)
+	svc, ts := newTestServer(t, Config{Model: m, Engines: 1, Buckets: []int{4, 8}})
+	for _, origT := range []int{3, 4, 6} {
+		resp, _ := post(t, ts.URL+"/v1/classify", [][][]float64{makeSeq(origT, m.Cfg.InputSize, uint64(origT))})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("T=%d: status %d", origT, resp.StatusCode)
+		}
+	}
+	svc.met.bmu.Lock()
+	defer svc.met.bmu.Unlock()
+	for _, T := range []int{4, 8} {
+		bm := svc.met.byBucket[T]
+		if bm == nil {
+			t.Fatalf("bucket %d has no metrics", T)
+		}
+		if bm.rows.Value() == 0 || bm.batches.Value() == 0 {
+			t.Fatalf("bucket %d: rows=%d batches=%d", T, bm.rows.Value(), bm.batches.Value())
+		}
+	}
+	if len(svc.met.byBucket) != 2 {
+		t.Fatalf("expected exactly 2 bucket series, got %d", len(svc.met.byBucket))
+	}
+}
+
+// TestServeMultiHeadPayloads: a model with several heads answers with
+// per-head payloads — kind-tagged, one row for the classify head, origT
+// rows for the per-frame heads — on both endpoints.
+func TestServeMultiHeadPayloads(t *testing.T) {
+	m, err := core.NewModel(core.Config{
+		Cell: core.GRU, Arch: core.ManyToOne, Merge: core.MergeSum,
+		InputSize: 4, HiddenSize: 8, Layers: 1, SeqLen: 6,
+		Batch: 4, MiniBatches: 1, Seed: 11,
+		Heads: []core.HeadSpec{
+			{Kind: core.HeadClassify, Classes: 3},
+			{Kind: core.HeadTag, Classes: 5},
+			{Kind: core.HeadGenerate, Classes: 7},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Model: m, Engines: 1, Buckets: []int{4, 8}})
+	const origT = 5
+	frames := makeSeq(origT, m.Cfg.InputSize, 3)
+
+	resp, out := post(t, ts.URL+"/v1/probs", [][][]float64{frames})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	r := out.Results[0]
+	if r.Probs != nil || r.Labels != nil {
+		t.Fatal("multi-head answers must not use the flat fields")
+	}
+	if len(r.Heads) != 3 {
+		t.Fatalf("%d heads, want 3", len(r.Heads))
+	}
+	wantKinds := []string{"classify", "tag", "generate"}
+	wantRows := []int{1, origT, origT}
+	wantClasses := []int{3, 5, 7}
+	for h, hr := range r.Heads {
+		if hr.Kind != wantKinds[h] {
+			t.Fatalf("head %d kind %q, want %q", h, hr.Kind, wantKinds[h])
+		}
+		if len(hr.Probs) != wantRows[h] {
+			t.Fatalf("head %d: %d rows, want %d", h, len(hr.Probs), wantRows[h])
+		}
+		for _, row := range hr.Probs {
+			if len(row) != wantClasses[h] {
+				t.Fatalf("head %d: row width %d, want %d", h, len(row), wantClasses[h])
+			}
+			sum := 0.0
+			for _, v := range row {
+				sum += v
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Fatalf("head %d: probabilities sum to %g", h, sum)
+			}
+		}
+	}
+
+	resp, out = post(t, ts.URL+"/v1/classify", [][][]float64{frames})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d", resp.StatusCode)
+	}
+	r = out.Results[0]
+	if len(r.Heads) != 3 {
+		t.Fatalf("classify: %d heads", len(r.Heads))
+	}
+	for h, hr := range r.Heads {
+		if len(hr.Labels) != wantRows[h] {
+			t.Fatalf("classify head %d: %d labels, want %d", h, len(hr.Labels), wantRows[h])
+		}
+		for _, lbl := range hr.Labels {
+			if lbl < 0 || lbl >= wantClasses[h] {
+				t.Fatalf("classify head %d: label %d out of range", h, lbl)
+			}
+		}
+	}
+}

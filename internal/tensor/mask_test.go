@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaskRowsZero(t *testing.T) {
+	m := New(3, 2)
+	for i := range m.Data {
+		m.Data[i] = float64(i + 1)
+	}
+	lens := []int{1, 2, 3}
+	MaskRowsZero(m, lens, 1) // row 0 (len 1 <= 1) becomes padding
+	want := []float64{0, 0, 3, 4, 5, 6}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("data[%d]=%g want %g", i, m.Data[i], v)
+		}
+	}
+	MaskRowsZero(m, lens, 2) // rows 0,1
+	if m.Data[2] != 0 || m.Data[3] != 0 || m.Data[4] != 5 {
+		t.Fatalf("second mask wrong: %v", m.Data)
+	}
+	// nil lens and nil matrix are no-ops
+	MaskRowsZero(m, nil, 0)
+	if m.Data[4] != 5 {
+		t.Fatal("nil lens must be a no-op")
+	}
+	MaskRowsZero[float64](nil, lens, 0)
+}
+
+func TestAddRowsWhere(t *testing.T) {
+	src := New(3, 2)
+	for i := range src.Data {
+		src.Data[i] = float64(i + 1)
+	}
+	// nil lens: adds everything only at t == lastT.
+	dst := New(3, 2)
+	AddRowsWhere(dst, src, nil, 1, 4)
+	for _, v := range dst.Data {
+		if v != 0 {
+			t.Fatal("t != lastT with nil lens must not add")
+		}
+	}
+	AddRowsWhere(dst, src, nil, 4, 4)
+	for i := range dst.Data {
+		if dst.Data[i] != src.Data[i] {
+			t.Fatal("t == lastT with nil lens must add all rows")
+		}
+	}
+	// lens: adds exactly the rows ending at t.
+	dst = New(3, 2)
+	lens := []int{2, 3, 2}
+	AddRowsWhere(dst, src, lens, 1, 4) // rows 0 and 2 end at t=1
+	want := []float64{1, 2, 0, 0, 5, 6}
+	for i, v := range want {
+		if dst.Data[i] != v {
+			t.Fatalf("data[%d]=%g want %g", i, dst.Data[i], v)
+		}
+	}
+	AddRowsWhere(dst, src, lens, 2, 4) // row 1 ends at t=2
+	if dst.Data[2] != 3 || dst.Data[3] != 4 {
+		t.Fatalf("row 1 not added: %v", dst.Data)
+	}
+	// Summing AddRowsWhere over all t with lens equals one full add.
+	full := New(3, 2)
+	AddRowsWhere(full, src, nil, 4, 4)
+	swept := New(3, 2)
+	for tt := 0; tt < 5; tt++ {
+		AddRowsWhere(swept, src, lens, tt, 4)
+	}
+	for i := range full.Data {
+		if math.Float64bits(full.Data[i]) != math.Float64bits(swept.Data[i]) {
+			t.Fatal("sweep over t must equal one full add")
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	srcs := make([]*Mat[float64], 3)
+	for k := range srcs {
+		srcs[k] = New(2, 2)
+		for i := range srcs[k].Data {
+			srcs[k].Data[i] = float64(10*k + i)
+		}
+	}
+	dst := New(2, 2)
+	GatherRows(dst, srcs, []int{2, 0})
+	if dst.At(0, 0) != 20 || dst.At(0, 1) != 21 {
+		t.Fatalf("row 0 wrong: %v", dst.Data)
+	}
+	if dst.At(1, 0) != 2 || dst.At(1, 1) != 3 {
+		t.Fatalf("row 1 wrong: %v", dst.Data)
+	}
+}
+
+func TestMaskKernelsGuarded(t *testing.T) {
+	var writes []any
+	SetAccessHook(func(w any, _ []any) { writes = append(writes, w) })
+	defer SetAccessHook(nil)
+	m := New(2, 2)
+	s := New(2, 2)
+	MaskRowsZero(m, []int{1, 2}, 1)
+	AddRowsWhere(m, s, []int{1, 2}, 0, 1)
+	GatherRows(m, []*Mat[float64]{s, s}, []int{0, 1})
+	if len(writes) != 3 {
+		t.Fatalf("expected 3 guarded writes, got %d", len(writes))
+	}
+	for _, w := range writes {
+		if w != m {
+			t.Fatal("guarded write must be the destination matrix")
+		}
+	}
+}
